@@ -1,0 +1,99 @@
+"""Shared formatting/assertions for the dataset figures (4-9).
+
+The progression figures (4/6/8) plot, per tolerance and starting-rank
+choice, the cumulative simulated time, post-truncation relative error,
+and relative size after each RA-HOSI-DT iteration, with the STHOSVD
+baseline as the reference point.  The breakdown figures (5/7/9) stack
+per-phase time over the iterations needed to first meet the threshold.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdown import group_breakdown
+from repro.analysis.experiments import DatasetExperiment
+from repro.analysis.metrics import relative_size
+from repro.analysis.reporting import format_breakdown, format_table
+
+
+def progression_table(exp: DatasetExperiment, shape) -> str:
+    rows = []
+    for eps, base in sorted(exp.baselines.items(), reverse=True):
+        rows.append(
+            [
+                eps, "sthosvd", "-", str(base.ranks), base.seconds,
+                base.error, base.relative_size,
+            ]
+        )
+        for kind in ("perfect", "over", "under"):
+            run = exp.adaptive_for(eps, kind)
+            cum = 0.0
+            for rec, secs in zip(
+                run.history, run.stats.iteration_seconds
+            ):
+                cum += secs
+                err = (
+                    rec.truncated_error
+                    if rec.truncated_error is not None
+                    else rec.error
+                )
+                ranks = (
+                    rec.truncated_ranks
+                    if rec.truncated_ranks is not None
+                    else rec.ranks_used
+                )
+                rows.append(
+                    [
+                        eps, f"ra-hosi-dt ({kind})", rec.iteration,
+                        str(ranks), cum, err,
+                        relative_size(shape, ranks),
+                    ]
+                )
+    return format_table(
+        [
+            "eps", "algorithm", "iter", "ranks", "cum sim sec",
+            "rel error", "rel size",
+        ],
+        rows,
+        title=(
+            f"{exp.name}: error / time / size progression "
+            f"({exp.cores} simulated cores)"
+        ),
+    )
+
+
+def breakdown_table(exp: DatasetExperiment) -> str:
+    labels, downs = [], []
+    for eps, base in sorted(exp.baselines.items(), reverse=True):
+        labels.append(f"sthosvd eps={eps}")
+        downs.append(group_breakdown(base.breakdown))
+        for kind in ("perfect", "over", "under"):
+            run = exp.adaptive_for(eps, kind)
+            upto = run.stats.first_satisfied or len(run.history)
+            merged: dict[str, float] = {}
+            for b in run.stats.iteration_breakdowns[:upto]:
+                for k, v in b.items():
+                    merged[k] = merged.get(k, 0.0) + v
+            labels.append(f"ra ({kind}) eps={eps} [{upto} it]")
+            downs.append(group_breakdown(merged))
+    return format_breakdown(
+        labels,
+        downs,
+        title=(
+            f"{exp.name}: time breakdown until threshold "
+            f"({exp.cores} simulated cores)"
+        ),
+    )
+
+
+def assert_all_converged(exp: DatasetExperiment) -> None:
+    for run in exp.adaptive:
+        assert run.stats.converged, (run.eps, run.start.kind)
+
+
+def speedup_at(exp: DatasetExperiment, eps: float, kind: str) -> float:
+    """STHOSVD time over RA time-to-threshold (paper's headline metric)."""
+    base = exp.baselines[eps]
+    run = exp.adaptive_for(eps, kind)
+    t = run.time_to_threshold()
+    assert t is not None
+    return base.seconds / t

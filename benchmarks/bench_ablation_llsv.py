@@ -1,0 +1,87 @@
+"""Ablation — LLSV kernel choice inside STHOSVD (paper §2.1 lists
+Gram+EVD, LQ+SVD, and randomized range finding as alternatives).
+
+Measures real wall-clock and achieved error of error-specified STHOSVD
+under each spectrum-forming kernel, plus rank-specified runs with the
+randomized kernel, on one compressible tensor.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _util import save_result
+from repro.analysis.reporting import format_table
+from repro.core.sthosvd import sthosvd
+from repro.datasets import miranda_like
+from repro.linalg.llsv import LLSVMethod
+
+
+def test_ablation_llsv_kernels(benchmark):
+    x = miranda_like(64, seed=0).astype("float64")
+    eps = 0.05
+
+    def run():
+        rows, out = [], {}
+        for method in (LLSVMethod.GRAM_EVD, LLSVMethod.LQ_SVD):
+            t0 = time.perf_counter()
+            tucker, _ = sthosvd(x, eps=eps, method=method)
+            dt = time.perf_counter() - t0
+            err = tucker.relative_error(x)
+            rows.append(
+                [method.value, "eps=0.05", str(tucker.ranks), err, dt]
+            )
+            out[method] = (tucker.ranks, err)
+        # Randomized is rank-specified: reuse the Gram ranks.
+        ranks = out[LLSVMethod.GRAM_EVD][0]
+        t0 = time.perf_counter()
+        tucker, _ = sthosvd(
+            x, ranks=ranks, method=LLSVMethod.RANDOMIZED, seed=0
+        )
+        dt = time.perf_counter() - t0
+        err = tucker.relative_error(x)
+        rows.append(
+            [LLSVMethod.RANDOMIZED.value, f"ranks={ranks}",
+             str(tucker.ranks), err, dt]
+        )
+        out[LLSVMethod.RANDOMIZED] = (tucker.ranks, err)
+
+        # Kronecker-structured sketch (Minster et al. [20]): compute
+        # all factors from sketched ranges and measure the error.
+        from repro.core.tucker import TuckerTensor
+        from repro.linalg.randomized import kronecker_range_finder
+        from repro.tensor.ops import multi_ttm
+
+        t0 = time.perf_counter()
+        factors = [
+            kronecker_range_finder(x, m, ranks[m], seed=m)
+            for m in range(x.ndim)
+        ]
+        core = multi_ttm(x, factors, transpose=True)
+        dt = time.perf_counter() - t0
+        kt = TuckerTensor(core=core, factors=factors)
+        err = kt.relative_error(x)
+        rows.append(
+            ["kron_sketch", f"ranks={ranks}", str(kt.ranks), err, dt]
+        )
+        out["kron_sketch"] = (kt.ranks, err)
+        return rows, out
+
+    rows, out = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_llsv_kernels",
+        format_table(
+            ["kernel", "spec", "ranks", "rel error", "wall seconds"],
+            rows,
+            title="Ablation: LLSV kernel inside STHOSVD",
+        ),
+    )
+    # The two spectrum-forming kernels agree on ranks and error.
+    g, l = out[LLSVMethod.GRAM_EVD], out[LLSVMethod.LQ_SVD]
+    assert g[0] == l[0]
+    assert abs(g[1] - l[1]) < 1e-6
+    # Both meet the budget; randomized at the same ranks is close.
+    assert g[1] <= eps and l[1] <= eps
+    assert out[LLSVMethod.RANDOMIZED][1] <= eps * 1.5
+    # Structured sketching is also in the same accuracy neighbourhood.
+    assert out["kron_sketch"][1] <= eps * 2.0

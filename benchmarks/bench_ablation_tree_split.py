@@ -1,0 +1,78 @@
+"""Ablation — dimension-tree shape: balanced split vs caterpillar.
+
+Kaya & Robert [15] study optimal tree structures; the paper uses a
+balanced-half heuristic.  This bench compares the TTM counts and
+simulated flops of the balanced tree against a maximally skewed
+("single"/caterpillar) tree and against no memoization at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _util import save_result
+from repro.analysis.reporting import format_table
+from repro.core.dimension_tree import contraction_schedule
+from repro.core.hooi import HOOIOptions
+from repro.distributed.arrays import SymbolicArray
+from repro.distributed.dist_tensor import DistTensor
+from repro.distributed.hooi import (
+    DistributedTreeEngine,
+    initial_dist_factors,
+)
+from repro.core.dimension_tree import hooi_iteration_dt
+from repro.vmpi.cost import CostLedger
+from repro.vmpi.grid import ProcessorGrid
+from repro.vmpi.machine import perlmutter_like
+
+
+def _tree_flops(d: int, n: int, r: int, rule: str) -> float:
+    shape, ranks = (n,) * d, (r,) * d
+    grid = ProcessorGrid((1,) * d)
+    ledger = CostLedger(perlmutter_like(), 1)
+    x = DistTensor(SymbolicArray(shape, np.float32), grid, ledger)
+    factors = initial_dist_factors(x.data, ranks)
+    engine = DistributedTreeEngine(factors, ranks)
+    hooi_iteration_dt(x, engine, rule=rule)
+    return ledger.phases["ttm"].flops
+
+
+def test_ablation_tree_split(benchmark):
+    cases = [(3, 128, 8), (4, 64, 6), (6, 16, 3)]
+
+    def run():
+        rows, flops = [], {}
+        for d, n, r in cases:
+            half = _tree_flops(d, n, r, "half")
+            single = _tree_flops(d, n, r, "single")
+            n_half = len(contraction_schedule(d, "half"))
+            n_single = len(contraction_schedule(d, "single"))
+            direct = d * (d - 1)
+            rows.append(
+                [d, n_half, n_single, direct, half, single, single / half]
+            )
+            flops[d] = (half, single)
+        return rows, flops
+
+    rows, flops = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_tree_split",
+        format_table(
+            [
+                "d", "TTMs (half)", "TTMs (single)", "TTMs (direct)",
+                "flops (half)", "flops (single)", "single/half",
+            ],
+            rows,
+            title="Ablation: dimension-tree split rule (per iteration)",
+        ),
+    )
+    # The balanced tree never does more flops.  The two dominant
+    # root-adjacent TTMs are shared by both shapes, so the flop gap is
+    # second-order (observable but modest); the TTM *count* gap grows
+    # with d (O(d log d) vs O(d^2)).
+    for d, (half, single) in flops.items():
+        assert half <= single * 1.001, d
+    assert flops[6][1] / flops[6][0] > 1.05
+    assert len(contraction_schedule(6, "single")) > len(
+        contraction_schedule(6, "half")
+    )

@@ -1,0 +1,89 @@
+"""Ablation — exhaustive (eq. 3) vs greedy core truncation.
+
+Quantifies the paper's §5 claim that the cross-mode flexibility of the
+exhaustive core analysis is what lets RA-HOSI-DT beat STHOSVD's
+compression: we run RA-HOSI-DT with both truncation solvers on every
+dataset surrogate and compare final storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _util import save_result
+from repro.analysis.reporting import format_table
+from repro.core.rank_adaptive import RankAdaptiveOptions, rank_adaptive_hooi
+from repro.core.sthosvd import sthosvd
+from repro.datasets import hcci_like, miranda_like, sp_like
+
+
+def _case(name, x, eps):
+    base, _ = sthosvd(x, eps=eps)
+    out = {"sthosvd": (base.ranks, base.storage_size())}
+    for trunc in ("exhaustive", "greedy"):
+        opts = RankAdaptiveOptions(
+            max_iters=3, stop_at_threshold=False, truncation=trunc
+        )
+        tucker, stats = rank_adaptive_hooi(x, eps, base.ranks, opts)
+        assert stats.converged, (name, trunc)
+        assert tucker.relative_error(x) <= eps * (1 + 1e-6)
+        out[trunc] = (tucker.ranks, tucker.storage_size())
+    return out
+
+
+def test_ablation_truncation(benchmark):
+    datasets = {
+        "miranda": miranda_like(48, seed=0).astype(np.float64),
+        "hcci": hcci_like((32, 32, 5, 24), seed=0),
+        "sp": sp_like((20, 20, 20, 5, 16), seed=0),
+    }
+
+    def run():
+        rows = []
+        results = {}
+        for name, x in datasets.items():
+            for eps in (0.1, 0.01):
+                res = _case(name, x, eps)
+                results[(name, eps)] = res
+                for solver, (ranks, storage) in res.items():
+                    rows.append([name, eps, solver, str(ranks), storage])
+        return rows, results
+
+    rows, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_truncation",
+        format_table(
+            ["dataset", "eps", "solver", "ranks", "storage (values)"],
+            rows,
+            title="Ablation: exhaustive (eq. 3) vs greedy truncation",
+        ),
+    )
+    # Per *call*, the exhaustive solver is optimal (greedy trajectories
+    # can still end elsewhere after multiple truncate-and-iterate
+    # rounds, so the final storages are compared against the STHOSVD
+    # baseline instead — the paper's actual claim).
+    for (name, eps), res in results.items():
+        base = res["sthosvd"][1]
+        assert res["exhaustive"][1] <= base * 1.01, (name, eps)
+    # Direct single-call optimality check on a fixed core.
+    from repro.core.core_analysis import (
+        greedy_rank_truncation,
+        solve_rank_truncation,
+    )
+
+    rng = np.random.default_rng(0)
+    core = rng.standard_normal((6, 5, 4)) * 2.0 ** -rng.integers(
+        0, 5, size=(6, 5, 4)
+    )
+    total = float(np.linalg.norm(core) ** 2)
+    shape = (100, 80, 60)
+    exh = solve_rank_truncation(core, 0.9 * total, shape)
+    gre = greedy_rank_truncation(core, 0.9 * total, shape)
+
+    def storage(r):
+        p = 1
+        for v in r:
+            p *= v
+        return p + sum(n * v for n, v in zip(shape, r))
+
+    assert storage(exh) <= storage(gre)

@@ -1,0 +1,68 @@
+"""The §3.1 crossover — when is HOSI-DT cheaper than STHOSVD?
+
+The paper's central analysis: with dimension trees and two iterations,
+HOOI's flop count beats STHOSVD's roughly when the per-mode dimension
+reduction satisfies ``n/r > 8`` (unoptimized HOOI needs ``n/r > 4d``).
+This bench sweeps the rank at fixed ``n`` on the cost model (P = 1, so
+no EVD/communication effects — pure §3.1 flop comparison), locates the
+measured crossover, and checks it lands where the analysis predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _util import save_result
+from repro.analysis.reporting import format_table
+from repro.core.hooi import variant_options
+from repro.distributed.arrays import SymbolicArray
+from repro.distributed.hooi import dist_hooi
+from repro.distributed.sthosvd import dist_sthosvd
+
+N, D = 256, 3
+RATIOS = (2, 4, 6, 8, 12, 16, 32)
+
+
+def _flops(algo_ratio):
+    r = max(N // algo_ratio, 1)
+    x = SymbolicArray((N,) * D, np.float32)
+    _, st_stats = dist_sthosvd(x, (1,) * D, ranks=(r,) * D)
+    opts = variant_options("hosi-dt", max_iters=2)
+    _, ho_stats = dist_hooi(x, (r,) * D, (1,) * D, options=opts)
+    sth = st_stats.ledger.total_flops() + st_stats.ledger.total_seq_flops()
+    hosi = ho_stats.ledger.total_flops() + ho_stats.ledger.total_seq_flops()
+    return r, sth, hosi
+
+
+def test_crossover(benchmark):
+    def run():
+        rows = []
+        for ratio in RATIOS:
+            r, sth, hosi = _flops(ratio)
+            rows.append([ratio, r, sth, hosi, sth / hosi])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "crossover",
+        format_table(
+            [
+                "n/r", "r", "sthosvd flops", "hosi-dt flops (2 it)",
+                "sthosvd/hosi-dt",
+            ],
+            rows,
+            title=(
+                f"Section 3.1 crossover: {D}-way n={N}, rank sweep "
+                "(P=1, total flops incl. sequential terms)"
+            ),
+        ),
+    )
+    gain = {ratio: row[4] for ratio, row in zip(RATIOS, rows)}
+    # Deep reduction: HOSI-DT clearly cheaper (paper: n/r >> 8).
+    assert gain[32] > 2.0
+    assert gain[16] > 1.5
+    # Shallow reduction: STHOSVD cheaper (n/r well below 8).
+    assert gain[2] < 1.0
+    # The crossover sits in the predicted neighbourhood of n/r ~ 8.
+    assert gain[4] < 1.2
+    assert gain[8] > 0.8

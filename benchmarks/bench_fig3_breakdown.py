@@ -1,0 +1,89 @@
+"""Figure 3 — running-time breakdown at small and large scale.
+
+For both synthetic tensors (3-way 3750^3 and 4-way 560^4), regenerates
+the per-phase stacked breakdown of every algorithm at P = 1 and at the
+panel's largest core count, grouped into the paper's display categories
+(TTM / Gram / EVD / Subspace / QRCP).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _util import save_result
+from repro.analysis.breakdown import group_breakdown
+from repro.analysis.reporting import format_breakdown
+from repro.analysis.scaling import ALGORITHMS, default_grid, run_variant
+from repro.distributed.arrays import SymbolicArray
+
+
+def _breakdowns(shape, ranks, p):
+    labels, downs = [], []
+    x = SymbolicArray(shape, np.float32)
+    for algo in ALGORITHMS:
+        grid = default_grid(p, shape, algo)
+        _, stats = run_variant(x, algo, grid, ranks=ranks)
+        labels.append(f"{algo}@P={p}")
+        downs.append(group_breakdown(stats.breakdown))
+    return labels, downs
+
+
+def test_fig3_3way_breakdown(benchmark):
+    def run():
+        out = []
+        for p in (1, 4096):
+            out.append(_breakdowns((3750,) * 3, (30,) * 3, p))
+        return out
+
+    (l1, d1), (l2, d2) = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "fig3_3way_breakdown",
+        format_breakdown(
+            l1 + l2,
+            d1 + d2,
+            title=(
+                "Fig. 3 (top): simulated time breakdown, 3-way 3750^3 "
+                "(seconds per phase)"
+            ),
+        ),
+    )
+    by = dict(zip(l1 + l2, d1 + d2))
+    # At P=4096 the sequential EVD dominates STHOSVD and Gram-HOOI.
+    assert by["sthosvd@P=4096"]["EVD"] > 0.5 * sum(
+        by["sthosvd@P=4096"].values()
+    )
+    assert by["hooi-dt@P=4096"]["EVD"] > 0.5 * sum(
+        by["hooi-dt@P=4096"].values()
+    )
+    # HOSI-DT has no EVD at all.
+    assert "EVD" not in by["hosi-dt@P=4096"]
+    # At P=1 STHOSVD is Gram-dominated, HOOI variants TTM-dominated.
+    assert by["sthosvd@P=1"]["Gram"] > by["sthosvd@P=1"]["TTM"]
+    assert by["hosi-dt@P=1"]["TTM"] > by["hosi-dt@P=1"]["Subspace"]
+
+
+def test_fig3_4way_breakdown(benchmark):
+    def run():
+        out = []
+        for p in (1, 4096):
+            out.append(_breakdowns((560,) * 4, (10,) * 4, p))
+        return out
+
+    (l1, d1), (l2, d2) = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "fig3_4way_breakdown",
+        format_breakdown(
+            l1 + l2,
+            d1 + d2,
+            title=(
+                "Fig. 3 (bottom): simulated time breakdown, 4-way 560^4 "
+                "(seconds per phase)"
+            ),
+        ),
+    )
+    by = dict(zip(l1 + l2, d1 + d2))
+    # 4-way at P=1: everything is TTM/Gram-dominated; EVD is small for
+    # STHOSVD (the paper's explanation of its good 4-way scaling).
+    assert by["sthosvd@P=1"].get("EVD", 0.0) < 0.1 * sum(
+        by["sthosvd@P=1"].values()
+    )

@@ -1,0 +1,37 @@
+"""Figure 5 — Miranda: running-time breakdown per compression level.
+
+Stacks per-phase simulated time of STHOSVD and of RA-HOSI-DT (until the
+threshold is reached) for each tolerance.  Asserted shape: STHOSVD is
+Gram/EVD-heavy, RA-HOSI-DT is TTM-heavy with negligible core-analysis
+cost at high compression (paper: core analysis becomes visible only in
+the low-compression regime).
+"""
+
+from __future__ import annotations
+
+from _dataset_figs import breakdown_table
+from _util import save_result
+from repro.analysis.breakdown import group_breakdown
+
+
+def test_fig5_miranda_breakdown(benchmark, miranda_experiment):
+    exp, _ = miranda_experiment
+    table = benchmark.pedantic(
+        lambda: breakdown_table(exp), rounds=1, iterations=1
+    )
+    save_result("fig5_miranda_breakdown", table)
+
+    base = group_breakdown(exp.baselines[0.1].breakdown)
+    assert base["Gram"] + base.get("EVD", 0.0) > base.get("TTM", 0.0)
+
+    run = exp.adaptive_for(0.1, "perfect")
+    upto = run.stats.first_satisfied
+    merged: dict[str, float] = {}
+    for b in run.stats.iteration_breakdowns[:upto]:
+        for k, v in b.items():
+            merged[k] = merged.get(k, 0.0) + v
+    ra = group_breakdown(merged)
+    assert ra["TTM"] > ra.get("QRCP", 0.0)
+    # Core analysis is negligible at high compression (paper §4.2.1).
+    total = sum(ra.values())
+    assert ra.get("Core analysis", 0.0) < 0.15 * total

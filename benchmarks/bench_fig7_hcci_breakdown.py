@@ -1,0 +1,34 @@
+"""Figure 7 — HCCI: running-time breakdown per compression level.
+
+Asserted shape: in the 4-way TTM-dominated regime, TTM time is the
+bulk of RA-HOSI-DT's cost at every tolerance (paper's explanation for
+the small speedups relative to Miranda's).
+"""
+
+from __future__ import annotations
+
+from _dataset_figs import breakdown_table
+from _util import save_result
+from repro.analysis.breakdown import group_breakdown
+
+
+def test_fig7_hcci_breakdown(benchmark, hcci_experiment):
+    exp, _ = hcci_experiment
+    table = benchmark.pedantic(
+        lambda: breakdown_table(exp), rounds=1, iterations=1
+    )
+    save_result("fig7_hcci_breakdown", table)
+
+    for eps in (0.1, 0.01):
+        run = exp.adaptive_for(eps, "over")
+        upto = run.stats.first_satisfied
+        merged: dict[str, float] = {}
+        for b in run.stats.iteration_breakdowns[:upto]:
+            for k, v in b.items():
+                merged[k] = merged.get(k, 0.0) + v
+        ra = group_breakdown(merged)
+        # TTM-like work (tree TTMs + the subspace TTM/contraction) is
+        # the bulk of the cost in this regime.
+        ttm_like = ra["TTM"] + ra.get("Subspace", 0.0)
+        assert ttm_like >= 0.5 * sum(ra.values()), eps
+        assert ra["TTM"] == max(ra.values()), eps

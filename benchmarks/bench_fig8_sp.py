@@ -1,0 +1,43 @@
+"""Figure 8 — SP: error/time/size progression of RA-HOSI-DT.
+
+5-way surrogate at 2048 simulated cores.  Paper §4.2.2: three
+iterations typically produce a smaller Tucker approximation but take
+over twice as long as stopping at the threshold; perfect/under starts
+improve compression over STHOSVD at high compression.
+"""
+
+from __future__ import annotations
+
+from _dataset_figs import (
+    assert_all_converged,
+    progression_table,
+)
+from _util import save_result
+
+
+def test_fig8_sp_progression(benchmark, sp_experiment):
+    exp, x = sp_experiment
+    table = benchmark.pedantic(
+        lambda: progression_table(exp, x.shape), rounds=1, iterations=1
+    )
+    save_result("fig8_sp_progression", table)
+
+    assert_all_converged(exp)
+    # Running all 3 iterations costs substantially more than stopping
+    # at the threshold when it is hit on iteration 1.
+    run = exp.adaptive_for(0.1, "over")
+    t_first = run.time_to_threshold()
+    t_all = run.stats.simulated_seconds
+    assert run.stats.first_satisfied == 1
+    assert t_all > 1.5 * t_first
+    # ...but compression never degrades across iterations.
+    sizes = [
+        rec.truncated_storage
+        for rec in run.history
+        if rec.truncated_storage is not None
+    ]
+    assert all(b <= a * 1.001 for a, b in zip(sizes, sizes[1:]))
+    # Perfect start matches or beats STHOSVD's compression at eps=0.1.
+    base = exp.baselines[0.1]
+    perfect = exp.adaptive_for(0.1, "perfect")
+    assert perfect.final_relative_size(x.shape) <= base.relative_size * 1.1

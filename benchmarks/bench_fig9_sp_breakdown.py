@@ -1,0 +1,23 @@
+"""Figure 9 — SP: running-time breakdown per compression level.
+
+Asserted shape (paper §4.2.2): at mid compression from perfect starting
+ranks, RA-HOSI-DT reaches the tolerance in less simulated time than
+STHOSVD (paper: 1.4x speedup).
+"""
+
+from __future__ import annotations
+
+from _dataset_figs import breakdown_table, speedup_at
+from _util import save_result
+
+
+def test_fig9_sp_breakdown(benchmark, sp_experiment):
+    exp, _ = sp_experiment
+    table = benchmark.pedantic(
+        lambda: breakdown_table(exp), rounds=1, iterations=1
+    )
+    save_result("fig9_sp_breakdown", table)
+
+    # Mid compression, perfect ranks: RA-HOSI-DT beats STHOSVD to the
+    # threshold (paper: 1.4x).
+    assert speedup_at(exp, 0.05, "perfect") > 1.0

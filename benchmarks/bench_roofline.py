@@ -1,0 +1,61 @@
+"""Roofline table — supports the paper's §5 local-efficiency discussion.
+
+Regenerates, for the paper's experimental configurations, each leading
+kernel's arithmetic intensity and attainable throughput at 1 rank and
+at a fully packed node, showing why RA-HOSI-DT's flop savings do not
+translate 1:1 into wall-clock at small ``r`` (the TTM becomes
+bandwidth-bound) while STHOSVD's Gram stays compute-bound.
+"""
+
+from __future__ import annotations
+
+from _util import save_result
+from repro.analysis.reporting import format_table
+from repro.analysis.roofline import KERNELS, kernel_point, machine_balance
+
+CONFIGS = [
+    ("3-way synthetic", 3750, 30, 3),
+    ("4-way synthetic", 560, 10, 4),
+]
+
+
+def test_roofline_table(benchmark):
+    def run():
+        rows = []
+        for label, n, r, d in CONFIGS:
+            for kernel in KERNELS:
+                for p in (1, 128):
+                    pt = kernel_point(kernel, n=n, r=r, d=d, p=p)
+                    rows.append(
+                        [
+                            label, kernel, p, pt.intensity,
+                            machine_balance(p=p), pt.memory_bound,
+                            pt.attainable_flops / 1e9,
+                        ]
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "roofline",
+        format_table(
+            [
+                "config", "kernel", "P", "intensity (f/w)",
+                "balance (f/w)", "memory bound", "attainable GF/s",
+            ],
+            rows,
+            title="Roofline positions of the leading kernels",
+        ),
+    )
+    by = {
+        (label, kernel, p): (mb, att)
+        for label, kernel, p, _, _, mb, att in rows
+    }
+    # STHOSVD's Gram is compute-bound in every configuration.
+    assert not by[("3-way synthetic", "sthosvd_gram", 128)][0]
+    assert not by[("4-way synthetic", "sthosvd_gram", 128)][0]
+    # The small-r HOOI TTM loses attainable throughput when the node is
+    # packed (the paper's single-node saturation), unlike at 1 rank.
+    att1 = by[("4-way synthetic", "hooi_ttm", 1)][1]
+    att128 = by[("4-way synthetic", "hooi_ttm", 128)][1]
+    assert att128 <= att1

@@ -1,0 +1,129 @@
+"""Table 1 — leading-order flop costs (measured vs closed form).
+
+Sweeps cubic synthetic problems, reads the ledger's measured per-rank
+flop counters for every algorithm/kernel choice, and tabulates them
+against the paper's Table 1 formulas.  The assertion is *shape*, not
+equality: the measured/analytic ratio must stay near-constant across
+the sweep (the paper keeps only leading-order terms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _util import save_result
+from repro.analysis.costs import hooi_iteration_flops, sthosvd_flops
+from repro.analysis.reporting import format_table
+from repro.core.hooi import variant_options
+from repro.distributed.arrays import SymbolicArray
+from repro.distributed.hooi import dist_hooi
+from repro.distributed.sthosvd import dist_sthosvd
+
+SWEEP = [(64, 4), (128, 8), (256, 16)]
+P, GRID = 8, (1, 4, 2)
+
+
+def _measured_sthosvd(n: int, r: int):
+    x = SymbolicArray((n, n, n), np.float32)
+    _, stats = dist_sthosvd(x, GRID, ranks=(r, r, r))
+    led = stats.ledger
+    return {
+        "gram": led.phases["gram"].flops,
+        "evd": led.phases["evd"].seq_flops,
+        "ttm": led.phases["ttm"].flops,
+    }
+
+
+def _measured_hooi(n: int, r: int, variant: str):
+    x = SymbolicArray((n, n, n), np.float32)
+    opts = variant_options(variant, max_iters=1)
+    _, stats = dist_hooi(x, (r, r, r), GRID, options=opts)
+    led = stats.ledger
+    out = {"ttm": led.phases["ttm"].flops}
+    if "gram" in led.phases:
+        out["llsv"] = led.phases["gram"].flops
+        out["llsv_seq"] = led.phases["evd"].seq_flops
+    else:
+        out["llsv"] = led.phases["subspace"].flops
+        out["llsv_seq"] = led.phases["qrcp"].seq_flops
+    return out
+
+
+def test_table1_flops(benchmark):
+    rows = []
+    ratio_sets: dict[str, list[float]] = {}
+
+    def run():
+        rows.clear()
+        for n, r in SWEEP:
+            meas = _measured_sthosvd(n, r)
+            model = sthosvd_flops(n, 3, r, P)
+            for term in ("gram", "evd", "ttm"):
+                ratio = meas[term] / model[term]
+                rows.append(
+                    ["sthosvd", n, r, term, meas[term], model[term], ratio]
+                )
+                ratio_sets.setdefault(f"sthosvd/{term}", []).append(ratio)
+            for variant in ("hooi", "hooi-dt", "hosi", "hosi-dt"):
+                meas = _measured_hooi(n, r, variant)
+                model = hooi_iteration_flops(
+                    n, 3, r, P,
+                    dimension_tree=variant.endswith("-dt"),
+                    subspace=variant.startswith("hosi"),
+                )
+                for term in ("ttm", "llsv", "llsv_seq"):
+                    ratio = meas[term] / model[term]
+                    rows.append(
+                        [variant, n, r, term, meas[term], model[term], ratio]
+                    )
+                    ratio_sets.setdefault(f"{variant}/{term}", []).append(
+                        ratio
+                    )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "table1_flops",
+        format_table(
+            ["algorithm", "n", "r", "term", "measured", "model", "ratio"],
+            rows,
+            title=(
+                "Table 1 reproduction: measured per-rank flops vs paper's "
+                f"leading-order formulas (P={P}, grid={GRID})"
+            ),
+        ),
+    )
+    # Shape check: ratios stable across the sweep for every term.
+    for key, ratios in ratio_sets.items():
+        spread = max(ratios) / min(ratios)
+        assert spread < 2.0, f"{key}: ratio spread {spread:.2f}"
+
+
+def test_table1_dt_speedup_factor(benchmark):
+    """DT reduces per-iteration TTM flops by ~d/2 (paper §3.3)."""
+
+    def run():
+        out = {}
+        for d, n, r in ((3, 64, 4), (4, 32, 4), (6, 12, 2)):
+            shape, ranks = (n,) * d, (r,) * d
+            grid = (1,) * d
+            x = SymbolicArray(shape, np.float32)
+            flops = {}
+            for variant in ("hooi", "hooi-dt"):
+                opts = variant_options(variant, max_iters=1)
+                _, stats = dist_hooi(x, ranks, grid, options=opts)
+                flops[variant] = stats.ledger.phases["ttm"].flops
+            out[d] = flops["hooi"] / flops["hooi-dt"]
+        return out
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "table1_dt_factor",
+        format_table(
+            ["d", "direct/DT TTM flop ratio", "paper model (d/2)"],
+            [[d, ratio, d / 2] for d, ratio in ratios.items()],
+            title="Dimension-tree memoization factor",
+        ),
+    )
+    for d, ratio in ratios.items():
+        assert ratio == pytest.approx(d / 2, rel=0.45)

@@ -1,0 +1,55 @@
+"""Weak scaling (extension study beyond the paper's evaluation).
+
+The paper's Fig. 2 is strong scaling; this extension holds per-rank
+work constant and grows the tensor with the machine.  The interesting
+shape: HOSI-DT stays near-flat (its only sequential step, the QRCP,
+grows slowly) while STHOSVD's curve climbs with the global mode size —
+the sequential EVD costs ``O(n^3)`` regardless of rank count, so weak
+scaling exposes the bottleneck even more starkly than strong scaling.
+"""
+
+from __future__ import annotations
+
+from _util import save_result
+from repro.analysis.reporting import format_series
+from repro.analysis.scaling import weak_scaling
+
+P_VALUES = [2**k for k in range(0, 13, 2)]  # 1, 4, ..., 4096
+
+
+def test_weak_scaling(benchmark):
+    points = benchmark.pedantic(
+        lambda: weak_scaling((512, 512, 512), (16, 16, 16), P_VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    algos = sorted({p.algorithm for p in points})
+    series = {
+        a: [
+            next(
+                pt.seconds
+                for pt in points
+                if pt.algorithm == a and pt.p == p
+            )
+            for p in P_VALUES
+        ]
+        for a in algos
+    }
+    save_result(
+        "weak_scaling",
+        format_series(
+            "P",
+            P_VALUES,
+            series,
+            title=(
+                "Weak scaling (extension): base 512^3 per rank, ranks "
+                "16^3, simulated seconds"
+            ),
+        ),
+    )
+    sth_growth = series["sthosvd"][-1] / series["sthosvd"][0]
+    hosi_growth = series["hosi-dt"][-1] / series["hosi-dt"][0]
+    # STHOSVD deteriorates much faster than HOSI-DT under weak scaling.
+    assert sth_growth > 5 * hosi_growth
+    # HOSI-DT stays within an order of magnitude of flat.
+    assert hosi_growth < 12

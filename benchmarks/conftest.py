@@ -1,0 +1,41 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md).  Besides the pytest-benchmark
+timing, every bench *prints* the regenerated rows/series and persists
+them under ``results/`` so they can be inspected after a captured run
+and are diffable across runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_dataset_experiment
+from repro.datasets import hcci_like, miranda_like, sp_like
+
+
+# ---------------------------------------------------------------------------
+# session-scoped dataset experiments shared by the Fig. 4-9 benches
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def miranda_experiment():
+    """Miranda-like 3-way study at 1024 simulated cores (Figs. 4-5)."""
+    x = miranda_like(192, seed=0).astype("float64")
+    return run_dataset_experiment("miranda", x, cores=1024, seed=0), x
+
+
+@pytest.fixture(scope="session")
+def hcci_experiment():
+    """HCCI-like 4-way study at 128 simulated cores (Figs. 6-7)."""
+    x = hcci_like((48, 48, 7, 32), seed=0)
+    return run_dataset_experiment("hcci", x, cores=128, seed=0), x
+
+
+@pytest.fixture(scope="session")
+def sp_experiment():
+    """SP-like 5-way study at 2048 simulated cores (Figs. 8-9)."""
+    x = sp_like((28, 28, 28, 5, 20), seed=0)
+    return run_dataset_experiment("sp", x, cores=2048, seed=0), x

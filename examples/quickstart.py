@@ -1,0 +1,65 @@
+"""Quickstart: error-specified Tucker compression with RA-HOSI-DT.
+
+Builds a synthetic low-multilinear-rank tensor, compresses it to a 1%
+relative-error budget with the paper's rank-adaptive HOOI (Alg. 3), and
+compares against the STHOSVD baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    RankAdaptiveOptions,
+    rank_adaptive_hooi,
+    sthosvd,
+    tucker_plus_noise,
+)
+
+
+def main() -> None:
+    # A 60x50x40 tensor that is (5, 4, 6)-multilinear-rank plus noise.
+    x = tucker_plus_noise(
+        (60, 50, 40), (5, 4, 6), noise=1e-3, seed=0
+    )
+    eps = 0.01
+
+    # Baseline: error-specified STHOSVD.
+    st_tucker, _ = sthosvd(x, eps=eps)
+    print(
+        f"STHOSVD:    ranks={st_tucker.ranks}, "
+        f"error={st_tucker.relative_error(x):.2e}, "
+        f"compression={st_tucker.compression_ratio():.1f}x"
+    )
+
+    # RA-HOSI-DT from a deliberately wrong starting guess: the rank
+    # adaptation grows/truncates to meet the budget automatically.
+    ra_tucker, stats = rank_adaptive_hooi(
+        x,
+        eps,
+        init_ranks=(8, 8, 8),
+        options=RankAdaptiveOptions(alpha=1.5, max_iters=3),
+    )
+    print(
+        f"RA-HOSI-DT: ranks={ra_tucker.ranks}, "
+        f"error={ra_tucker.relative_error(x):.2e}, "
+        f"compression={ra_tucker.compression_ratio():.1f}x, "
+        f"converged in iteration {stats.first_satisfied}"
+    )
+    for rec in stats.history:
+        trunc = (
+            f" -> truncated to {rec.truncated_ranks}"
+            if rec.truncated_ranks
+            else ""
+        )
+        print(
+            f"  iter {rec.iteration}: ranks {rec.ranks_used}, "
+            f"error {rec.error:.3e}{trunc}"
+        )
+
+    assert ra_tucker.relative_error(x) <= eps
+    print("OK: tolerance met.")
+
+
+if __name__ == "__main__":
+    main()

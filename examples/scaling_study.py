@@ -1,0 +1,66 @@
+"""Strong-scaling study on the simulated machine (paper Fig. 2).
+
+Runs every algorithm at the paper's full synthetic dimensions — no data
+is allocated (symbolic mode); only the cost model executes — and prints
+the simulated-seconds scaling series plus best-grid choices.
+
+Run:  python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.scaling import strong_scaling
+
+
+def main() -> None:
+    p_values = [2**k for k in range(0, 13, 2)]  # 1 .. 4096
+    points = strong_scaling(
+        (3750, 3750, 3750), (30, 30, 30), p_values
+    )
+
+    algos = sorted({pt.algorithm for pt in points})
+    series = {
+        a: [
+            next(
+                pt.seconds
+                for pt in points
+                if pt.algorithm == a and pt.p == p
+            )
+            for p in p_values
+        ]
+        for a in algos
+    }
+    print(
+        format_series(
+            "P",
+            p_values,
+            series,
+            title="Simulated strong scaling: 3-way 3750^3, ranks 30^3",
+        )
+    )
+
+    print()
+    print(
+        format_table(
+            ["algorithm", "P", "best grid", "sim seconds"],
+            [
+                [pt.algorithm, pt.p, "x".join(map(str, pt.grid)), pt.seconds]
+                for pt in points
+                if pt.p == p_values[-1]
+            ],
+            title=f"Best grids at P={p_values[-1]}",
+        )
+    )
+
+    sth = series["sthosvd"][-1]
+    hosi = series["hosi-dt"][-1]
+    print(
+        f"\nAt P={p_values[-1]}: HOSI-DT is {sth / hosi:.0f}x faster than "
+        "STHOSVD (paper Fig. 2 reports 259x on Perlmutter) - the "
+        "sequential-EVD bottleneck caps STHOSVD."
+    )
+
+
+if __name__ == "__main__":
+    main()

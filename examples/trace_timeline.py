@@ -1,0 +1,46 @@
+"""Visualize simulated execution as ASCII timelines.
+
+Runs STHOSVD and HOSI-DT with event tracing enabled and renders one
+Gantt lane per phase — the Gram/EVD alternation of STHOSVD and the
+tree-shaped TTM bursts of HOSI-DT become visible at a glance.
+
+Run:  python examples/trace_timeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hooi import variant_options
+from repro.distributed.arrays import SymbolicArray
+from repro.distributed.hooi import dist_hooi
+from repro.distributed.sthosvd import dist_sthosvd
+from repro.vmpi.trace import render_timeline
+
+
+def main() -> None:
+    x = SymbolicArray((1024, 1024, 1024), np.float32)
+
+    print("STHOSVD at P=256 (grid 1x16x16):\n")
+    _, stats = dist_sthosvd(x, (1, 16, 16), ranks=(16, 16, 16), trace=True)
+    print(render_timeline(stats.ledger.events))
+    print(f"\nNote the sequential EVD lane: {stats.breakdown.get('evd', 0):.3g}"
+          " simulated seconds that no amount of ranks can shrink.\n")
+
+    print("HOSI-DT at P=256 (grid 1x256x1), two iterations:\n")
+    _, stats = dist_hooi(
+        x,
+        (16, 16, 16),
+        (1, 256, 1),
+        options=variant_options("hosi-dt", max_iters=2),
+        trace=True,
+    )
+    print(render_timeline(stats.ledger.events))
+    print(
+        "\nNo EVD lane at all — the subspace-iteration QRCP is the only "
+        "sequential step, and it is tiny."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Compare the four HOOI variants and STHOSVD on one problem.
+
+Shows both the numerics (all variants reach the same error) and the
+simulated cost structure (why HOSI-DT wins): per-phase breakdowns on
+the virtual machine at 256 cores.
+
+Run:  python examples/variant_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import tucker_plus_noise
+from repro.analysis.breakdown import group_breakdown
+from repro.analysis.reporting import format_breakdown, format_table
+from repro.analysis.scaling import ALGORITHMS, default_grid, run_variant
+
+
+def main() -> None:
+    shape, ranks = (96, 96, 96), (6, 6, 6)
+    x = tucker_plus_noise(shape, ranks, noise=1e-4, seed=0)
+    p = 256
+
+    rows, labels, downs = [], [], []
+    for algo in ALGORITHMS:
+        grid = default_grid(p, shape, algo)
+        tucker, stats = run_variant(x, algo, grid, ranks=ranks)
+        err = tucker.relative_error(x)
+        rows.append(
+            [
+                algo, "x".join(map(str, grid)), err,
+                stats.simulated_seconds,
+            ]
+        )
+        labels.append(algo)
+        downs.append(group_breakdown(stats.breakdown))
+
+    print(
+        format_table(
+            ["algorithm", "grid", "rel error", "sim seconds"],
+            rows,
+            title=f"All algorithms, {shape} rank {ranks}, P={p}",
+        )
+    )
+    print()
+    print(
+        format_breakdown(
+            labels, downs, title="Simulated per-phase breakdown (seconds)"
+        )
+    )
+    print(
+        "\nReading: the -DT variants cut TTM time ~d/2; the HOSI "
+        "variants replace the sequential EVD with a cheap QRCP."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — Parallel Rank-Adaptive Higher Order Orthogonal Iteration.
+
+A from-scratch Python reproduction of the SC '25 paper "Parallel
+Rank-Adaptive Higher Order Orthogonal Iteration" (Pinheiro, Devarakonda,
+Ballard): rank-adaptive HOOI with dimension-tree TTM memoization and
+subspace-iteration LLSV (RA-HOSI-DT), the STHOSVD baseline, and a
+simulated distributed-memory substrate (virtual MPI with a
+latency/bandwidth/flop-rate machine model) standing in for
+TuckerMPI-on-Perlmutter.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import rank_adaptive_hooi, sthosvd, tucker_plus_noise
+>>> x = tucker_plus_noise((40, 40, 40), (5, 5, 5), noise=1e-3, seed=0)
+>>> tt, stats = rank_adaptive_hooi(x, eps=1e-2, init_ranks=(6, 6, 6))
+>>> tt.relative_error(x) <= 1e-2
+True
+"""
+
+from repro._version import __version__
+from repro.core import (
+    HOOIOptions,
+    HOOIStats,
+    RankAdaptiveOptions,
+    RankAdaptiveStats,
+    STHOSVDStats,
+    TuckerTensor,
+    hooi,
+    hosvd,
+    rank_adaptive_hooi,
+    solve_rank_truncation,
+    sthosvd,
+    variant_options,
+)
+from repro.linalg import LLSVMethod
+from repro.tensor import (
+    fold,
+    multi_ttm,
+    random_tucker,
+    relative_error,
+    tensor_norm,
+    ttm,
+    tucker_plus_noise,
+    unfold,
+)
+
+__all__ = [
+    "HOOIOptions",
+    "HOOIStats",
+    "LLSVMethod",
+    "RankAdaptiveOptions",
+    "RankAdaptiveStats",
+    "STHOSVDStats",
+    "TuckerTensor",
+    "__version__",
+    "fold",
+    "hooi",
+    "hosvd",
+    "multi_ttm",
+    "random_tucker",
+    "rank_adaptive_hooi",
+    "relative_error",
+    "solve_rank_truncation",
+    "sthosvd",
+    "tensor_norm",
+    "ttm",
+    "tucker_plus_noise",
+    "unfold",
+    "variant_options",
+]

@@ -1,0 +1,69 @@
+"""Experiment harness: cost formulas, scaling runner, reporting.
+
+These modules regenerate the paper's tables and figures (see the
+per-experiment index in DESIGN.md and the measured results in
+EXPERIMENTS.md).
+"""
+
+from repro.analysis.breakdown import DISPLAY_GROUPS, group_breakdown
+from repro.analysis.csv_io import (
+    read_scaling_csv,
+    write_dataset_csv,
+    write_scaling_csv,
+)
+from repro.analysis.memory import (
+    max_cubic_dim,
+    required_nodes,
+    tensor_fits,
+)
+from repro.analysis.costs import (
+    hooi_iteration_flops,
+    hooi_iteration_words,
+    ra_hosi_dt_flops,
+    sthosvd_flops,
+    sthosvd_words,
+)
+from repro.analysis.experiments import (
+    DatasetExperiment,
+    RankStart,
+    rank_start_variants,
+    run_dataset_experiment,
+)
+from repro.analysis.metrics import compression_ratio, relative_size
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.scaling import (
+    ALGORITHMS,
+    ScalingPoint,
+    default_grid,
+    run_variant,
+    strong_scaling,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "DISPLAY_GROUPS",
+    "DatasetExperiment",
+    "RankStart",
+    "ScalingPoint",
+    "compression_ratio",
+    "default_grid",
+    "format_series",
+    "format_table",
+    "group_breakdown",
+    "hooi_iteration_flops",
+    "hooi_iteration_words",
+    "max_cubic_dim",
+    "ra_hosi_dt_flops",
+    "read_scaling_csv",
+    "required_nodes",
+    "tensor_fits",
+    "write_dataset_csv",
+    "write_scaling_csv",
+    "rank_start_variants",
+    "relative_size",
+    "run_dataset_experiment",
+    "run_variant",
+    "sthosvd_flops",
+    "sthosvd_words",
+    "strong_scaling",
+]

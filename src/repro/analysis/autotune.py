@@ -1,0 +1,97 @@
+"""Processor-grid auto-tuning by simulated time.
+
+The paper hand-searches grids per algorithm and reports the fastest;
+this utility automates the search: simulate the candidate grids on the
+machine model (symbolically — milliseconds, no data) and return the
+winner.  Exposed through the CLI as ``Processor grid dims = auto``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.scaling import run_variant
+from repro.distributed.arrays import SymbolicArray
+from repro.vmpi.grid import candidate_grids, suggested_grids
+from repro.vmpi.machine import MachineModel, perlmutter_like
+
+__all__ = ["GridChoice", "autotune_grid"]
+
+
+@dataclass(frozen=True)
+class GridChoice:
+    """Result of a grid search."""
+
+    grid: tuple[int, ...]
+    seconds: float
+    #: every candidate evaluated, grid -> simulated seconds
+    candidates: dict[tuple[int, ...], float]
+
+
+def autotune_grid(
+    shape: Sequence[int],
+    ranks: Sequence[int],
+    p: int,
+    algorithm: str = "hosi-dt",
+    *,
+    machine: MachineModel | None = None,
+    exhaustive: bool = False,
+    max_iters: int = 2,
+    dtype: np.dtype | type = np.float32,
+) -> GridChoice:
+    """Pick the fastest processor grid for a configuration.
+
+    Parameters
+    ----------
+    shape, ranks:
+        Problem description (rank-specified; for error-specified runs
+        pass the expected output ranks — cost depends only on shapes).
+    p:
+        Rank count.
+    algorithm:
+        One of :data:`repro.analysis.scaling.ALGORITHMS`.
+    machine:
+        Machine model (default Perlmutter-like).
+    exhaustive:
+        Search *all* ordered factorizations of ``p`` instead of the
+        heuristic candidates.  Exponential in the exponent of ``p``;
+        fine for tests and small ``p``.
+    max_iters:
+        HOOI iterations to simulate.
+    dtype:
+        Symbolic dtype.
+    """
+    import math
+
+    machine = machine or perlmutter_like()
+    d = len(shape)
+    grids = (
+        candidate_grids(p, d)
+        if exhaustive
+        else suggested_grids(p, d, shape)
+    )
+    x = SymbolicArray(shape, dtype)
+    evaluated: dict[tuple[int, ...], float] = {}
+    for grid in grids:
+        # Drop oversubscribed grids and the degraded fallback grids
+        # suggested_grids emits when no exact factorization fits.
+        if math.prod(grid) != p or any(
+            g > n for g, n in zip(grid, shape)
+        ):
+            continue
+        _, stats = run_variant(
+            x, algorithm, grid,
+            ranks=ranks, machine=machine, max_iters=max_iters,
+        )
+        evaluated[tuple(grid)] = stats.simulated_seconds
+    if not evaluated:
+        raise ValueError(
+            f"no feasible grid for p={p} on shape {tuple(shape)}"
+        )
+    best = min(evaluated, key=evaluated.get)
+    return GridChoice(
+        grid=best, seconds=evaluated[best], candidates=evaluated
+    )

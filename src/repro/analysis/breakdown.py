@@ -1,0 +1,38 @@
+"""Grouping of ledger phases into the paper's breakdown categories.
+
+The Fig. 3/5/7/9 running-time breakdowns stack a handful of categories;
+this module maps the ledger's fine-grained phases onto them.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DISPLAY_GROUPS", "group_breakdown"]
+
+#: display category -> ledger phases it aggregates
+DISPLAY_GROUPS: dict[str, tuple[str, ...]] = {
+    "TTM": ("ttm", "ttm_comm"),
+    "Gram": ("gram", "gram_comm", "redistribute_comm"),
+    "EVD": ("evd",),
+    "Subspace": ("subspace", "subspace_comm"),
+    "QRCP": ("qrcp",),
+    "Core analysis": ("core_analysis", "core_comm"),
+}
+
+
+def group_breakdown(breakdown: dict[str, float]) -> dict[str, float]:
+    """Aggregate a ledger phase->seconds map into display categories.
+
+    Phases not covered by :data:`DISPLAY_GROUPS` are reported under
+    ``"Other"`` so nothing is silently dropped.
+    """
+    covered: set[str] = set()
+    out: dict[str, float] = {}
+    for label, phases in DISPLAY_GROUPS.items():
+        total = sum(breakdown.get(p, 0.0) for p in phases)
+        covered.update(phases)
+        if total > 0:
+            out[label] = total
+    other = sum(v for k, v in breakdown.items() if k not in covered)
+    if other > 0:
+        out["Other"] = other
+    return out

@@ -1,0 +1,137 @@
+"""Closed-form leading-order cost formulas (paper Tables 1 and 2).
+
+All formulas assume the paper's simplifying model: a cubic tensor
+``n^d``, cubic core ``r^d``, and a ``P_1 x ... x P_d`` grid with
+``P = prod(P_i)``.  The Table 1/2 benchmarks compare these against the
+ledger's *measured* counts, asserting that measured/analytic ratios are
+constant across parameter sweeps (shape match; the paper itself keeps
+only leading-order terms, so exact equality is not expected).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = [
+    "sthosvd_flops",
+    "hooi_iteration_flops",
+    "ra_hosi_dt_flops",
+    "sthosvd_words",
+    "hooi_iteration_words",
+]
+
+
+def _check(n: int, d: int, r: int, p: int) -> None:
+    if min(n, d, r, p) < 1:
+        raise ValueError("n, d, r, p must be positive")
+    if r > n:
+        raise ValueError("r cannot exceed n")
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — flops
+# ---------------------------------------------------------------------------
+
+
+def sthosvd_flops(n: int, d: int, r: int, p: int) -> dict[str, float]:
+    """STHOSVD leading-order flops: Gram ``n^{d+1}/P``, EVD ``O(d n^3)``,
+    TTM ``2 r n^d / P``."""
+    _check(n, d, r, p)
+    return {
+        "gram": float(n) ** (d + 1) / p,
+        "evd": d * float(n) ** 3,
+        "ttm": 2.0 * r * float(n) ** d / p,
+    }
+
+
+def hooi_iteration_flops(
+    n: int,
+    d: int,
+    r: int,
+    p: int,
+    *,
+    dimension_tree: bool = True,
+    subspace: bool = True,
+) -> dict[str, float]:
+    """Per-iteration HOOI flops for the four variants (Table 1)."""
+    _check(n, d, r, p)
+    out: dict[str, float] = {}
+    if dimension_tree:
+        out["ttm"] = 4.0 * r * float(n) ** d / p
+    else:
+        out["ttm"] = 2.0 * d * r * float(n) ** d / p
+    if subspace:
+        out["llsv"] = 4.0 * d * n * float(r) ** d / p
+        out["llsv_seq"] = d * float(n) * r**2  # QRCP, sequential
+    else:
+        out["llsv"] = d * float(n) ** 2 * float(r) ** (d - 1) / p
+        out["llsv_seq"] = d * float(n) ** 3  # EVD, sequential
+    out["core_analysis"] = d * float(r) ** d
+    return out
+
+
+def ra_hosi_dt_flops(
+    n: int, d: int, r: int, p: int, iters: int
+) -> dict[str, float]:
+    """RA-HOSI-DT total flops over ``iters`` iterations (Table 1 row)."""
+    per = hooi_iteration_flops(n, d, r, p, dimension_tree=True, subspace=True)
+    return {k: iters * v for k, v in per.items()}
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — communicated words (per rank, leading order)
+# ---------------------------------------------------------------------------
+
+
+def sthosvd_words(
+    n: int, d: int, r: int, grid: Sequence[int]
+) -> dict[str, float]:
+    """STHOSVD bandwidth: LLSV ``(n^d/P)(P_1-1)/P_1 + d n^2``; TTM
+    ``(r n^{d-1}/P)(P_1-1)``."""
+    grid = tuple(int(g) for g in grid)
+    p = math.prod(grid)
+    _check(n, d, r, p)
+    p1 = grid[0]
+    return {
+        "llsv": float(n) ** d / p * (p1 - 1) / p1 + d * float(n) ** 2,
+        "ttm": r * float(n) ** (d - 1) / p * (p1 - 1),
+    }
+
+
+def hooi_iteration_words(
+    n: int,
+    d: int,
+    r: int,
+    grid: Sequence[int],
+    *,
+    dimension_tree: bool = True,
+    subspace: bool = True,
+) -> dict[str, float]:
+    """Per-iteration HOOI bandwidth for the four variants (Table 2)."""
+    grid = tuple(int(g) for g in grid)
+    p = math.prod(grid)
+    _check(n, d, r, p)
+    out: dict[str, float] = {}
+    if dimension_tree:
+        out["ttm"] = (
+            r * float(n) ** (d - 1) / p * (grid[0] - 1)
+            + r * float(n) ** (d - 1) / p * (grid[-1] - 1)
+        )
+    else:
+        p2 = grid[1] if d > 1 else 1
+        out["ttm"] = (
+            (d - 1) * r * float(n) ** (d - 1) / p * (grid[0] - 1)
+            + r * float(n) ** (d - 1) / p * (p2 - 1)
+        )
+    if subspace:
+        out["llsv"] = (
+            float(r) ** d / p * sum(g - 1 for g in grid) + 2.0 * d * n * r
+        )
+    else:
+        out["llsv"] = (
+            n * float(r) ** (d - 1) / p * sum((g - 1) / g for g in grid)
+            + d * float(n) ** 2
+        )
+    out["core_analysis"] = float(r) ** d
+    return out

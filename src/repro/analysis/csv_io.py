@@ -1,0 +1,107 @@
+"""CSV persistence for experiment results.
+
+The paper's artifact emits per-run CSV files that post-processing
+scripts (``CollectScaleScript.py`` / ``CollectRankScript.py``) parse
+into the figures; these helpers play the same role for our harness.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.experiments import DatasetExperiment
+from repro.analysis.metrics import relative_size
+from repro.analysis.scaling import ScalingPoint
+
+__all__ = [
+    "write_scaling_csv",
+    "read_scaling_csv",
+    "write_dataset_csv",
+]
+
+
+def write_scaling_csv(
+    points: Sequence[ScalingPoint], path: str | Path
+) -> None:
+    """Persist strong-scaling points (one row per algorithm x P)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["algorithm", "p", "grid", "seconds"])
+        for pt in points:
+            writer.writerow(
+                [
+                    pt.algorithm,
+                    pt.p,
+                    "x".join(map(str, pt.grid)),
+                    repr(pt.seconds),
+                ]
+            )
+
+
+def read_scaling_csv(path: str | Path) -> list[ScalingPoint]:
+    """Load strong-scaling points written by :func:`write_scaling_csv`.
+
+    Breakdowns are not persisted; loaded points carry empty ones.
+    """
+    out: list[ScalingPoint] = []
+    with Path(path).open(newline="") as fh:
+        for row in csv.DictReader(fh):
+            out.append(
+                ScalingPoint(
+                    algorithm=row["algorithm"],
+                    p=int(row["p"]),
+                    grid=tuple(int(t) for t in row["grid"].split("x")),
+                    seconds=float(row["seconds"]),
+                    breakdown={},
+                )
+            )
+    return out
+
+
+def write_dataset_csv(
+    exp: DatasetExperiment, path: str | Path
+) -> None:
+    """Persist a dataset experiment's progression (Figs. 4/6/8 data)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "dataset", "eps", "algorithm", "start", "iteration",
+                "ranks", "cum_seconds", "rel_error", "rel_size",
+            ]
+        )
+        for eps, base in sorted(exp.baselines.items(), reverse=True):
+            writer.writerow(
+                [
+                    exp.name, eps, "sthosvd", "", "",
+                    " ".join(map(str, base.ranks)),
+                    repr(base.seconds), repr(base.error),
+                    repr(base.relative_size),
+                ]
+            )
+            for kind in ("perfect", "over", "under"):
+                run = exp.adaptive_for(eps, kind)
+                cum = 0.0
+                for rec, secs in zip(
+                    run.history, run.stats.iteration_seconds
+                ):
+                    cum += secs
+                    ranks = rec.truncated_ranks or rec.ranks_used
+                    err = (
+                        rec.truncated_error
+                        if rec.truncated_error is not None
+                        else rec.error
+                    )
+                    writer.writerow(
+                        [
+                            exp.name, eps, "ra-hosi-dt", kind,
+                            rec.iteration,
+                            " ".join(map(str, ranks)),
+                            repr(cum), repr(err),
+                            repr(relative_size(exp.shape, ranks)),
+                        ]
+                    )

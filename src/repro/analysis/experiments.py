@@ -1,0 +1,206 @@
+"""Error-specified dataset experiments (paper §4.2, Figs. 4-9).
+
+Protocol (mirroring the paper):
+
+1. run error-specified STHOSVD at each tolerance; its output ranks are
+   the "perfect" starting ranks;
+2. run RA-HOSI-DT from perfect, overshot (+25%) and undershot (-25%)
+   starting ranks, capped at 3 iterations, recording error / relative
+   size / simulated time after every iteration;
+3. compare time-to-threshold and compression against the STHOSVD
+   baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.metrics import relative_size
+from repro.core.rank_adaptive import IterationRecord, RankAdaptiveOptions
+from repro.distributed.rank_adaptive import (
+    DistRankAdaptiveStats,
+    dist_rank_adaptive_hooi,
+)
+from repro.distributed.sthosvd import dist_sthosvd
+from repro.vmpi.grid import suggested_grids
+from repro.vmpi.machine import MachineModel, perlmutter_like
+
+__all__ = [
+    "RankStart",
+    "rank_start_variants",
+    "BaselineResult",
+    "AdaptiveResult",
+    "DatasetExperiment",
+    "run_dataset_experiment",
+]
+
+#: The paper's three tolerance regimes.
+TOLERANCES: tuple[float, ...] = (0.1, 0.05, 0.01)
+
+
+@dataclass(frozen=True)
+class RankStart:
+    """A named starting-rank choice for RA-HOSI-DT."""
+
+    kind: str  # "perfect" | "over" | "under"
+    ranks: tuple[int, ...]
+
+
+def rank_start_variants(
+    perfect: Sequence[int], shape: Sequence[int]
+) -> list[RankStart]:
+    """Perfect / +25% overshoot / -25% undershoot starting ranks."""
+    perfect = tuple(int(r) for r in perfect)
+    over = tuple(
+        min(math.ceil(1.25 * r), n) for r, n in zip(perfect, shape)
+    )
+    under = tuple(max(math.floor(0.75 * r), 1) for r in perfect)
+    return [
+        RankStart("perfect", perfect),
+        RankStart("over", over),
+        RankStart("under", under),
+    ]
+
+
+@dataclass
+class BaselineResult:
+    """Error-specified STHOSVD baseline at one tolerance."""
+
+    eps: float
+    ranks: tuple[int, ...]
+    error: float
+    seconds: float
+    relative_size: float
+    grid: tuple[int, ...]
+    breakdown: dict[str, float]
+
+
+@dataclass
+class AdaptiveResult:
+    """RA-HOSI-DT run from one starting-rank choice at one tolerance."""
+
+    eps: float
+    start: RankStart
+    stats: DistRankAdaptiveStats
+    grid: tuple[int, ...]
+
+    @property
+    def history(self) -> list[IterationRecord]:
+        return self.stats.history
+
+    def time_to_threshold(self) -> float | None:
+        """Simulated seconds until the error budget was first met."""
+        if self.stats.first_satisfied is None:
+            return None
+        return sum(
+            self.stats.iteration_seconds[: self.stats.first_satisfied]
+        )
+
+    def final_relative_size(self, shape: Sequence[int]) -> float | None:
+        """Relative size of the last truncated iterate (None if never)."""
+        for rec in reversed(self.history):
+            if rec.truncated_ranks is not None:
+                return relative_size(shape, rec.truncated_ranks)
+        return None
+
+
+@dataclass
+class DatasetExperiment:
+    """All runs for one dataset (one Fig. 4/6/8 + Fig. 5/7/9 pair)."""
+
+    name: str
+    shape: tuple[int, ...]
+    cores: int
+    baselines: dict[float, BaselineResult] = field(default_factory=dict)
+    adaptive: list[AdaptiveResult] = field(default_factory=list)
+
+    def adaptive_for(self, eps: float, kind: str) -> AdaptiveResult:
+        """Look up the RA run for one (tolerance, starting-rank) pair."""
+        for run in self.adaptive:
+            if run.eps == eps and run.start.kind == kind:
+                return run
+        raise KeyError(f"no RA run for eps={eps}, start={kind}")
+
+
+def _best_sthosvd(
+    x: np.ndarray,
+    eps: float,
+    cores: int,
+    machine: MachineModel,
+) -> BaselineResult:
+    best: BaselineResult | None = None
+    for grid in suggested_grids(cores, x.ndim, x.shape):
+        tucker, stats = dist_sthosvd(x, grid, machine=machine, eps=eps)
+        assert tucker is not None
+        cand = BaselineResult(
+            eps=eps,
+            ranks=tucker.ranks,
+            error=tucker.relative_error_via_core(
+                float(np.linalg.norm(x.ravel()))
+            ),
+            seconds=stats.simulated_seconds,
+            relative_size=relative_size(x.shape, tucker.ranks),
+            grid=tuple(grid),
+            breakdown=dict(stats.breakdown),
+        )
+        if best is None or cand.seconds < best.seconds:
+            best = cand
+    assert best is not None
+    return best
+
+
+def run_dataset_experiment(
+    name: str,
+    x: np.ndarray,
+    cores: int,
+    *,
+    tolerances: Sequence[float] = TOLERANCES,
+    machine: MachineModel | None = None,
+    max_iters: int = 3,
+    alpha: float = 1.5,
+    seed: int | None = 0,
+) -> DatasetExperiment:
+    """Run the full §4.2 protocol on one dataset surrogate.
+
+    Parameters
+    ----------
+    name:
+        Label for reporting.
+    x:
+        The dataset tensor.
+    cores:
+        Simulated core count (paper: 1024 Miranda, 128 HCCI, 2048 SP).
+    tolerances:
+        Error tolerances (paper: 0.1 / 0.05 / 0.01).
+    machine, max_iters, alpha, seed:
+        Simulation and Alg. 3 knobs.
+    """
+    machine = machine or perlmutter_like()
+    exp = DatasetExperiment(name=name, shape=x.shape, cores=cores)
+
+    # One grid for all RA runs: the DT-friendly suggestion.
+    from repro.analysis.scaling import default_grid
+
+    ra_grid = default_grid(cores, x.shape, "hosi-dt")
+
+    for eps in tolerances:
+        base = _best_sthosvd(x, eps, cores, machine)
+        exp.baselines[eps] = base
+        for start in rank_start_variants(base.ranks, x.shape):
+            opts = RankAdaptiveOptions(
+                alpha=alpha,
+                max_iters=max_iters,
+                stop_at_threshold=False,
+                seed=seed,
+            )
+            _, stats = dist_rank_adaptive_hooi(
+                x, eps, start.ranks, ra_grid, machine=machine, options=opts
+            )
+            exp.adaptive.append(
+                AdaptiveResult(eps=eps, start=start, stats=stats, grid=ra_grid)
+            )
+    return exp

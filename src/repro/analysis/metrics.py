@@ -1,0 +1,28 @@
+"""Compression metrics used across the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["compression_ratio", "relative_size", "tucker_storage"]
+
+
+def tucker_storage(shape: Sequence[int], ranks: Sequence[int]) -> int:
+    """Tucker storage ``prod(r) + sum(n_j r_j)`` for given shapes."""
+    shape = tuple(int(n) for n in shape)
+    ranks = tuple(int(r) for r in ranks)
+    if len(shape) != len(ranks):
+        raise ValueError("shape/ranks order mismatch")
+    return math.prod(ranks) + sum(n * r for n, r in zip(shape, ranks))
+
+
+def compression_ratio(shape: Sequence[int], ranks: Sequence[int]) -> float:
+    """Original entries over stored entries (larger is better)."""
+    return math.prod(int(n) for n in shape) / tucker_storage(shape, ranks)
+
+
+def relative_size(shape: Sequence[int], ranks: Sequence[int]) -> float:
+    """Stored entries over original entries (the paper's y-axis in the
+    error-vs-size plots; smaller is better)."""
+    return tucker_storage(shape, ranks) / math.prod(int(n) for n in shape)

@@ -1,0 +1,84 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The paper's figures are PGFPlots; here every table and figure is
+re-emitted as aligned ASCII so the benchmark output is directly
+comparable against the paper's reported rows and series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series", "format_breakdown"]
+
+
+def _cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_cell(v, floatfmt) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    *,
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render one-line-per-x table of several named series (a figure's
+    data, one column per curve)."""
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(vals[i] for vals in series.values())]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, floatfmt=floatfmt, title=title)
+
+
+def format_breakdown(
+    labels: Sequence[str],
+    breakdowns: Sequence[dict[str, float]],
+    *,
+    floatfmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render stacked-bar data: one row per configuration, one column
+    per category."""
+    cats: list[str] = []
+    for b in breakdowns:
+        for k in b:
+            if k not in cats:
+                cats.append(k)
+    headers = ["config", *cats, "total"]
+    rows = []
+    for label, b in zip(labels, breakdowns):
+        rows.append(
+            [label, *(b.get(c, 0.0) for c in cats), sum(b.values())]
+        )
+    return format_table(headers, rows, floatfmt=floatfmt, title=title)

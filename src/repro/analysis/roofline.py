@@ -1,0 +1,85 @@
+"""Roofline analysis of the Tucker kernels.
+
+The paper's §5 attributes RA-HOSI-DT's below-peak local performance to
+arithmetic intensity: once the smallest GEMM dimension drops from ``n``
+to ``r``, the kernels run at memory bandwidth instead of peak flops.
+These helpers compute per-kernel intensities and the machine's balance
+point so the effect can be tabulated and asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vmpi.machine import MachineModel, perlmutter_like
+
+__all__ = ["KernelPoint", "machine_balance", "kernel_point", "KERNELS"]
+
+#: kernel name -> (flops, memory words) as functions of (n, r, d, P)
+KERNELS = ("sthosvd_gram", "hooi_ttm", "subspace_contraction")
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """One kernel's position on the roofline."""
+
+    kernel: str
+    intensity: float  # flops per word of memory traffic
+    flops: float
+    words: float
+    memory_bound: bool
+    attainable_flops: float  # flops/s at the given concurrency
+
+
+def machine_balance(machine: MachineModel | None = None, p: int = 1) -> float:
+    """Machine balance (flops/word): kernels below it are memory-bound."""
+    machine = machine or perlmutter_like()
+    return machine.flop_rate / machine.bw_per_rank(p)
+
+
+def kernel_point(
+    kernel: str,
+    n: int,
+    r: int,
+    d: int,
+    *,
+    p: int = 1,
+    machine: MachineModel | None = None,
+) -> KernelPoint:
+    """Roofline coordinates of one leading kernel.
+
+    Supported kernels (leading-order per-rank models):
+
+    * ``"sthosvd_gram"`` — first-mode Gram: ``2 n^{d+1}/P`` flops over
+      ``n^d/P`` words (intensity ``2n``; compute-bound for real ``n``);
+    * ``"hooi_ttm"`` — dominant tree TTM: ``2 r n^d/P`` flops over
+      ``~n^d/P`` words (intensity ``2r``; memory-bound for small ``r`` —
+      the paper's single-node saturation);
+    * ``"subspace_contraction"`` — ``2 r^d n/P`` flops over
+      ``~ r^{d-1} n/P`` words (intensity ``2r``).
+    """
+    machine = machine or perlmutter_like()
+    nf, rf = float(n), float(r)
+    if kernel == "sthosvd_gram":
+        flops = 2.0 * nf ** (d + 1) / p
+        words = nf**d / p
+    elif kernel == "hooi_ttm":
+        flops = 2.0 * rf * nf**d / p
+        words = nf**d / p
+    elif kernel == "subspace_contraction":
+        flops = 2.0 * rf**d * nf / p
+        words = rf ** (d - 1) * nf / p
+    else:
+        raise ValueError(f"unknown kernel {kernel!r}; pick from {KERNELS}")
+    intensity = flops / words
+    balance = machine_balance(machine, p)
+    bw = machine.bw_per_rank(p)
+    attainable = min(machine.flop_rate, intensity * bw)
+    return KernelPoint(
+        kernel=kernel,
+        intensity=intensity,
+        flops=flops,
+        words=words,
+        memory_bound=intensity < balance,
+        attainable_flops=attainable,
+    )

@@ -1,0 +1,31 @@
+"""Artifact-style batch experiment workflow.
+
+The paper's artifact drives its studies with generator scripts
+(``ScaleScript.py``, ``RankScript.py``) that emit one parameter file
+and SLURM script per data point, and collector scripts
+(``CollectScaleScript.py``, ``CollectRankScript.py``) that parse the
+resulting CSVs into figures.  This subpackage reproduces that workflow
+against the simulator: generate a directory of parameter files +
+manifest, run every point (no queueing system needed), collect the
+per-point CSVs into figure-ready tables.
+"""
+
+from repro.artifact.rank import (
+    collect_rank_experiments,
+    generate_rank_experiments,
+    run_rank_experiments,
+)
+from repro.artifact.scale import (
+    collect_scale_experiments,
+    generate_scale_experiments,
+    run_scale_experiments,
+)
+
+__all__ = [
+    "collect_rank_experiments",
+    "collect_scale_experiments",
+    "generate_rank_experiments",
+    "generate_scale_experiments",
+    "run_rank_experiments",
+    "run_scale_experiments",
+]

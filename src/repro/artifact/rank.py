@@ -1,0 +1,162 @@
+"""Dataset rank-study batch workflow (RankScript / CollectRankScript).
+
+Mirrors the artifact's Miranda study generator/collector: one config
+per (tolerance, algorithm, starting-rank kind), CSVs per run, and a
+collected progression table (the Fig. 4/6/8 data).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.analysis.experiments import run_dataset_experiment
+from repro.analysis.metrics import relative_size
+from repro.analysis.reporting import format_table
+from repro.core.errors import ConfigError
+from repro.datasets import DATASETS, load_dataset
+from repro.vmpi.machine import MachineModel, perlmutter_like
+
+__all__ = [
+    "generate_rank_experiments",
+    "run_rank_experiments",
+    "collect_rank_experiments",
+]
+
+
+def generate_rank_experiments(
+    outdir: str | Path,
+    *,
+    dataset: str = "miranda",
+    dataset_kwargs: dict | None = None,
+    cores: int | None = None,
+    tolerances: tuple[float, ...] = (0.1, 0.05, 0.01),
+    max_iters: int = 3,
+    seed: int = 0,
+) -> Path:
+    """Emit the manifest for a dataset rank study."""
+    key = dataset.lower()
+    if key not in DATASETS:
+        raise ConfigError(
+            f"unknown dataset {dataset!r}; available: {sorted(DATASETS)}"
+        )
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "kind": "rank_study",
+        "dataset": key,
+        "dataset_kwargs": dataset_kwargs or {},
+        "cores": cores or DATASETS[key].paper_cores,
+        "tolerances": list(tolerances),
+        "max_iters": max_iters,
+        "seed": seed,
+    }
+    (outdir / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return outdir
+
+
+def run_rank_experiments(
+    outdir: str | Path,
+    *,
+    machine: MachineModel | None = None,
+) -> int:
+    """Execute the study; one CSV row per (eps, algo, start, iteration)."""
+    outdir = Path(outdir)
+    manifest = json.loads((outdir / "manifest.json").read_text())
+    machine = machine or perlmutter_like()
+    x = load_dataset(
+        manifest["dataset"],
+        seed=manifest["seed"],
+        **manifest["dataset_kwargs"],
+    ).astype("float64")
+    exp = run_dataset_experiment(
+        manifest["dataset"],
+        x,
+        manifest["cores"],
+        tolerances=tuple(manifest["tolerances"]),
+        machine=machine,
+        max_iters=manifest["max_iters"],
+        seed=manifest["seed"],
+    )
+
+    rows = 0
+    with (outdir / "results.csv").open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "eps", "algorithm", "start", "iteration", "ranks",
+                "cum_seconds", "rel_error", "rel_size",
+            ]
+        )
+        for eps, base in exp.baselines.items():
+            writer.writerow(
+                [
+                    eps, "sthosvd", "", "",
+                    " ".join(map(str, base.ranks)),
+                    repr(base.seconds), repr(base.error),
+                    repr(base.relative_size),
+                ]
+            )
+            rows += 1
+            for kind in ("perfect", "over", "under"):
+                run = exp.adaptive_for(eps, kind)
+                cum = 0.0
+                for rec, secs in zip(
+                    run.history, run.stats.iteration_seconds
+                ):
+                    cum += secs
+                    ranks = rec.truncated_ranks or rec.ranks_used
+                    err = (
+                        rec.truncated_error
+                        if rec.truncated_error is not None
+                        else rec.error
+                    )
+                    writer.writerow(
+                        [
+                            eps, "ra-hosi-dt", kind, rec.iteration,
+                            " ".join(map(str, ranks)),
+                            repr(cum), repr(err),
+                            repr(relative_size(x.shape, ranks)),
+                        ]
+                    )
+                    rows += 1
+    return rows
+
+
+def collect_rank_experiments(outdir: str | Path) -> str:
+    """Render ``results.csv`` into the Fig. 4/6/8-style table."""
+    outdir = Path(outdir)
+    manifest = json.loads((outdir / "manifest.json").read_text())
+    path = outdir / "results.csv"
+    if not path.exists():
+        raise FileNotFoundError(
+            f"{path} missing; run run_rank_experiments first"
+        )
+    with path.open(newline="") as fh:
+        records = list(csv.DictReader(fh))
+    rows = [
+        [
+            float(r["eps"]),
+            r["algorithm"] + (f" ({r['start']})" if r["start"] else ""),
+            r["iteration"] or "-",
+            f"({r['ranks'].replace(' ', ', ')})",
+            float(r["cum_seconds"]),
+            float(r["rel_error"]),
+            float(r["rel_size"]),
+        ]
+        for r in records
+    ]
+    text = format_table(
+        [
+            "eps", "algorithm", "iter", "ranks", "cum sim sec",
+            "rel error", "rel size",
+        ],
+        rows,
+        title=(
+            f"{manifest['dataset']} rank study "
+            f"({manifest['cores']} simulated cores)"
+        ),
+    )
+    (outdir / "figure.txt").write_text(text + "\n")
+    return text

@@ -1,0 +1,185 @@
+"""Strong-scaling batch workflow (ScaleScript / CollectScaleScript).
+
+Directory layout produced, mirroring the artifact's
+``experiments/4way_560_10_Single/`` structure::
+
+    <outdir>/
+      manifest.json               experiment description
+      configs/<algo>_p<P>.cfg     TuckerMPI-style parameter file per point
+      csv/<algo>_p<P>.csv         one CSV per completed point
+      collected.csv               merged results (after collect)
+      figure.txt                  figure-ready series table
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.reporting import format_series
+from repro.analysis.scaling import ALGORITHMS, default_grid, run_variant
+from repro.config import ParameterFile
+from repro.core.errors import ConfigError
+from repro.distributed.arrays import SymbolicArray
+from repro.vmpi.machine import MachineModel, perlmutter_like
+
+__all__ = [
+    "generate_scale_experiments",
+    "run_scale_experiments",
+    "collect_scale_experiments",
+]
+
+
+def generate_scale_experiments(
+    outdir: str | Path,
+    *,
+    shape: Sequence[int] = (560, 560, 560, 560),
+    ranks: Sequence[int] = (10, 10, 10, 10),
+    proc_scale: Sequence[int] = tuple(2**k for k in range(13)),
+    algorithms: Sequence[str] = ALGORITHMS,
+    max_iters: int = 2,
+) -> Path:
+    """Emit one parameter file per (algorithm, P) point plus a manifest.
+
+    Defaults regenerate the artifact's default experiment: the 4-way
+    560^4 rank-10 strong-scaling study from p=1 to p=4096.
+    """
+    outdir = Path(outdir)
+    configs = outdir / "configs"
+    configs.mkdir(parents=True, exist_ok=True)
+    shape = tuple(int(s) for s in shape)
+    ranks = tuple(int(r) for r in ranks)
+
+    points = []
+    for algo in algorithms:
+        if algo not in ALGORITHMS:
+            raise ConfigError(f"unknown algorithm {algo!r}")
+        for p in proc_scale:
+            grid = default_grid(p, shape, algo)
+            name = f"{algo}_p{p}"
+            lines = [
+                f"# generated scale point: {name}",
+                "Print options = false",
+                "Print timings = true",
+                f"Algorithm = {algo}",
+                f"Processor grid dims = {' '.join(map(str, grid))}",
+                f"Global dims = {' '.join(map(str, shape))}",
+                f"Ranks = {' '.join(map(str, ranks))}",
+                f"HOOI max iters = {max_iters}",
+            ]
+            (configs / f"{name}.cfg").write_text("\n".join(lines) + "\n")
+            points.append(name)
+
+    manifest = {
+        "kind": "strong_scaling",
+        "shape": list(shape),
+        "ranks": list(ranks),
+        "proc_scale": list(proc_scale),
+        "algorithms": list(algorithms),
+        "max_iters": max_iters,
+        "points": points,
+    }
+    (outdir / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return outdir
+
+
+def run_scale_experiments(
+    outdir: str | Path,
+    *,
+    machine: MachineModel | None = None,
+) -> int:
+    """Run every generated point on the simulator; returns the count.
+
+    Plays the role of the artifact's SLURM submission loop — each point
+    reads its own parameter file and writes its own CSV, so partial
+    re-runs behave like re-submitting failed jobs.
+    """
+    outdir = Path(outdir)
+    manifest = json.loads((outdir / "manifest.json").read_text())
+    machine = machine or perlmutter_like()
+    csv_dir = outdir / "csv"
+    csv_dir.mkdir(exist_ok=True)
+
+    done = 0
+    for name in manifest["points"]:
+        params = ParameterFile.from_path(outdir / "configs" / f"{name}.cfg")
+        algo = params.get_str("algorithm")
+        grid = params.get_ints("processor grid dims")
+        dims = params.get_ints("global dims")
+        ranks = params.get_ints("ranks")
+        max_iters = params.get_int("hooi max iters", 2)
+
+        x = SymbolicArray(dims)
+        _, stats = run_variant(
+            x, algo, grid, ranks=ranks, machine=machine, max_iters=max_iters
+        )
+        with (csv_dir / f"{name}.csv").open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["algorithm", "p", "grid", "seconds", *stats.breakdown]
+            )
+            writer.writerow(
+                [
+                    algo,
+                    math.prod(grid),
+                    "x".join(map(str, grid)),
+                    repr(stats.simulated_seconds),
+                    *[repr(v) for v in stats.breakdown.values()],
+                ]
+            )
+        done += 1
+    return done
+
+
+def collect_scale_experiments(outdir: str | Path) -> str:
+    """Merge per-point CSVs into ``collected.csv`` and ``figure.txt``.
+
+    Returns the figure text (the Fig. 2-style series table).  Missing
+    points (failed "jobs") are reported as gaps rather than errors,
+    matching the artifact's tolerant collector.
+    """
+    outdir = Path(outdir)
+    manifest = json.loads((outdir / "manifest.json").read_text())
+    rows: list[tuple[str, int, str, float]] = []
+    missing: list[str] = []
+    for name in manifest["points"]:
+        path = outdir / "csv" / f"{name}.csv"
+        if not path.exists():
+            missing.append(name)
+            continue
+        with path.open(newline="") as fh:
+            rec = next(csv.DictReader(fh))
+        rows.append(
+            (
+                rec["algorithm"],
+                int(rec["p"]),
+                rec["grid"],
+                float(rec["seconds"]),
+            )
+        )
+
+    with (outdir / "collected.csv").open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["algorithm", "p", "grid", "seconds"])
+        writer.writerows(rows)
+
+    ps = sorted({p for _, p, _, _ in rows})
+    series = {}
+    for algo in manifest["algorithms"]:
+        vals = []
+        for p in ps:
+            match = [s for a, q, _, s in rows if a == algo and q == p]
+            vals.append(match[0] if match else float("nan"))
+        series[algo] = vals
+    title = (
+        f"strong scaling: {'x'.join(map(str, manifest['shape']))}, "
+        f"ranks {'x'.join(map(str, manifest['ranks']))}"
+    )
+    if missing:
+        title += f"  [missing points: {', '.join(missing)}]"
+    text = format_series("P", ps, series, title=title)
+    (outdir / "figure.txt").write_text(text + "\n")
+    return text

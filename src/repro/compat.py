@@ -1,0 +1,98 @@
+"""TensorLy-style convenience facade.
+
+Users coming from TensorLy expect ``tucker(tensor, rank)`` returning a
+``(core, factors)`` pair; this module provides that spelling on top of
+the library's algorithms so downstream code can switch with a one-line
+import change.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.hooi import HOOIOptions, hooi
+from repro.core.rank_adaptive import RankAdaptiveOptions, rank_adaptive_hooi
+from repro.core.sthosvd import sthosvd
+from repro.core.tucker import TuckerTensor
+from repro.tensor.ops import multi_ttm
+
+__all__ = ["tucker", "partial_tucker", "tucker_to_tensor"]
+
+
+def tucker(
+    tensor: np.ndarray,
+    rank: Sequence[int] | None = None,
+    *,
+    tol: float | None = None,
+    n_iter_max: int = 2,
+    init: str = "random",
+    random_state: int | None = 0,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Tucker decomposition with a TensorLy-flavoured signature.
+
+    ``rank`` alone runs rank-specified HOSI-DT; ``tol`` alone (or with
+    ``rank`` as the starting guess) runs the error-specified RA-HOSI-DT.
+    Returns ``(core, factors)``.
+    """
+    if rank is None and tol is None:
+        raise ValueError("provide rank and/or tol")
+    if tol is not None:
+        start = (
+            tuple(rank)
+            if rank is not None
+            else tuple(max(1, n // 8) for n in tensor.shape)
+        )
+        tt, _ = rank_adaptive_hooi(
+            tensor,
+            tol,
+            start,
+            RankAdaptiveOptions(max_iters=max(n_iter_max, 3)),
+        )
+    else:
+        tt, _ = hooi(
+            tensor,
+            rank,
+            HOOIOptions(
+                max_iters=n_iter_max, init=init, seed=random_state
+            ),
+        )
+    return tt.core, list(tt.factors)
+
+
+def partial_tucker(
+    tensor: np.ndarray,
+    modes: Sequence[int],
+    rank: Sequence[int],
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Tucker compression in a subset of modes (others left dense).
+
+    Runs error-free STHOSVD restricted to ``modes``; the returned core
+    has original extents in the untouched modes.
+    """
+    modes = list(modes)
+    if len(modes) != len(rank):
+        raise ValueError("one rank per compressed mode required")
+    full_ranks = list(tensor.shape)
+    for m, r in zip(modes, rank):
+        full_ranks[m] = int(r)
+    tt, _ = sthosvd(tensor, ranks=full_ranks)
+    core = tt.core
+    factors = [tt.factors[m] for m in modes]
+    # Undo the compression in the untouched modes (their factors are
+    # square orthonormal; contract them back in).
+    undo = [
+        None if m in modes else tt.factors[m]
+        for m in range(tensor.ndim)
+    ]
+    core = multi_ttm(core, undo)
+    return core, factors
+
+
+def tucker_to_tensor(
+    tucker_pair: tuple[np.ndarray, Sequence[np.ndarray]],
+) -> np.ndarray:
+    """Reconstruct a full tensor from a ``(core, factors)`` pair."""
+    core, factors = tucker_pair
+    return TuckerTensor(core=core, factors=list(factors)).reconstruct()

@@ -1,0 +1,127 @@
+"""TuckerMPI-style ``Key = value`` parameter files.
+
+The paper's artifact drives every experiment through parameter files
+(see the Artifact Description); this module parses the same format,
+including the keys used there (``Global dims``, ``Processor grid
+dims``, ``Dimension Tree Memoization``, ``SVD Method``, ``HOOI-Adapt
+Threshold``, ...).  Lines are ``Key = value`` with ``#`` comments;
+keys are case-insensitive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.errors import ConfigError
+
+__all__ = ["ParameterFile", "parse_parameter_text"]
+
+
+def parse_parameter_text(text: str) -> dict[str, str]:
+    """Parse parameter-file text into a {lowercased key: raw value} map."""
+    out: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "=" not in line:
+            raise ConfigError(f"line {lineno}: expected 'Key = value': {raw!r}")
+        key, value = line.split("=", 1)
+        key = " ".join(key.lower().split())
+        value = value.strip()
+        if not key:
+            raise ConfigError(f"line {lineno}: empty key")
+        out[key] = value
+    return out
+
+
+_TRUE = {"true", "1", "yes", "on"}
+_FALSE = {"false", "0", "no", "off"}
+
+
+@dataclass
+class ParameterFile:
+    """Typed accessor over a parsed parameter map."""
+
+    values: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_text(cls, text: str) -> "ParameterFile":
+        return cls(parse_parameter_text(text))
+
+    @classmethod
+    def from_path(cls, path: str | Path) -> "ParameterFile":
+        return cls.from_text(Path(path).read_text())
+
+    def has(self, key: str) -> bool:
+        """Whether the parameter file sets ``key``."""
+        return key.lower() in self.values
+
+    def get_str(self, key: str, default: str | None = None) -> str:
+        """Raw string value of ``key`` (or ``default``)."""
+        raw = self.values.get(key.lower())
+        if raw is None:
+            if default is None:
+                raise ConfigError(f"missing required parameter {key!r}")
+            return default
+        return raw
+
+    def get_bool(self, key: str, default: bool | None = None) -> bool:
+        """Boolean value (accepts true/false/1/0/yes/no/on/off)."""
+        raw = self.values.get(key.lower())
+        if raw is None:
+            if default is None:
+                raise ConfigError(f"missing required parameter {key!r}")
+            return default
+        low = raw.lower()
+        if low in _TRUE:
+            return True
+        if low in _FALSE:
+            return False
+        raise ConfigError(f"parameter {key!r}: cannot parse bool from {raw!r}")
+
+    def get_int(self, key: str, default: int | None = None) -> int:
+        """Integer value of ``key`` (or ``default``)."""
+        raw = self.values.get(key.lower())
+        if raw is None:
+            if default is None:
+                raise ConfigError(f"missing required parameter {key!r}")
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise ConfigError(
+                f"parameter {key!r}: cannot parse int from {raw!r}"
+            ) from exc
+
+    def get_float(self, key: str, default: float | None = None) -> float:
+        """Float value of ``key`` (or ``default``)."""
+        raw = self.values.get(key.lower())
+        if raw is None:
+            if default is None:
+                raise ConfigError(f"missing required parameter {key!r}")
+            return default
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise ConfigError(
+                f"parameter {key!r}: cannot parse float from {raw!r}"
+            ) from exc
+
+    def get_ints(
+        self, key: str, default: Sequence[int] | None = None
+    ) -> tuple[int, ...]:
+        """Whitespace-separated integer list (e.g. grid/rank vectors)."""
+        raw = self.values.get(key.lower())
+        if raw is None:
+            if default is None:
+                raise ConfigError(f"missing required parameter {key!r}")
+            return tuple(default)
+        try:
+            return tuple(int(tok) for tok in raw.split())
+        except ValueError as exc:
+            raise ConfigError(
+                f"parameter {key!r}: cannot parse int list from {raw!r}"
+            ) from exc

@@ -1,0 +1,99 @@
+"""The paper's primary contribution: Tucker approximation algorithms.
+
+Contents map to the paper's algorithms:
+
+* :mod:`repro.core.sthosvd` — Alg. 1 (STHOSVD, the baseline).
+* :mod:`repro.core.hooi` — Alg. 2 (HOOI) and its optimized variants
+  (HOOI-DT, HOSI, HOSI-DT) via :class:`repro.core.hooi.HOOIOptions`.
+* :mod:`repro.core.dimension_tree` — Alg. 4 (dimension-tree memoized
+  iteration, §3.3).
+* :mod:`repro.core.core_analysis` — the eq. (3) leading-subtensor
+  optimizer (§3.2).
+* :mod:`repro.core.rank_adaptive` — Alg. 3 (RA-HOSI-DT).
+"""
+
+from repro.core.core_analysis import (
+    greedy_rank_truncation,
+    leading_subtensor_energies,
+    solve_rank_truncation,
+)
+from repro.core.dimension_tree import (
+    SPLIT_RULES,
+    contraction_schedule,
+    hooi_iteration_dt,
+    leaf_order,
+    split_modes,
+    tree_nodes,
+)
+from repro.core.convergence import (
+    max_factor_movement,
+    principal_angles,
+    subspace_distance,
+)
+from repro.core.modewise_adaptive import (
+    ModewiseOptions,
+    ModewiseStats,
+    modewise_adaptive_hooi,
+)
+from repro.core.rank_estimate import estimate_ranks
+from repro.core.reconstruct import (
+    iter_slabs,
+    reconstruct_into,
+    streamed_relative_error,
+)
+from repro.core.tree_render import render_tree
+from repro.core.errors import ConfigError, ConvergenceError, ReproError
+from repro.core.hooi import (
+    HOOIOptions,
+    HOOIStats,
+    VARIANTS,
+    hooi,
+    variant_options,
+)
+from repro.core.hosvd import hosvd
+from repro.core.rank_adaptive import (
+    RankAdaptiveOptions,
+    RankAdaptiveStats,
+    rank_adaptive_hooi,
+)
+from repro.core.sthosvd import STHOSVDStats, auto_mode_order, sthosvd
+from repro.core.tucker import TuckerTensor
+
+__all__ = [
+    "ConfigError",
+    "ConvergenceError",
+    "HOOIOptions",
+    "HOOIStats",
+    "ModewiseOptions",
+    "ModewiseStats",
+    "RankAdaptiveOptions",
+    "RankAdaptiveStats",
+    "ReproError",
+    "SPLIT_RULES",
+    "STHOSVDStats",
+    "TuckerTensor",
+    "VARIANTS",
+    "modewise_adaptive_hooi",
+    "auto_mode_order",
+    "contraction_schedule",
+    "estimate_ranks",
+    "greedy_rank_truncation",
+    "hooi",
+    "iter_slabs",
+    "max_factor_movement",
+    "principal_angles",
+    "reconstruct_into",
+    "render_tree",
+    "streamed_relative_error",
+    "subspace_distance",
+    "hooi_iteration_dt",
+    "hosvd",
+    "leading_subtensor_energies",
+    "leaf_order",
+    "rank_adaptive_hooi",
+    "solve_rank_truncation",
+    "split_modes",
+    "sthosvd",
+    "tree_nodes",
+    "variant_options",
+]

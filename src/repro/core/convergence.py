@@ -1,0 +1,58 @@
+"""Convergence diagnostics for the iterative algorithms.
+
+Beyond the error-change stop used by HOOI, these helpers measure how
+much the factor *subspaces* actually move between iterations — the
+quantity that justifies the paper's single-subspace-iteration choice
+(§3.4: "we use an accurate initialization (from the previous HOOI
+iteration)").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "principal_angles",
+    "subspace_distance",
+    "max_factor_movement",
+    "error_improvement",
+]
+
+
+def principal_angles(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Principal angles (radians, ascending) between two column spaces.
+
+    Both inputs must have orthonormal columns; dimensions may differ
+    (angles are computed for the smaller subspace).
+    """
+    if u.shape[0] != v.shape[0]:
+        raise ValueError("subspaces live in different ambient dimensions")
+    s = np.linalg.svd(u.T @ v, compute_uv=False)
+    s = np.clip(s, -1.0, 1.0)
+    # SVD returns cosines in descending order, so arccos is ascending.
+    return np.arccos(s)
+
+
+def subspace_distance(u: np.ndarray, v: np.ndarray) -> float:
+    """Largest principal angle, normalized to [0, 1] (1 = orthogonal)."""
+    angles = principal_angles(u, v)
+    return float(angles[-1] / (math.pi / 2)) if angles.size else 0.0
+
+
+def max_factor_movement(
+    previous: list[np.ndarray], current: list[np.ndarray]
+) -> float:
+    """Largest per-mode subspace distance between two factor sets."""
+    if len(previous) != len(current):
+        raise ValueError("factor lists differ in length")
+    return max(
+        (subspace_distance(a, b) for a, b in zip(previous, current)),
+        default=0.0,
+    )
+
+
+def error_improvement(errors: list[float]) -> list[float]:
+    """Per-iteration error decrease (non-negative for a descent method)."""
+    return [a - b for a, b in zip(errors, errors[1:])]

@@ -1,0 +1,15 @@
+"""Exception hierarchy for the library."""
+
+__all__ = ["ReproError", "ConvergenceError", "ConfigError"]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to meet its target within budget."""
+
+
+class ConfigError(ReproError):
+    """Invalid driver/parameter-file configuration."""

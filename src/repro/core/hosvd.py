@@ -1,0 +1,56 @@
+"""Classical (non-sequentially-truncated) Higher-Order SVD.
+
+Included as a reference baseline: every mode's LLSV is computed against
+the *original* tensor, then the core is formed by a single multi-TTM.
+More expensive than STHOSVD but convenient for initializing HOOI and
+for cross-checking the sequentially truncated variant.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+from repro.core.tucker import TuckerTensor
+from repro.linalg.llsv import LLSVMethod, llsv
+from repro.tensor.dense import tensor_norm
+from repro.tensor.ops import multi_ttm
+from repro.tensor.validation import check_ranks
+
+__all__ = ["hosvd"]
+
+
+def hosvd(
+    x: np.ndarray,
+    *,
+    eps: float | None = None,
+    ranks: Sequence[int] | None = None,
+    method: LLSVMethod = LLSVMethod.GRAM_EVD,
+) -> TuckerTensor:
+    """Truncated HOSVD of ``x``.
+
+    Same error-budget convention as :func:`repro.core.sthosvd.sthosvd`:
+    with ``eps``, each mode discards at most ``eps^2 ||X||^2 / d``
+    energy, guaranteeing relative error at most ``eps``.
+    """
+    d = x.ndim
+    if eps is None and ranks is None:
+        raise ConfigError("hosvd needs eps or ranks")
+    if ranks is not None:
+        ranks = check_ranks(x.shape, ranks)
+    threshold_sq = None if eps is None else (eps * tensor_norm(x)) ** 2 / d
+
+    factors: list[np.ndarray] = []
+    for mode in range(d):
+        res = llsv(
+            x,
+            mode,
+            rank=None if ranks is None else ranks[mode],
+            threshold_sq=threshold_sq,
+            method=method,
+        )
+        factors.append(res.factor)
+    core = multi_ttm(x, factors, transpose=True)
+    return TuckerTensor(core=core, factors=factors)

@@ -1,0 +1,58 @@
+"""ASCII rendering of dimension trees (paper Fig. 1).
+
+The paper's Fig. 1 illustrates the multi-TTM memoization tree for an
+order-6 tensor: each node is the set of modes in which multiplication
+has *not* been performed; each edge notch is a TTM in the labelled
+mode; factors are updated at the leaves; the core at the last leaf.
+:func:`render_tree` regenerates that picture textually for any order
+and split rule.
+"""
+
+from __future__ import annotations
+
+from repro.core.dimension_tree import split_modes
+
+__all__ = ["render_tree"]
+
+
+def _label(modes: tuple[int, ...]) -> str:
+    return "{" + ",".join(str(m + 1) for m in sorted(modes)) + "}"
+
+
+def _render(
+    modes: tuple[int, ...],
+    prefix: str,
+    rule: str,
+    lines: list[str],
+    edge: str,
+) -> None:
+    lines.append(f"{prefix}{edge}{_label(modes)}")
+    if len(modes) == 1:
+        mode = modes[0] + 1
+        lines[-1] += f"  <- update U{mode}"
+        return
+    mu, eta = split_modes(modes, rule)
+    child_prefix = prefix + ("    " if not edge else "    ")
+    # Right branch first (visited first): contract mu, recurse on eta.
+    ttms = ",".join(str(m + 1) for m in mu)
+    _render(
+        tuple(eta), child_prefix, rule, lines, f"|-[TTM {ttms}]-> "
+    )
+    ttms = ",".join(str(m + 1) for m in eta)
+    _render(
+        tuple(sorted(mu)), child_prefix, rule, lines, f"`-[TTM {ttms}]-> "
+    )
+
+
+def render_tree(d: int, rule: str = "half") -> str:
+    """ASCII dimension tree for a ``d``-way tensor (1-based modes,
+    matching the paper's figure convention)."""
+    if d < 2:
+        raise ValueError("a dimension tree needs at least 2 modes")
+    lines: list[str] = []
+    _render(tuple(range(d)), "", rule, lines, "")
+    lines.append(
+        "(leaves are visited top to bottom, one factor each; the core "
+        f"is formed at the final, mode-{d} leaf)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Dataset generators: synthetic tensors and simulation surrogates.
+
+The paper's real datasets (Miranda, HCCI, SP) are multi-terabyte
+scientific simulation outputs unavailable offline; per DESIGN.md we
+substitute generators that preserve the property driving the results —
+smooth multi-dimensional fields with rapidly decaying multilinear
+singular spectra — at laptop-scale dimensions.
+"""
+
+from repro.datasets.registry import DATASETS, DatasetSpec, load_dataset
+from repro.datasets.simulation import (
+    hcci_like,
+    miranda_like,
+    smooth_multilinear_field,
+    sp_like,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "hcci_like",
+    "load_dataset",
+    "miranda_like",
+    "smooth_multilinear_field",
+    "sp_like",
+]

@@ -1,0 +1,122 @@
+"""Raw binary tensor I/O (TuckerMPI-compatible layout).
+
+TuckerMPI reads dense tensors from raw binary files (the artifact's
+``download-setup-miranda.sh`` converts the SDRBench download into a
+``Miranda_by_slices`` directory of raw slabs).  These helpers write and
+read the same kind of files: flat binary in Fortran (first-mode-fastest)
+order, with a small JSON sidecar recording shape/dtype, plus
+slab-sliced directories and memory-mapped slab reads so a tensor larger
+than RAM can be consumed incrementally.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "save_raw",
+    "load_raw",
+    "load_raw_slab",
+    "save_slices",
+    "load_slices",
+]
+
+_SIDE = ".meta.json"
+
+
+def _sidecar(path: Path) -> Path:
+    return path.with_name(path.name + _SIDE)
+
+
+def save_raw(x: np.ndarray, path: str | Path) -> None:
+    """Write a tensor as flat Fortran-order binary plus a JSON sidecar."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.asfortranarray(x).ravel(order="F").tofile(path)
+    _sidecar(path).write_text(
+        json.dumps(
+            {
+                "shape": list(x.shape),
+                "dtype": np.dtype(x.dtype).str,
+                "order": "F",
+            }
+        )
+    )
+
+
+def _read_meta(path: Path) -> tuple[tuple[int, ...], np.dtype]:
+    meta_path = _sidecar(path)
+    if not meta_path.exists():
+        raise FileNotFoundError(
+            f"missing sidecar {meta_path.name}; raw files need shape/dtype "
+            "metadata"
+        )
+    meta = json.loads(meta_path.read_text())
+    return tuple(int(s) for s in meta["shape"]), np.dtype(meta["dtype"])
+
+
+def load_raw(path: str | Path) -> np.ndarray:
+    """Read a tensor written by :func:`save_raw`."""
+    path = Path(path)
+    shape, dtype = _read_meta(path)
+    flat = np.fromfile(path, dtype=dtype)
+    expected = math.prod(shape)
+    if flat.size != expected:
+        raise ValueError(
+            f"{path.name} holds {flat.size} values, metadata says {expected}"
+        )
+    return np.reshape(flat, shape, order="F")
+
+
+def load_raw_slab(
+    path: str | Path, start: int, stop: int
+) -> np.ndarray:
+    """Memory-map a raw file and read last-mode slab ``[start, stop)``.
+
+    In Fortran order the *last* mode is slowest-varying, so a last-mode
+    slab is contiguous on disk — exactly how the artifact's
+    ``Miranda_by_slices`` layout enables incremental reads.
+    """
+    path = Path(path)
+    shape, dtype = _read_meta(path)
+    if not 0 <= start <= stop <= shape[-1]:
+        raise ValueError(
+            f"slab [{start}, {stop}) outside mode extent {shape[-1]}"
+        )
+    mm = np.memmap(path, dtype=dtype, mode="r", shape=shape, order="F")
+    return np.array(mm[..., start:stop])
+
+
+def save_slices(
+    x: np.ndarray, directory: str | Path, *, slab: int = 1
+) -> list[Path]:
+    """Write last-mode slabs as individual raw files (``slice_000`` ...).
+
+    Mirrors the artifact's per-slice Miranda layout.  Returns the paths
+    written in order.
+    """
+    if slab < 1:
+        raise ValueError("slab thickness must be positive")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    n = x.shape[-1]
+    for i, start in enumerate(range(0, n, slab)):
+        p = directory / f"slice_{i:04d}.raw"
+        save_raw(x[..., start : min(start + slab, n)], p)
+        paths.append(p)
+    return paths
+
+
+def load_slices(directory: str | Path) -> np.ndarray:
+    """Reassemble a tensor from a :func:`save_slices` directory."""
+    directory = Path(directory)
+    paths = sorted(directory.glob("slice_*.raw"))
+    if not paths:
+        raise FileNotFoundError(f"no slice_*.raw files in {directory}")
+    slabs = [load_raw(p) for p in paths]
+    return np.concatenate(slabs, axis=-1)

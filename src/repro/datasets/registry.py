@@ -1,0 +1,76 @@
+"""Named dataset registry mapping paper datasets to surrogates."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.simulation import hcci_like, miranda_like, sp_like
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata tying a surrogate generator to the paper's dataset."""
+
+    name: str
+    paper_shape: tuple[int, ...]
+    paper_size: str
+    paper_cores: int
+    description: str
+    factory: Callable[..., np.ndarray]
+
+    def load(self, **kwargs: object) -> np.ndarray:
+        """Instantiate the surrogate (kwargs forwarded to the factory)."""
+        return self.factory(**kwargs)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "miranda": DatasetSpec(
+        name="miranda",
+        paper_shape=(3072, 3072, 3072),
+        paper_size="115 GB (float32)",
+        paper_cores=1024,
+        description=(
+            "3-D density ratios of non-reacting viscous fluid flow "
+            "(SDRBench Miranda); surrogate: smooth_multilinear_field"
+        ),
+        factory=miranda_like,
+    ),
+    "hcci": DatasetSpec(
+        name="hcci",
+        paper_shape=(672, 672, 33, 626),
+        paper_size="75 GB (float64)",
+        paper_cores=128,
+        description=(
+            "4-D HCCI combustion simulation (space x space x 33 "
+            "variables x time); surrogate: smooth_multilinear_field"
+        ),
+        factory=hcci_like,
+    ),
+    "sp": DatasetSpec(
+        name="sp",
+        paper_shape=(500, 500, 500, 11, 400),
+        paper_size="4.4 TB (float64)",
+        paper_cores=2048,
+        description=(
+            "5-D statistically stationary planar methane-air flame "
+            "(space^3 x 11 variables x time); surrogate: "
+            "smooth_multilinear_field"
+        ),
+        factory=sp_like,
+    ),
+}
+
+
+def load_dataset(name: str, **kwargs: object) -> np.ndarray:
+    """Instantiate a registered dataset surrogate by name."""
+    key = name.lower()
+    if key not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return DATASETS[key].load(**kwargs)

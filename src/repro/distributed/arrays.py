@@ -1,0 +1,109 @@
+"""Symbolic (shape-only) arrays and concrete/symbolic dispatch helpers.
+
+The pure cost simulation of the strong-scaling experiments never needs
+tensor *values* — only shapes.  :class:`SymbolicArray` carries a shape
+and dtype; the ``any_*`` helpers run the real kernel on ``ndarray``
+inputs and propagate shapes on symbolic ones, so the distributed
+algorithms are written once and work in both modes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.tensor.ops import contract_all_but_mode, gram, ttm
+from repro.tensor.validation import check_mode
+
+__all__ = [
+    "SymbolicArray",
+    "is_concrete",
+    "any_shape",
+    "any_ttm",
+    "any_gram",
+    "any_contract",
+]
+
+ArrayLike = "np.ndarray | SymbolicArray"
+
+
+class SymbolicArray:
+    """An array that exists only as a shape (no storage, no values)."""
+
+    __slots__ = ("shape", "dtype")
+
+    def __init__(
+        self, shape: Sequence[int], dtype: np.dtype | type = np.float32
+    ):
+        self.shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in self.shape):
+            raise ValueError(f"negative extent in {self.shape}")
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SymbolicArray(shape={self.shape}, dtype={self.dtype})"
+
+
+def is_concrete(x: object) -> bool:
+    """True when ``x`` holds actual data (a NumPy array)."""
+    return isinstance(x, np.ndarray)
+
+
+def any_shape(x: np.ndarray | SymbolicArray) -> tuple[int, ...]:
+    """Shape of a concrete or symbolic array, as a plain tuple."""
+    return tuple(x.shape)
+
+
+def any_ttm(
+    x: np.ndarray | SymbolicArray,
+    u: np.ndarray | SymbolicArray,
+    mode: int,
+    *,
+    transpose: bool = False,
+) -> np.ndarray | SymbolicArray:
+    """TTM that executes on concrete inputs, propagates shape otherwise."""
+    if is_concrete(x) and is_concrete(u):
+        return ttm(x, u, mode, transpose=transpose)
+    mode = check_mode(len(x.shape), mode)
+    rows, cols = (u.shape[1], u.shape[0]) if transpose else u.shape
+    if cols != x.shape[mode]:
+        raise ValueError(
+            f"factor contracts {cols} entries but mode {mode} has extent "
+            f"{x.shape[mode]}"
+        )
+    out_shape = list(x.shape)
+    out_shape[mode] = rows
+    return SymbolicArray(out_shape, x.dtype)
+
+
+def any_gram(
+    x: np.ndarray | SymbolicArray, mode: int
+) -> np.ndarray | SymbolicArray:
+    """Unfolding Gram matrix; symbolic inputs yield a symbolic result."""
+    if is_concrete(x):
+        return gram(x, mode)
+    mode = check_mode(len(x.shape), mode)
+    n = x.shape[mode]
+    return SymbolicArray((n, n), x.dtype)
+
+
+def any_contract(
+    a: np.ndarray | SymbolicArray,
+    b: np.ndarray | SymbolicArray,
+    mode: int,
+) -> np.ndarray | SymbolicArray:
+    """All-but-one-mode contraction with symbolic fall-through."""
+    if is_concrete(a) and is_concrete(b):
+        return contract_all_but_mode(a, b, mode)
+    mode = check_mode(len(a.shape), mode)
+    return SymbolicArray((a.shape[mode], b.shape[mode]), a.dtype)

@@ -1,0 +1,122 @@
+"""Block-distributed tensor handle.
+
+A :class:`DistTensor` pairs a global operand (a real ``ndarray`` or a
+:class:`~repro.distributed.arrays.SymbolicArray`) with a processor grid,
+its block layout, and the cost ledger every kernel charges.  The
+per-rank blocks of a concrete tensor are *views* into the global array
+(``local_block``), which the tests use to validate the layout and the
+genuine scatter/gather data movement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.distributed.arrays import SymbolicArray, is_concrete
+from repro.distributed.layout import BlockLayout
+from repro.vmpi.collectives import gather_cost
+from repro.vmpi.cost import CostLedger
+from repro.vmpi.grid import ProcessorGrid
+
+__all__ = ["DistTensor"]
+
+
+class DistTensor:
+    """A (possibly symbolic) tensor distributed over a processor grid."""
+
+    def __init__(
+        self,
+        data: np.ndarray | SymbolicArray,
+        grid: ProcessorGrid,
+        ledger: CostLedger,
+    ):
+        if grid.size != ledger.p:
+            raise ValueError(
+                f"grid has {grid.size} ranks but ledger models {ledger.p}"
+            )
+        self.data = data
+        self.grid = grid
+        self.ledger = ledger
+        self.layout = BlockLayout(data.shape, grid)
+        # Every materialized distributed tensor occupies its block on
+        # each rank; the ledger tracks the peak for feasibility checks.
+        ledger.note_memory(self.layout.max_local_size())
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.data.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.data.shape))
+
+    @property
+    def concrete(self) -> bool:
+        return is_concrete(self.data)
+
+    # -- derived tensors ----------------------------------------------------
+
+    def like(self, data: np.ndarray | SymbolicArray) -> "DistTensor":
+        """New handle on the same grid/ledger with different global data."""
+        return DistTensor(data, self.grid, self.ledger)
+
+    # -- real data movement (concrete only) ---------------------------------
+
+    def local_block(self, rank: int) -> np.ndarray:
+        """View of the block owned by ``rank`` (concrete tensors only)."""
+        if not self.concrete:
+            raise TypeError("symbolic tensors have no blocks")
+        coords = self.grid.coords(rank)
+        return self.data[self.layout.local_slices(coords)]
+
+    def all_blocks(self) -> list[np.ndarray]:
+        """Views of every rank's block, in rank order."""
+        return [self.local_block(r) for r in range(self.grid.size)]
+
+    @classmethod
+    def assemble(
+        cls,
+        blocks: Sequence[np.ndarray],
+        shape: Sequence[int],
+        grid: ProcessorGrid,
+        ledger: CostLedger,
+    ) -> "DistTensor":
+        """Rebuild a global tensor from per-rank blocks (inverse of
+        :meth:`all_blocks`); validates every block shape against the
+        layout."""
+        out = np.empty(tuple(shape), dtype=blocks[0].dtype)
+        tensor = cls(out, grid, ledger)
+        for rank, block in enumerate(blocks):
+            coords = grid.coords(rank)
+            sl = tensor.layout.local_slices(coords)
+            if out[sl].shape != block.shape:
+                raise ValueError(
+                    f"rank {rank} block shape {block.shape} does not match "
+                    f"layout {out[sl].shape}"
+                )
+            out[sl] = block
+        return tensor
+
+    def gather(self, phase: str = "core_comm") -> np.ndarray | SymbolicArray:
+        """Gather the tensor onto one rank, charging the collective.
+
+        Used by rank adaptation to collect the core for analysis (cost
+        ``r^d`` words per iteration, §3.2).
+        """
+        words, msgs = gather_cost(self.size, self.grid.size)
+        self.ledger.comm(phase, words, msgs)
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "concrete" if self.concrete else "symbolic"
+        return (
+            f"DistTensor({kind}, shape={self.shape}, grid={self.grid.dims})"
+        )

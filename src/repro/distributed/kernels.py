@@ -1,0 +1,255 @@
+"""Distributed computational kernels with cost charging.
+
+Each kernel (a) performs the exact global numerics when the operand is
+concrete (or propagates shapes when symbolic) and (b) charges the cost
+ledger the per-rank-maximum flops, memory traffic and communication of
+the TuckerMPI parallel algorithm it models.  The charged quantities are
+precisely the leading-order terms of the paper's Tables 1 and 2, plus
+the lower-order terms (message latencies, redistributions) the paper
+identifies but drops.
+
+Ledger phase names::
+
+    ttm / ttm_comm            TTMs (tree, direct, truncation, core)
+    gram / gram_comm          Gram-matrix formation + its allreduce
+    redistribute_comm         1-D relayout before a Gram (all-to-all)
+    evd                       sequential symmetric eigendecomposition
+    subspace / subspace_comm  Alg. 5 lines 2-3 (+ the Z reduce/bcast)
+    qrcp                      sequential QR with column pivoting
+    core_analysis / core_comm eq. (3) analysis + core gather
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.arrays import (
+    SymbolicArray,
+    any_contract,
+    any_gram,
+    any_ttm,
+    is_concrete,
+)
+from repro.distributed.dist_tensor import DistTensor
+from repro.linalg.evd import gram_evd, rank_from_spectrum
+from repro.linalg.subspace import subspace_iteration_llsv
+from repro.vmpi.collectives import (
+    allreduce_cost,
+    alltoall_cost,
+    bcast_cost,
+    reduce_scatter_cost,
+)
+
+__all__ = [
+    "dist_ttm",
+    "dist_multi_ttm",
+    "dist_gram",
+    "dist_gram_evd_llsv",
+    "dist_subspace_llsv",
+    "dist_core_analysis_cost",
+]
+
+
+def dist_ttm(
+    dt: DistTensor,
+    u: np.ndarray | SymbolicArray,
+    mode: int,
+    *,
+    transpose: bool = True,
+    phase: str = "ttm",
+) -> DistTensor:
+    """Parallel TTM (local GEMM + reduce-scatter over the mode comm).
+
+    Each rank multiplies the factor rows matching its slab against its
+    local block (``2 * r_out * |block|`` flops), producing a partial
+    result of the full output-mode extent that is reduce-scattered over
+    the ``P_j`` ranks of the mode sub-communicator — the
+    ``(r^j n^{d-j} / P)(P_j - 1)`` bandwidth term of Table 2.
+    """
+    out_rows = u.shape[1] if transpose else u.shape[0]
+    local = dt.layout.max_local_size()
+    mode_share = dt.layout.mode_share(mode)
+    partial = out_rows * (local // max(mode_share, 1))
+
+    dt.ledger.compute(
+        phase, flops=2.0 * out_rows * local, mem_words=float(local + partial)
+    )
+    # Resident during the step: the input block plus the pre-reduction
+    # partial result (the intermediate blow-up TuckerMPI also pays).
+    dt.ledger.note_memory(float(local + partial))
+    p_j = dt.grid.mode_size(mode)
+    words, msgs = reduce_scatter_cost(float(partial), p_j)
+    dt.ledger.comm(f"{phase}_comm", words, msgs)
+
+    return dt.like(any_ttm(dt.data, u, mode, transpose=transpose))
+
+
+def dist_multi_ttm(
+    dt: DistTensor,
+    factors: list[np.ndarray | SymbolicArray],
+    *,
+    skip: int | None = None,
+    transpose: bool = True,
+    phase: str = "ttm",
+) -> DistTensor:
+    """All-but-``skip`` multi-TTM, contracted in increasing mode order.
+
+    Matches the direct (unmemoized) HOOI subiteration the paper analyzes
+    — the first TTM dominates, so one subiteration costs
+    ``~2 r n^d / P``.
+    """
+    out = dt
+    for mode, u in enumerate(factors):
+        if u is None or mode == skip:
+            continue
+        out = dist_ttm(out, u, mode, transpose=transpose, phase=phase)
+    return out
+
+
+def dist_gram(
+    dt: DistTensor, mode: int, *, phase: str = "gram"
+) -> np.ndarray | SymbolicArray:
+    """Parallel Gram of the mode unfolding (TuckerMPI's LLSV front end).
+
+    Redistribute to a 1-D column layout (all-to-all over the mode comm;
+    free when ``P_j = 1``), form local Grams, then allreduce the
+    ``n_j x n_j`` result.
+    """
+    n = dt.shape[mode]
+    p = dt.grid.size
+    p_j = dt.grid.mode_size(mode)
+    local = dt.layout.max_local_size()
+
+    words, msgs = alltoall_cost(float(local), p_j)
+    dt.ledger.comm("redistribute_comm", words, msgs)
+
+    cols = -(-int(np.prod(dt.shape)) // n // p)  # ceil(size / n / p)
+    dt.ledger.compute(
+        phase,
+        flops=2.0 * n * n * cols,
+        mem_words=float(n * cols + n * n),
+    )
+    # Resident: the original block, its 1-D-relayout copy, and the
+    # replicated n x n Gram.
+    dt.ledger.note_memory(float(local + n * cols + n * n))
+    words, msgs = allreduce_cost(float(n) * n, p)
+    dt.ledger.comm(f"{phase}_comm", words, msgs)
+
+    return any_gram(dt.data, mode)
+
+
+def dist_gram_evd_llsv(
+    dt: DistTensor,
+    mode: int,
+    *,
+    rank: int | None = None,
+    threshold_sq: float | None = None,
+) -> tuple[np.ndarray | SymbolicArray, np.ndarray | None]:
+    """LLSV via parallel Gram + redundant sequential EVD.
+
+    The EVD is charged at one core's flop rate — the sequential
+    bottleneck (``O(n^3)`` in Tables 1-2) that caps STHOSVD and
+    Gram-based HOOI scaling in Fig. 2.
+
+    Returns ``(factor, squared-singular-value spectrum | None)``.
+    """
+    if rank is None and threshold_sq is None:
+        raise ValueError("provide rank and/or threshold_sq")
+    g = dist_gram(dt, mode)
+    n = dt.shape[mode]
+    dt.ledger.sequential(
+        "evd", dt.ledger.machine.evd_flops_per_n3 * float(n) ** 3
+    )
+    if is_concrete(g):
+        sq_vals, vecs = gram_evd(g)
+        out_rank = (
+            rank if rank is not None else rank_from_spectrum(sq_vals, threshold_sq)
+        )
+        if threshold_sq is not None and rank is not None:
+            out_rank = min(rank, rank_from_spectrum(sq_vals, threshold_sq))
+        return np.ascontiguousarray(vecs[:, :out_rank]), sq_vals
+    if rank is None:
+        raise ValueError(
+            "error-specified LLSV needs concrete data (no spectrum in "
+            "symbolic mode)"
+        )
+    return SymbolicArray((n, rank), dt.data.dtype), None
+
+
+def dist_subspace_llsv(
+    dt: DistTensor,
+    mode: int,
+    u_prev: np.ndarray | SymbolicArray,
+    rank: int,
+    *,
+    n_iters: int = 1,
+) -> np.ndarray | SymbolicArray:
+    """LLSV via one (or more) parallel subspace-iteration sweeps (§3.4).
+
+    Per sweep: a TTM forming the core unfolding ``G`` (reduce-scatter,
+    ``(r^d / P)(P_j - 1)`` words), the all-but-one contraction forming
+    ``Z = Y_(j) G_(j)^T`` (lower-order all-to-all + a reduce-broadcast
+    of the ``n x r`` result, the ``2 n r`` term of Table 2), and a
+    redundant sequential QRCP of ``Z`` — ``O(n r^2)`` flops instead of
+    the EVD's ``O(n^3)``, which is why HOSI keeps scaling in Fig. 2.
+    """
+    n = dt.shape[mode]
+    width = u_prev.shape[1]
+    if rank > width:
+        raise ValueError(f"rank {rank} exceeds subspace width {width}")
+    p = dt.grid.size
+    p_j = dt.grid.mode_size(mode)
+    local = dt.layout.max_local_size()
+    mode_share = dt.layout.mode_share(mode)
+    machine = dt.ledger.machine
+
+    for _ in range(n_iters):
+        # Line 2: G = U^T Y_(j), a TTM in `mode`.
+        partial = width * (local // max(mode_share, 1))
+        dt.ledger.compute(
+            "subspace",
+            flops=2.0 * width * local,
+            mem_words=float(local + partial),
+        )
+        words, msgs = reduce_scatter_cost(float(partial), p_j)
+        dt.ledger.comm("subspace_comm", words, msgs)
+
+        # Line 3: Z = Y_(j) G_(j)^T, contraction over all modes but one.
+        words, msgs = alltoall_cost(float(local) / max(p_j, 1), p_j)
+        dt.ledger.comm("subspace_comm", words, msgs)
+        dt.ledger.compute(
+            "subspace",
+            flops=2.0 * width * local,
+            mem_words=float(local + n * width),
+        )
+        # Reduce + broadcast of the n x width contraction result so every
+        # rank can run the QRCP redundantly (the paper's 2nr words).
+        r_words, r_msgs = bcast_cost(float(n) * width, p)
+        dt.ledger.comm(
+            "subspace_comm", 2.0 * r_words, 2.0 * r_msgs
+        )
+
+        # Line 4: sequential QRCP of the n x width matrix.
+        dt.ledger.sequential(
+            "qrcp", machine.qrcp_flops_per_mn2 * float(n) * width**2
+        )
+
+    if is_concrete(dt.data) and is_concrete(u_prev):
+        return subspace_iteration_llsv(
+            dt.data, mode, u_prev, rank, n_iters=n_iters
+        )
+    return SymbolicArray((n, rank), dt.data.dtype)
+
+
+def dist_core_analysis_cost(core: DistTensor) -> None:
+    """Charge the gather + sequential prefix-sum analysis of §3.2.
+
+    The core (``r^d`` words) is gathered to one rank (``core_comm``) and
+    analyzed sequentially: ``d`` cumulative-sum passes plus the storage
+    grid and argmin, ~``(2d + 3) r^d`` flops (``core_analysis``).
+    """
+    core.gather("core_comm")
+    d = core.ndim
+    core.ledger.sequential(
+        "core_analysis", float((2 * d + 3)) * core.size
+    )

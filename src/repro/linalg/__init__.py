@@ -1,0 +1,32 @@
+"""Leading-left-singular-vector (LLSV) kernels.
+
+The paper considers several interchangeable LLSV algorithms (§2.1,
+§3.4): the Gram-matrix eigendecomposition TuckerMPI defaults to, an
+LQ+SVD variant, a randomized range finder, and the subspace-iteration
+kernel (Alg. 5) that is one of this paper's two optimizations.
+"""
+
+from repro.linalg.evd import (
+    gram_evd,
+    rank_from_spectrum,
+)
+from repro.linalg.llsv import LLSVMethod, LLSVResult, llsv
+from repro.linalg.qrcp import householder_qrcp, qrcp
+from repro.linalg.randomized import (
+    kronecker_range_finder,
+    randomized_range_finder,
+)
+from repro.linalg.subspace import subspace_iteration_llsv
+
+__all__ = [
+    "LLSVMethod",
+    "LLSVResult",
+    "gram_evd",
+    "householder_qrcp",
+    "kronecker_range_finder",
+    "llsv",
+    "qrcp",
+    "randomized_range_finder",
+    "rank_from_spectrum",
+    "subspace_iteration_llsv",
+]

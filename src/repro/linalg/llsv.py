@@ -1,0 +1,131 @@
+"""Unified LLSV dispatch used by the sequential algorithms.
+
+``SVD Method`` in the TuckerMPI-HOOI artifact's parameter files selects
+the kernel (0 = Gram+EVD, 2 = subspace iteration); this module is the
+Python analogue, adding the LQ+SVD and randomized alternatives the
+paper cites.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from repro.linalg.evd import gram_evd, rank_from_spectrum
+from repro.linalg.randomized import randomized_range_finder
+from repro.linalg.subspace import subspace_iteration_llsv
+from repro.tensor.dense import unfold
+from repro.tensor.ops import gram
+
+__all__ = ["LLSVMethod", "LLSVResult", "llsv"]
+
+
+class LLSVMethod(enum.Enum):
+    """Available LLSV kernels (artifact ``SVD Method`` values noted)."""
+
+    GRAM_EVD = "gram_evd"  # SVD Method = 0
+    LQ_SVD = "lq_svd"  # Li et al. [18] numerically stable variant
+    RANDOMIZED = "randomized"  # randomized range finder [20, 21]
+    SUBSPACE = "subspace"  # SVD Method = 2 (Alg. 5)
+
+
+@dataclass(frozen=True)
+class LLSVResult:
+    """Factor matrix plus the spectrum information used to pick ranks.
+
+    ``sq_singular_values`` is ``None`` for kernels that never form a
+    spectrum (subspace iteration, randomized range finder).
+    """
+
+    factor: np.ndarray
+    rank: int
+    sq_singular_values: np.ndarray | None = None
+
+
+def llsv(
+    tensor: np.ndarray,
+    mode: int,
+    *,
+    rank: int | None = None,
+    threshold_sq: float | None = None,
+    method: LLSVMethod = LLSVMethod.GRAM_EVD,
+    u_prev: np.ndarray | None = None,
+    n_subspace_iters: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> LLSVResult:
+    """Leading left singular vectors of ``unfold(tensor, mode)``.
+
+    Exactly one of ``rank`` (rank-specified formulation) or
+    ``threshold_sq`` (error-specified: per-mode discarded-energy budget
+    ``eps^2 ||X||^2 / d``) must be given, except that spectrum-forming
+    methods accept both (rank acts as a cap).
+
+    Parameters
+    ----------
+    tensor, mode:
+        The operand and the unfolding mode.
+    rank:
+        Number of singular vectors (rank-specified problem).
+    threshold_sq:
+        Squared per-mode truncation budget (error-specified problem).
+        Only the spectrum-forming kernels (``GRAM_EVD``, ``LQ_SVD``)
+        support it.
+    method:
+        Which kernel to run.
+    u_prev:
+        Previous factor, required by ``SUBSPACE``.
+    n_subspace_iters:
+        Sweep count for ``SUBSPACE``.
+    seed:
+        RNG for ``RANDOMIZED``.
+    """
+    if rank is None and threshold_sq is None:
+        raise ValueError("provide rank and/or threshold_sq")
+    n = tensor.shape[mode]
+    if rank is not None and not 1 <= rank <= n:
+        raise ValueError(f"rank {rank} out of range for mode extent {n}")
+
+    if method in (LLSVMethod.GRAM_EVD, LLSVMethod.LQ_SVD):
+        if method is LLSVMethod.GRAM_EVD:
+            sq_vals, vecs = gram_evd(gram(tensor, mode))
+        else:
+            mat = unfold(tensor, mode)
+            # LQ of the unfolding: A = L Q^T via QR of A^T; then the SVD
+            # of the small square L yields the left singular vectors.
+            _, r_fac = np.linalg.qr(mat.T)
+            u, s, _ = scipy.linalg.svd(r_fac.T, full_matrices=False)
+            sq_vals, vecs = s * s, u
+        out_rank = (
+            rank
+            if rank is not None
+            else rank_from_spectrum(sq_vals, threshold_sq)
+        )
+        if threshold_sq is not None and rank is not None:
+            out_rank = min(rank, rank_from_spectrum(sq_vals, threshold_sq))
+        return LLSVResult(
+            factor=np.ascontiguousarray(vecs[:, :out_rank]),
+            rank=out_rank,
+            sq_singular_values=sq_vals,
+        )
+
+    if rank is None:
+        raise ValueError(
+            f"{method.value} is rank-specified only; no spectrum is formed"
+        )
+
+    if method is LLSVMethod.RANDOMIZED:
+        q = randomized_range_finder(unfold(tensor, mode), rank, seed=seed)
+        return LLSVResult(factor=q, rank=rank)
+
+    if method is LLSVMethod.SUBSPACE:
+        if u_prev is None:
+            raise ValueError("subspace iteration needs the previous factor")
+        q = subspace_iteration_llsv(
+            tensor, mode, u_prev, rank, n_iters=n_subspace_iters
+        )
+        return LLSVResult(factor=q, rank=rank)
+
+    raise ValueError(f"unknown LLSV method {method!r}")  # pragma: no cover

@@ -1,0 +1,113 @@
+"""QR with column pivoting.
+
+Subspace iteration (Alg. 5) orthonormalizes with QRCP rather than plain
+QR because the pivot order sorts the basis by captured energy, which is
+what lets the core-analysis step (§3.2) search only *leading* subtensors
+of the core.
+
+Two implementations are provided: a from-scratch Householder QRCP (used
+for validation and as a reference) and a LAPACK-backed fast path via
+``scipy.linalg.qr(pivoting=True)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+__all__ = ["householder_qrcp", "qrcp"]
+
+
+def householder_qrcp(
+    a: np.ndarray, rank: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Householder QR with column pivoting, from scratch.
+
+    Parameters
+    ----------
+    a:
+        ``m x n`` matrix.
+    rank:
+        Number of factorization steps (defaults to ``min(m, n)``).
+
+    Returns
+    -------
+    (Q, R, piv):
+        ``Q`` is ``m x k`` with orthonormal columns, ``R`` is ``k x n``
+        upper triangular, and ``piv`` is the pivot permutation such that
+        ``a[:, piv] ~= Q @ R``.
+    """
+    r_mat = np.array(a, dtype=np.float64, copy=True)
+    m, n = r_mat.shape
+    k = min(m, n) if rank is None else min(rank, m, n)
+    if k <= 0:
+        raise ValueError("rank must be positive")
+
+    piv = np.arange(n)
+    col_norms = np.sum(r_mat * r_mat, axis=0)
+    vs: list[np.ndarray] = []
+
+    for j in range(k):
+        # Pivot: bring the column of largest remaining norm to position j.
+        p = j + int(np.argmax(col_norms[j:]))
+        if p != j:
+            r_mat[:, [j, p]] = r_mat[:, [p, j]]
+            piv[[j, p]] = piv[[p, j]]
+            col_norms[[j, p]] = col_norms[[p, j]]
+
+        x = r_mat[j:, j]
+        normx = np.linalg.norm(x)
+        v = x.copy()
+        if normx > 0.0:
+            v[0] += np.copysign(normx, x[0] if x[0] != 0 else 1.0)
+            vnorm = np.linalg.norm(v)
+            if vnorm > 0.0:
+                v /= vnorm
+        # Apply the reflector H = I - 2 v v^T to the trailing block.
+        w = v @ r_mat[j:, j:]
+        r_mat[j:, j:] -= 2.0 * np.outer(v, w)
+        vs.append(v)
+
+        # Downdate trailing column norms; recompute on heavy cancellation.
+        if j + 1 < n:
+            col_norms[j + 1 :] -= r_mat[j, j + 1 :] ** 2
+            stale = col_norms[j + 1 :] < 1e-10 * np.abs(col_norms[j + 1 :]).max(
+                initial=1.0
+            )
+            if np.any(stale):
+                idx = np.nonzero(stale)[0] + j + 1
+                col_norms[idx] = np.sum(
+                    r_mat[j + 1 :, idx] * r_mat[j + 1 :, idx], axis=0
+                )
+
+    # Accumulate Q by applying the reflectors to the leading identity.
+    q = np.zeros((m, k))
+    q[:k, :k] = np.eye(k)
+    for j in range(k - 1, -1, -1):
+        v = vs[j]
+        w = v @ q[j:, :]
+        q[j:, :] -= 2.0 * np.outer(v, w)
+
+    r_out = np.triu(r_mat[:k, :])
+    return q, r_out, piv
+
+
+def qrcp(
+    a: np.ndarray, rank: int | None = None, *, method: str = "lapack"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Economy QRCP dispatch.
+
+    ``method='lapack'`` uses ``scipy.linalg.qr`` (dgeqp3); ``'householder'``
+    uses the from-scratch reference implementation.  Both return
+    ``(Q, R, piv)`` with ``a[:, piv] ~= Q @ R`` and ``Q`` truncated to
+    ``rank`` columns when requested.
+    """
+    if method == "householder":
+        return householder_qrcp(a, rank)
+    if method != "lapack":
+        raise ValueError(f"unknown qrcp method {method!r}")
+    q, r, piv = scipy.linalg.qr(a, mode="economic", pivoting=True)
+    if rank is not None:
+        k = min(rank, q.shape[1])
+        q, r = q[:, :k], r[:k, :]
+    return q, r, piv

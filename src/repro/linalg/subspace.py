@@ -1,0 +1,71 @@
+"""LLSV via subspace iteration (paper Alg. 5).
+
+Given the all-but-one multi-TTM result ``Y`` and the previous factor
+``U`` for mode ``j``, one sweep computes
+
+    G = U^T Y_(j)          (a TTM — line 2)
+    Z = Y_(j) G^T          (all-but-one contraction — line 3)
+    Q = QRCP(Z)            (orthonormalize + energy-sort — line 4)
+
+The paper uses a *single* sweep because the initialization (the factor
+from the previous HOOI iteration) is already accurate; ``n_iters`` is
+exposed for the ablation the paper mentions ("in principle, the
+computations could be repeated").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.qrcp import qrcp
+from repro.tensor.ops import contract_all_but_mode, ttm
+
+__all__ = ["subspace_iteration_llsv"]
+
+
+def subspace_iteration_llsv(
+    tensor: np.ndarray,
+    mode: int,
+    u_prev: np.ndarray,
+    rank: int,
+    *,
+    n_iters: int = 1,
+    qrcp_method: str = "lapack",
+) -> np.ndarray:
+    """Approximate leading left singular vectors of ``unfold(tensor, mode)``.
+
+    Parameters
+    ----------
+    tensor:
+        The intermediate tensor ``Y`` (all-but-``mode`` multi-TTM of the
+        input with the current factors).
+    mode:
+        Mode whose factor is being updated.
+    u_prev:
+        Previous factor matrix for this mode; its column count sets the
+        subspace dimension actually iterated.
+    rank:
+        Number of columns to return (``<= u_prev.shape[1]``).
+    n_iters:
+        Number of subspace-iteration sweeps (paper default: 1).
+    qrcp_method:
+        Passed through to :func:`repro.linalg.qrcp.qrcp`.
+    """
+    if n_iters < 1:
+        raise ValueError("subspace iteration needs at least one sweep")
+    n = tensor.shape[mode]
+    if u_prev.shape[0] != n:
+        raise ValueError(
+            f"previous factor has {u_prev.shape[0]} rows, mode {mode} has "
+            f"extent {n}"
+        )
+    if rank > u_prev.shape[1]:
+        raise ValueError(
+            f"requested rank {rank} exceeds subspace width {u_prev.shape[1]}"
+        )
+    q = u_prev
+    for _ in range(n_iters):
+        core_slice = ttm(tensor, q, mode, transpose=True)
+        z = contract_all_but_mode(tensor, core_slice, mode)
+        q, _, _ = qrcp(z, method=qrcp_method)
+    return np.ascontiguousarray(q[:, :rank])

@@ -1,0 +1,49 @@
+"""Dense tensor substrate: unfoldings, TTM kernels, norms, generators.
+
+This subpackage is the NumPy stand-in for TuckerMPI's local tensor layer.
+All functions operate on plain ``numpy.ndarray`` objects using the Kolda
+mode-``j`` unfolding convention (Fortran-ordered remaining modes), which
+gives the identity ``(X x_j U)_(j) = U @ unfold(X, j)``.
+"""
+
+from repro.tensor.dense import (
+    DenseTensor,
+    fold,
+    tensor_norm,
+    unfold,
+)
+from repro.tensor.ops import (
+    contract_all_but_mode,
+    gram,
+    multi_ttm,
+    relative_error,
+    ttm,
+)
+from repro.tensor.random import (
+    random_orthonormal,
+    random_tucker,
+    tucker_plus_noise,
+)
+from repro.tensor.validation import (
+    check_mode,
+    check_ranks,
+    check_shape,
+)
+
+__all__ = [
+    "DenseTensor",
+    "check_mode",
+    "check_ranks",
+    "check_shape",
+    "contract_all_but_mode",
+    "fold",
+    "gram",
+    "multi_ttm",
+    "random_orthonormal",
+    "random_tucker",
+    "relative_error",
+    "tensor_norm",
+    "ttm",
+    "tucker_plus_noise",
+    "unfold",
+]

@@ -1,0 +1,112 @@
+"""Mode-wise unfolding/folding and the :class:`DenseTensor` wrapper.
+
+Conventions
+-----------
+We use the Kolda & Bader mode-``j`` unfolding: the rows of
+``unfold(X, j)`` are indexed by mode ``j`` and the columns enumerate the
+remaining modes with the *lowest* remaining mode varying fastest
+(Fortran order).  Under this convention
+
+``(X x_j U)_(j) = U @ unfold(X, j)``
+
+and the multi-TTM unfolds as
+``U_j @ X_(j) @ kron(U_d, ..., U_{j+1}, U_{j-1}, ..., U_1).T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.validation import check_mode
+
+__all__ = ["unfold", "fold", "tensor_norm", "DenseTensor"]
+
+
+def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Return the mode-``mode`` unfolding of ``tensor``.
+
+    Parameters
+    ----------
+    tensor:
+        A ``d``-way array.
+    mode:
+        Mode index in ``[0, d)`` (also accepts negative indices).
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix of shape ``(n_mode, prod(other dims))``.
+    """
+    mode = check_mode(tensor.ndim, mode)
+    return np.reshape(
+        np.moveaxis(tensor, mode, 0), (tensor.shape[mode], -1), order="F"
+    )
+
+
+def fold(matrix: np.ndarray, mode: int, shape: tuple[int, ...]) -> np.ndarray:
+    """Invert :func:`unfold`: rebuild a tensor of ``shape`` from its
+    mode-``mode`` unfolding.
+
+    Parameters
+    ----------
+    matrix:
+        Unfolded matrix with ``matrix.shape[0] == shape[mode]``.
+    mode:
+        Mode index the matrix was unfolded along.
+    shape:
+        Target tensor shape.
+    """
+    shape = tuple(int(s) for s in shape)
+    mode = check_mode(len(shape), mode)
+    if matrix.shape[0] != shape[mode]:
+        raise ValueError(
+            f"unfolding has {matrix.shape[0]} rows but shape[{mode}] is "
+            f"{shape[mode]}"
+        )
+    lead = (shape[mode],) + tuple(s for i, s in enumerate(shape) if i != mode)
+    return np.moveaxis(np.reshape(matrix, lead, order="F"), 0, mode)
+
+
+def tensor_norm(tensor: np.ndarray) -> float:
+    """Frobenius-type tensor norm (root of sum of squared entries)."""
+    return float(np.linalg.norm(np.ravel(tensor)))
+
+
+class DenseTensor:
+    """Thin wrapper around an ``ndarray`` that caches the tensor norm.
+
+    Mirrors TuckerMPI's local ``Tensor`` object: the norm of the input is
+    needed repeatedly by the error-specified algorithms, and this class
+    computes it exactly once.
+    """
+
+    __slots__ = ("data", "_norm")
+
+    def __init__(self, data: np.ndarray):
+        self.data = np.asarray(data)
+        self._norm: float | None = None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def norm(self) -> float:
+        """Tensor norm, computed lazily and cached."""
+        if self._norm is None:
+            self._norm = tensor_norm(self.data)
+        return self._norm
+
+    def unfold(self, mode: int) -> np.ndarray:
+        """Mode-``mode`` unfolding of the wrapped array."""
+        return unfold(self.data, mode)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DenseTensor(shape={self.shape}, dtype={self.data.dtype})"

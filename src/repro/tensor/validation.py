@@ -1,0 +1,59 @@
+"""Argument validation helpers shared across the tensor layer."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["check_mode", "check_ranks", "check_shape"]
+
+
+def check_mode(ndim: int, mode: int) -> int:
+    """Normalize ``mode`` to ``[0, ndim)``, raising on out-of-range."""
+    if not isinstance(mode, (int,)):
+        mode = int(mode)
+    if mode < 0:
+        mode += ndim
+    if not 0 <= mode < ndim:
+        raise ValueError(f"mode {mode} out of range for a {ndim}-way tensor")
+    return mode
+
+
+def check_shape(shape: Sequence[int]) -> tuple[int, ...]:
+    """Validate a tensor shape: positive integer extents, at least 1 mode."""
+    out = tuple(int(s) for s in shape)
+    if len(out) == 0:
+        raise ValueError("tensor shape must have at least one mode")
+    if any(s <= 0 for s in out):
+        raise ValueError(f"tensor dimensions must be positive, got {out}")
+    return out
+
+
+def check_ranks(
+    shape: Sequence[int], ranks: Sequence[int], *, allow_exceed: bool = False
+) -> tuple[int, ...]:
+    """Validate a Tucker rank tuple against a tensor shape.
+
+    Parameters
+    ----------
+    shape:
+        Tensor dimensions.
+    ranks:
+        Requested multilinear ranks, one per mode.
+    allow_exceed:
+        When true, ranks larger than the mode dimension are clipped to it
+        instead of raising (used by rank adaptation, which multiplies
+        ranks by a growth factor).
+    """
+    shape = check_shape(shape)
+    out = tuple(int(r) for r in ranks)
+    if len(out) != len(shape):
+        raise ValueError(
+            f"rank tuple has {len(out)} entries for a {len(shape)}-way tensor"
+        )
+    if any(r <= 0 for r in out):
+        raise ValueError(f"ranks must be positive, got {out}")
+    if allow_exceed:
+        return tuple(min(r, n) for r, n in zip(out, shape))
+    if any(r > n for r, n in zip(out, shape)):
+        raise ValueError(f"ranks {out} exceed tensor dimensions {shape}")
+    return out

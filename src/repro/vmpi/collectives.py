@@ -1,0 +1,162 @@
+"""Block-level collectives and their alpha-beta cost formulas.
+
+Two layers live here:
+
+* **Executable collectives** operating on lists of per-rank NumPy
+  blocks.  These implement the actual data movement (validated against
+  NumPy references in the tests) and are used by the scatter/gather
+  paths of :class:`repro.distributed.dist_tensor.DistTensor` and by the
+  small-``P`` SPMD validation tests.
+* **Cost formulas** returning per-rank ``(words, messages)`` for each
+  collective under standard bandwidth-optimal algorithms (ring
+  reduce-scatter/allgather, ring allreduce, binomial-tree broadcast).
+  The distributed kernels charge these to the
+  :class:`~repro.vmpi.cost.CostLedger`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "allreduce_blocks",
+    "reduce_scatter_blocks",
+    "allgather_blocks",
+    "alltoall_blocks",
+    "bcast_block",
+    "gather_blocks",
+    "allreduce_cost",
+    "reduce_scatter_cost",
+    "allgather_cost",
+    "alltoall_cost",
+    "bcast_cost",
+    "gather_cost",
+]
+
+
+# ---------------------------------------------------------------------------
+# executable collectives
+# ---------------------------------------------------------------------------
+
+
+def _check_blocks(blocks: Sequence[np.ndarray]) -> None:
+    if len(blocks) == 0:
+        raise ValueError("collective needs at least one rank")
+    shape = blocks[0].shape
+    for i, b in enumerate(blocks):
+        if b.shape != shape:
+            raise ValueError(
+                f"rank {i} block shape {b.shape} differs from {shape}"
+            )
+
+
+def allreduce_blocks(blocks: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Sum of all ranks' blocks, replicated to every rank."""
+    _check_blocks(blocks)
+    total = blocks[0].copy()
+    for b in blocks[1:]:
+        total += b
+    return [total.copy() for _ in blocks]
+
+
+def reduce_scatter_blocks(
+    blocks: Sequence[np.ndarray], axis: int = 0
+) -> list[np.ndarray]:
+    """Sum all ranks' blocks, then scatter equal slabs along ``axis``.
+
+    Rank ``i`` receives the ``i``-th of ``p`` near-equal slabs (NumPy
+    ``array_split`` semantics, so extents need not divide evenly).
+    """
+    _check_blocks(blocks)
+    total = blocks[0].copy()
+    for b in blocks[1:]:
+        total += b
+    return [s.copy() for s in np.array_split(total, len(blocks), axis=axis)]
+
+
+def allgather_blocks(
+    blocks: Sequence[np.ndarray], axis: int = 0
+) -> list[np.ndarray]:
+    """Concatenate all ranks' blocks along ``axis``; replicate result."""
+    if len(blocks) == 0:
+        raise ValueError("collective needs at least one rank")
+    cat = np.concatenate(list(blocks), axis=axis)
+    return [cat.copy() for _ in blocks]
+
+
+def alltoall_blocks(
+    send: Sequence[Sequence[np.ndarray]],
+) -> list[list[np.ndarray]]:
+    """Personalized all-to-all: ``recv[j][i] = send[i][j]``."""
+    p = len(send)
+    for i, row in enumerate(send):
+        if len(row) != p:
+            raise ValueError(f"rank {i} sends {len(row)} pieces, expected {p}")
+    return [[send[i][j].copy() for i in range(p)] for j in range(p)]
+
+
+def bcast_block(block: np.ndarray, p: int) -> list[np.ndarray]:
+    """Replicate ``block`` to ``p`` ranks."""
+    if p < 1:
+        raise ValueError("p must be positive")
+    return [block.copy() for _ in range(p)]
+
+
+def gather_blocks(
+    blocks: Sequence[np.ndarray], root: int = 0
+) -> list[np.ndarray | None]:
+    """Collect every rank's block at ``root`` (others receive ``None``)."""
+    out: list[np.ndarray | None] = [None] * len(blocks)
+    out[root] = list(b.copy() for b in blocks)  # type: ignore[assignment]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# cost formulas: per-rank (words, messages)
+# ---------------------------------------------------------------------------
+
+
+def allreduce_cost(n: float, p: int) -> tuple[float, float]:
+    """Ring allreduce of ``n`` total words over ``p`` ranks."""
+    if p <= 1:
+        return 0.0, 0.0
+    return 2.0 * n * (p - 1) / p, 2.0 * (p - 1)
+
+
+def reduce_scatter_cost(n: float, p: int) -> tuple[float, float]:
+    """Ring reduce-scatter of ``n`` total words over ``p`` ranks."""
+    if p <= 1:
+        return 0.0, 0.0
+    return n * (p - 1) / p, float(p - 1)
+
+
+def allgather_cost(n: float, p: int) -> tuple[float, float]:
+    """Ring allgather whose *result* is ``n`` words, over ``p`` ranks."""
+    if p <= 1:
+        return 0.0, 0.0
+    return n * (p - 1) / p, float(p - 1)
+
+
+def alltoall_cost(n_local: float, p: int) -> tuple[float, float]:
+    """Personalized all-to-all where each rank holds ``n_local`` words."""
+    if p <= 1:
+        return 0.0, 0.0
+    return n_local * (p - 1) / p, float(p - 1)
+
+
+def bcast_cost(n: float, p: int) -> tuple[float, float]:
+    """Binomial-tree broadcast of ``n`` words over ``p`` ranks."""
+    if p <= 1:
+        return 0.0, 0.0
+    return float(n), float(math.ceil(math.log2(p)))
+
+
+def gather_cost(n: float, p: int) -> tuple[float, float]:
+    """Binomial-tree gather of ``n`` total words to one root over ``p``
+    ranks (root bandwidth ``n (p-1)/p``, ``log p`` latency rounds)."""
+    if p <= 1:
+        return 0.0, 0.0
+    return n * (p - 1) / p, float(math.ceil(math.log2(p)))

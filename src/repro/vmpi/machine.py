@@ -1,0 +1,143 @@
+"""Machine performance model (alpha-beta-gamma plus memory roofline).
+
+Simulated kernel time is ``max(flops / flop_rate, words / bw_per_rank)``
+— a roofline: kernels whose arithmetic intensity (flops per word of
+memory traffic) is low run at memory bandwidth, not at peak.  Per-rank
+memory bandwidth is the node bandwidth divided by the ranks sharing the
+node, which is what makes single-node scaling of the small-``r`` HOOI
+kernels flatten (paper §4.1/§5) while multi-node scaling resumes as
+aggregate bandwidth grows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "MachineModel",
+    "fat_node_like",
+    "laptop_like",
+    "perlmutter_like",
+]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost constants for the simulated machine.
+
+    Attributes
+    ----------
+    flop_rate:
+        Effective flops/s of one core on BLAS-3-heavy work.
+    alpha:
+        Per-message latency (seconds).
+    beta:
+        Per-word (8-byte element) transfer time on the network (s/word).
+    cores_per_node:
+        Ranks sharing one node's memory system.
+    node_mem_bw:
+        One node's aggregate memory bandwidth in words/s.
+    evd_flops_per_n3:
+        Flop-constant of the sequential symmetric EVD, charged as
+        ``c * n^3`` (LAPACK ``syev`` tridiagonalization + QL).
+    qrcp_flops_per_mn2:
+        Flop-constant of sequential QRCP, charged as ``c * m * n^2``.
+    node_mem_words:
+        One node's DRAM capacity in 8-byte words (Perlmutter CPU nodes:
+        512 GB = 6.4e10 words).  Used by the feasibility analysis that
+        reproduces the paper's single-node tensor sizing.
+    """
+
+    flop_rate: float = 3.5e9
+    alpha: float = 2.0e-6
+    beta: float = 3.2e-10
+    cores_per_node: int = 128
+    node_mem_bw: float = 2.5e10
+    evd_flops_per_n3: float = 9.0
+    qrcp_flops_per_mn2: float = 4.0
+    node_mem_words: float = 6.4e10
+
+    def __post_init__(self) -> None:
+        if min(self.flop_rate, self.node_mem_bw) <= 0:
+            raise ValueError("rates must be positive")
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha/beta must be nonnegative")
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be positive")
+
+    def nodes(self, p: int) -> int:
+        """Nodes occupied by ``p`` ranks (packed)."""
+        return max(1, math.ceil(p / self.cores_per_node))
+
+    def mem_words_per_rank(self, p: int) -> float:
+        """DRAM words available to each of ``p`` packed ranks."""
+        return self.node_mem_words * self.nodes(p) / max(p, 1)
+
+    def bw_per_rank(self, p: int) -> float:
+        """Memory bandwidth available to each of ``p`` packed ranks."""
+        return self.node_mem_bw * self.nodes(p) / max(p, 1)
+
+    def compute_seconds(self, flops: float, mem_words: float, p: int) -> float:
+        """Roofline time of a parallel kernel step (per-rank max inputs)."""
+        return max(
+            flops / self.flop_rate,
+            mem_words / self.bw_per_rank(p) if mem_words else 0.0,
+        )
+
+    def sequential_seconds(self, flops: float) -> float:
+        """Time of a redundant/sequential kernel (one core's flop rate)."""
+        return flops / self.flop_rate
+
+    def comm_seconds(self, words: float, messages: float) -> float:
+        """alpha-beta time of a communication step (per-rank max inputs)."""
+        return self.alpha * messages + self.beta * words
+
+    def evd_seconds(self, n: int) -> float:
+        """Sequential symmetric-EVD time for an ``n x n`` matrix."""
+        return self.sequential_seconds(self.evd_flops_per_n3 * float(n) ** 3)
+
+    def qrcp_seconds(self, m: int, n: int) -> float:
+        """Sequential QRCP time for an ``m x n`` matrix."""
+        return self.sequential_seconds(
+            self.qrcp_flops_per_mn2 * float(m) * float(n) ** 2
+        )
+
+
+def perlmutter_like() -> MachineModel:
+    """Constants loosely calibrated to a Perlmutter CPU node.
+
+    AMD EPYC 7763 x2: 128 cores/node, ~200 GB/s usable stream bandwidth
+    (2.5e10 words/s), effective per-core DGEMM rate a few GF/s,
+    Slingshot-ish latency/bandwidth.  Only the *ratios* matter for the
+    reproduced shapes.
+    """
+    return MachineModel()
+
+
+def laptop_like() -> MachineModel:
+    """A single 8-core workstation node: no network (collectives become
+    shared-memory copies with tiny latency), modest bandwidth."""
+    return MachineModel(
+        flop_rate=8.0e9,
+        alpha=2.0e-7,
+        beta=1.0e-10,
+        cores_per_node=8,
+        node_mem_bw=6.0e9,
+        node_mem_words=4.0e9,  # 32 GB
+    )
+
+
+def fat_node_like() -> MachineModel:
+    """A bandwidth-rich fat node (HBM-class memory, faster fabric):
+    shifts the roofline balance point, used by the machine-sensitivity
+    study to check the paper's conclusions are not artifacts of one
+    constant choice."""
+    return MachineModel(
+        flop_rate=1.0e10,
+        alpha=1.0e-6,
+        beta=1.0e-10,
+        cores_per_node=64,
+        node_mem_bw=2.0e11,
+        node_mem_words=1.6e10,  # 128 GB HBM
+    )

@@ -1,0 +1,281 @@
+"""A real process-parallel mini-MPI built on ``multiprocessing``.
+
+Everything else in :mod:`repro.vmpi` simulates; this module *executes*:
+``run_spmd`` launches one OS process per rank and gives each a
+:class:`ProcessComm` supporting the collectives the Tucker algorithms
+need (allreduce, reduce-scatter, allgather, broadcast, gather), with
+sub-communicators for the per-mode operations.  Collectives are
+routed through a coordinator process (star topology — correct, not
+bandwidth-optimal; performance modeling stays the simulator's job).
+
+This is the closest offline stand-in for the paper's MPI layer: the
+SPMD STHOSVD of :mod:`repro.distributed.mp_sthosvd` runs on it with
+genuine process parallelism and is tested against the sequential
+algorithms.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ProcessComm", "run_spmd"]
+
+_SENTINEL = "__done__"
+
+
+@dataclass
+class _Request:
+    op: str
+    op_id: int
+    group: tuple[int, ...]
+    rank: int
+    payload: object
+    root: int | None = None
+
+
+class ProcessComm:
+    """Per-rank communicator handle (used inside worker processes).
+
+    Collectives are matched across ranks by a per-rank operation
+    counter, so programs must be *loosely synchronous*: every member of
+    a collective's group must reach that collective after the same
+    number of prior ``ProcessComm`` calls (the natural property of SPMD
+    programs where all ranks run the same code).  Divergent call
+    sequences deadlock, exactly as mismatched MPI collectives would.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        to_coord: "mp.Queue",
+        from_coord: "mp.Queue",
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self._to_coord = to_coord
+        self._from_coord = from_coord
+        self._op_id = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _exchange(
+        self,
+        op: str,
+        payload: object,
+        group: Sequence[int] | None = None,
+        root: int | None = None,
+    ) -> object:
+        group_t = (
+            tuple(range(self.size)) if group is None else tuple(group)
+        )
+        if self.rank not in group_t:
+            raise ValueError(
+                f"rank {self.rank} not in collective group {group_t}"
+            )
+        self._op_id += 1
+        self._to_coord.put(
+            _Request(
+                op=op,
+                op_id=self._op_id,
+                group=group_t,
+                rank=self.rank,
+                payload=payload,
+                root=root,
+            )
+        )
+        return self._from_coord.get()
+
+    # -- collectives --------------------------------------------------------
+
+    def allreduce(
+        self, block: np.ndarray, group: Sequence[int] | None = None
+    ) -> np.ndarray:
+        """Sum over the group; every member receives the total."""
+        return self._exchange("allreduce", block, group)
+
+    def reduce_scatter(
+        self,
+        block: np.ndarray,
+        axis: int = 0,
+        group: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Sum over the group, then scatter slabs along ``axis`` (the
+        ``i``-th group member receives the ``i``-th slab)."""
+        return self._exchange("reduce_scatter", (block, axis), group)
+
+    def allgather(
+        self,
+        block: np.ndarray,
+        axis: int = 0,
+        group: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Concatenate group members' blocks along ``axis``."""
+        return self._exchange("allgather", (block, axis), group)
+
+    def bcast(
+        self,
+        block: np.ndarray | None,
+        root: int,
+        group: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Broadcast ``root``'s block to the group."""
+        return self._exchange("bcast", block, group, root=root)
+
+    def gather(
+        self,
+        block: np.ndarray,
+        root: int,
+        group: Sequence[int] | None = None,
+    ) -> list[np.ndarray] | None:
+        """Collect blocks at ``root`` (group order); others get None."""
+        return self._exchange("gather", block, group, root=root)
+
+    def barrier(self, group: Sequence[int] | None = None) -> None:
+        """Block until every group member reaches the barrier."""
+        self._exchange("barrier", None, group)
+
+
+def _coordinator(
+    size: int,
+    to_coord: "mp.Queue",
+    reply_queues: list["mp.Queue"],
+) -> None:
+    """Collect per-collective contributions, combine, reply."""
+    pending: dict[tuple, dict[int, _Request]] = {}
+    done = 0
+    while done < size:
+        msg = to_coord.get()
+        if msg == _SENTINEL:
+            done += 1
+            continue
+        key = (msg.op, msg.op_id, msg.group)
+        bucket = pending.setdefault(key, {})
+        bucket[msg.rank] = msg
+        if len(bucket) < len(msg.group):
+            continue
+        # Complete: combine and reply in group order.
+        del pending[key]
+        group = msg.group
+        reqs = [bucket[r] for r in group]
+        op = msg.op
+        if op == "allreduce":
+            total = reqs[0].payload.copy()
+            for r in reqs[1:]:
+                total += r.payload
+            results = [total] * len(group)
+        elif op == "reduce_scatter":
+            axis = reqs[0].payload[1]
+            total = reqs[0].payload[0].copy()
+            for r in reqs[1:]:
+                total += r.payload[0]
+            results = [
+                np.ascontiguousarray(s)
+                for s in np.array_split(total, len(group), axis=axis)
+            ]
+        elif op == "allgather":
+            axis = reqs[0].payload[1]
+            cat = np.concatenate([r.payload[0] for r in reqs], axis=axis)
+            results = [cat] * len(group)
+        elif op == "bcast":
+            root_req = next(r for r in reqs if r.rank == r.root)
+            results = [root_req.payload] * len(group)
+        elif op == "gather":
+            blocks = [r.payload for r in reqs]
+            results = [
+                blocks if rank == msg.root else None for rank in group
+            ]
+        elif op == "barrier":
+            results = [None] * len(group)
+        else:  # pragma: no cover - defensive
+            results = [RuntimeError(f"unknown op {op}")] * len(group)
+        for rank, result in zip(group, results):
+            reply_queues[rank].put(result)
+
+
+def _worker(
+    fn_bytes: bytes,
+    rank: int,
+    size: int,
+    to_coord: "mp.Queue",
+    from_coord: "mp.Queue",
+    result_queue: "mp.Queue",
+    args: tuple,
+) -> None:
+    comm = ProcessComm(rank, size, to_coord, from_coord)
+    try:
+        fn = pickle.loads(fn_bytes)
+        out = fn(comm, *args)
+        result_queue.put((rank, "ok", out))
+    except Exception as exc:  # pragma: no cover - surfaced by run_spmd
+        result_queue.put((rank, "error", repr(exc)))
+    finally:
+        to_coord.put(_SENTINEL)
+
+
+def run_spmd(
+    fn: Callable[..., object],
+    size: int,
+    *args: object,
+    timeout: float = 120.0,
+) -> list[object]:
+    """Run ``fn(comm, *args)`` on ``size`` real processes.
+
+    ``fn`` must be picklable (a module-level function).  Returns each
+    rank's return value in rank order; raises ``RuntimeError`` if any
+    rank failed.
+    """
+    if size < 1:
+        raise ValueError("size must be positive")
+    ctx = mp.get_context("spawn" if mp.get_start_method() == "spawn" else "fork")
+    to_coord: mp.Queue = ctx.Queue()
+    reply_queues = [ctx.Queue() for _ in range(size)]
+    result_queue: mp.Queue = ctx.Queue()
+
+    coord = ctx.Process(
+        target=_coordinator, args=(size, to_coord, reply_queues)
+    )
+    coord.start()
+    workers = [
+        ctx.Process(
+            target=_worker,
+            args=(
+                pickle.dumps(fn),
+                rank,
+                size,
+                to_coord,
+                reply_queues[rank],
+                result_queue,
+                args,
+            ),
+        )
+        for rank in range(size)
+    ]
+    for w in workers:
+        w.start()
+
+    results: dict[int, object] = {}
+    errors: dict[int, str] = {}
+    try:
+        for _ in range(size):
+            rank, status, payload = result_queue.get(timeout=timeout)
+            if status == "ok":
+                results[rank] = payload
+            else:
+                errors[rank] = payload
+    finally:
+        for w in workers:
+            w.join(timeout=10)
+            if w.is_alive():  # pragma: no cover - hang safety
+                w.terminate()
+        coord.join(timeout=10)
+        if coord.is_alive():  # pragma: no cover - hang safety
+            coord.terminate()
+    if errors:
+        raise RuntimeError(f"SPMD ranks failed: {errors}")
+    return [results[r] for r in range(size)]

@@ -1,0 +1,99 @@
+"""Event tracing and timeline rendering for the simulated machine.
+
+A :class:`TracingLedger` records every charge as an ordered event; the
+renderer turns the event list into an ASCII timeline (one lane per
+phase) so a run's structure — the Gram/EVD alternation of STHOSVD, the
+tree-shaped TTM bursts of HOSI-DT — can be inspected without plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vmpi.cost import CostKind, CostLedger
+from repro.vmpi.machine import MachineModel
+
+__all__ = ["TraceEvent", "TracingLedger", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One charged step."""
+
+    phase: str
+    kind: CostKind
+    start: float
+    seconds: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.seconds
+
+
+class TracingLedger(CostLedger):
+    """Cost ledger that additionally records an ordered event trace."""
+
+    def __init__(self, machine: MachineModel, p: int) -> None:
+        super().__init__(machine, p)
+        self.events: list[TraceEvent] = []
+        self._clock = 0.0
+
+    def _record(self, phase: str, kind: CostKind, dt: float) -> None:
+        if dt > 0:
+            self.events.append(
+                TraceEvent(phase, kind, self._clock, dt)
+            )
+            self._clock += dt
+
+    def compute(self, phase: str, flops: float, mem_words: float = 0.0):
+        dt = super().compute(phase, flops, mem_words)
+        self._record(phase, CostKind.COMPUTE, dt)
+        return dt
+
+    def sequential(self, phase: str, flops: float):
+        dt = super().sequential(phase, flops)
+        self._record(phase, CostKind.SEQUENTIAL, dt)
+        return dt
+
+    def comm(self, phase: str, words: float, messages: float = 1.0):
+        dt = super().comm(phase, words, messages)
+        self._record(phase, CostKind.COMM, dt)
+        return dt
+
+
+def render_timeline(
+    events: list[TraceEvent], *, width: int = 72
+) -> str:
+    """ASCII timeline: one lane per phase, ``#`` marks busy intervals.
+
+    Events shorter than one column still print a single mark so brief
+    steps (latency-bound collectives) remain visible.
+    """
+    if not events:
+        return "(no events)"
+    total = max(e.end for e in events)
+    if total <= 0:
+        return "(zero-duration trace)"
+    phases = []
+    for e in events:
+        if e.phase not in phases:
+            phases.append(e.phase)
+    label_w = max(len(p) for p in phases) + 1
+    lines = [
+        f"{'phase'.ljust(label_w)}|{'-' * width}| total "
+        f"{total:.4g} simulated s"
+    ]
+    for phase in phases:
+        lane = [" "] * width
+        for e in events:
+            if e.phase != phase:
+                continue
+            a = int(e.start / total * width)
+            b = max(int(e.end / total * width), a + 1)
+            for i in range(a, min(b, width)):
+                lane[i] = "#"
+        secs = sum(e.seconds for e in events if e.phase == phase)
+        lines.append(
+            f"{phase.ljust(label_w)}|{''.join(lane)}| {secs:.4g}s"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor.random import tucker_plus_noise
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small3(rng: np.random.Generator) -> np.ndarray:
+    """Small random (non-low-rank) 3-way tensor."""
+    return rng.standard_normal((6, 5, 4))
+
+
+@pytest.fixture
+def small4(rng: np.random.Generator) -> np.ndarray:
+    """Small random 4-way tensor."""
+    return rng.standard_normal((5, 4, 3, 6))
+
+
+@pytest.fixture
+def lowrank4() -> np.ndarray:
+    """4-way low-multilinear-rank tensor plus mild noise."""
+    return tucker_plus_noise((16, 14, 12, 10), (3, 4, 2, 3), noise=1e-5, seed=7)
+
+
+@pytest.fixture
+def lowrank3() -> np.ndarray:
+    """3-way low-multilinear-rank tensor plus mild noise."""
+    return tucker_plus_noise((20, 18, 16), (4, 3, 5), noise=1e-5, seed=11)

@@ -1,0 +1,85 @@
+"""Symbolic/concrete dispatch helpers, including mixed operands."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.arrays import (
+    SymbolicArray,
+    any_contract,
+    any_gram,
+    any_shape,
+    any_ttm,
+    is_concrete,
+)
+
+
+class TestIsConcrete:
+    def test_ndarray(self):
+        assert is_concrete(np.zeros((2, 2)))
+
+    def test_symbolic(self):
+        assert not is_concrete(SymbolicArray((2, 2)))
+
+
+class TestAnyTTM:
+    def test_concrete_path(self, small3, rng):
+        u = rng.standard_normal((small3.shape[0], 2))
+        out = any_ttm(small3, u, 0, transpose=True)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (2,) + small3.shape[1:]
+
+    def test_symbolic_path(self):
+        x = SymbolicArray((8, 7, 6))
+        u = SymbolicArray((7, 3))
+        out = any_ttm(x, u, 1, transpose=True)
+        assert isinstance(out, SymbolicArray)
+        assert out.shape == (8, 3, 6)
+
+    def test_mixed_concrete_tensor_symbolic_factor(self, small3):
+        """Mixing falls through to shape propagation — no crash, and
+        the shape math still validates."""
+        u = SymbolicArray((small3.shape[0], 2))
+        out = any_ttm(small3, u, 0, transpose=True)
+        assert isinstance(out, SymbolicArray)
+        assert out.shape == (2,) + small3.shape[1:]
+
+    def test_symbolic_shape_mismatch(self):
+        x = SymbolicArray((8, 7, 6))
+        u = SymbolicArray((5, 3))
+        with pytest.raises(ValueError):
+            any_ttm(x, u, 1, transpose=True)
+
+    def test_untransposed_symbolic(self):
+        x = SymbolicArray((8, 7, 6))
+        u = SymbolicArray((9, 8))
+        out = any_ttm(x, u, 0)
+        assert out.shape == (9, 7, 6)
+
+
+class TestAnyGramContract:
+    def test_gram_symbolic(self):
+        g = any_gram(SymbolicArray((8, 7, 6)), 1)
+        assert g.shape == (7, 7)
+
+    def test_gram_concrete(self, small3):
+        g = any_gram(small3, 0)
+        assert isinstance(g, np.ndarray)
+
+    def test_contract_symbolic(self):
+        a = SymbolicArray((8, 7, 6))
+        b = SymbolicArray((3, 7, 6))
+        z = any_contract(a, b, 0)
+        assert z.shape == (8, 3)
+
+    def test_any_shape(self, small3):
+        assert any_shape(small3) == small3.shape
+        assert any_shape(SymbolicArray((2, 3))) == (2, 3)
+
+
+def test_hooi_tol_subspace_stop(lowrank3):
+    from repro.core.hooi import HOOIOptions, hooi
+
+    opts = HOOIOptions(max_iters=30, tol_subspace=1e-8, seed=0)
+    _, stats = hooi(lowrank3, (4, 3, 5), opts)
+    assert stats.converged
+    assert stats.iterations < 30

@@ -1,0 +1,94 @@
+"""Artifact-style batch workflow (generate -> run -> collect)."""
+
+import json
+
+import pytest
+
+from repro.artifact import (
+    collect_scale_experiments,
+    generate_scale_experiments,
+    run_scale_experiments,
+)
+from repro.core.errors import ConfigError
+
+
+@pytest.fixture
+def exp_dir(tmp_path):
+    return generate_scale_experiments(
+        tmp_path / "exp",
+        shape=(64, 64, 64),
+        ranks=(4, 4, 4),
+        proc_scale=(1, 4, 16),
+        algorithms=("sthosvd", "hosi-dt"),
+    )
+
+
+class TestGenerate:
+    def test_layout(self, exp_dir):
+        assert (exp_dir / "manifest.json").exists()
+        cfgs = sorted((exp_dir / "configs").glob("*.cfg"))
+        assert len(cfgs) == 6  # 2 algos x 3 P values
+
+    def test_manifest(self, exp_dir):
+        manifest = json.loads((exp_dir / "manifest.json").read_text())
+        assert manifest["kind"] == "strong_scaling"
+        assert manifest["proc_scale"] == [1, 4, 16]
+        assert len(manifest["points"]) == 6
+
+    def test_configs_parse(self, exp_dir):
+        from repro.config import ParameterFile
+
+        for cfg in (exp_dir / "configs").glob("*.cfg"):
+            params = ParameterFile.from_path(cfg)
+            assert params.get_str("algorithm") in ("sthosvd", "hosi-dt")
+            assert len(params.get_ints("global dims")) == 3
+
+    def test_unknown_algorithm(self, tmp_path):
+        with pytest.raises(ConfigError):
+            generate_scale_experiments(
+                tmp_path / "bad", algorithms=("magic",)
+            )
+
+
+class TestRunCollect:
+    def test_run_writes_all_csvs(self, exp_dir):
+        n = run_scale_experiments(exp_dir)
+        assert n == 6
+        assert len(list((exp_dir / "csv").glob("*.csv"))) == 6
+
+    def test_collect_figure(self, exp_dir):
+        run_scale_experiments(exp_dir)
+        text = collect_scale_experiments(exp_dir)
+        assert "strong scaling" in text
+        assert "sthosvd" in text and "hosi-dt" in text
+        assert (exp_dir / "figure.txt").exists()
+        assert (exp_dir / "collected.csv").exists()
+
+    def test_collect_tolerates_missing_points(self, exp_dir):
+        run_scale_experiments(exp_dir)
+        # Simulate one failed "job".
+        victim = next((exp_dir / "csv").glob("*.csv"))
+        victim.unlink()
+        text = collect_scale_experiments(exp_dir)
+        assert "missing points" in text
+
+    def test_results_scale_down(self, exp_dir):
+        run_scale_experiments(exp_dir)
+        collect_scale_experiments(exp_dir)
+        import csv as csvmod
+
+        with (exp_dir / "collected.csv").open(newline="") as fh:
+            rows = list(csvmod.DictReader(fh))
+        hosi = {
+            int(r["p"]): float(r["seconds"])
+            for r in rows
+            if r["algorithm"] == "hosi-dt"
+        }
+        assert hosi[16] < hosi[1]
+
+    def test_rerun_idempotent(self, exp_dir):
+        run_scale_experiments(exp_dir)
+        a = collect_scale_experiments(exp_dir)
+        run_scale_experiments(exp_dir)
+        b = collect_scale_experiments(exp_dir)
+        assert a == b

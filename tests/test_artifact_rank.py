@@ -1,0 +1,62 @@
+"""Artifact-style dataset rank study workflow."""
+
+import json
+
+import pytest
+
+from repro.artifact import (
+    collect_rank_experiments,
+    generate_rank_experiments,
+    run_rank_experiments,
+)
+from repro.core.errors import ConfigError
+
+
+@pytest.fixture
+def study(tmp_path):
+    out = generate_rank_experiments(
+        tmp_path / "rank",
+        dataset="miranda",
+        dataset_kwargs={"n": 24},
+        cores=16,
+        tolerances=(0.1,),
+        max_iters=3,
+    )
+    return out
+
+
+class TestGenerate:
+    def test_manifest(self, study):
+        manifest = json.loads((study / "manifest.json").read_text())
+        assert manifest["dataset"] == "miranda"
+        assert manifest["cores"] == 16
+
+    def test_default_cores_from_registry(self, tmp_path):
+        out = generate_rank_experiments(
+            tmp_path / "r2", dataset="hcci"
+        )
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["cores"] == 128  # paper's HCCI core count
+
+    def test_unknown_dataset(self, tmp_path):
+        with pytest.raises(ConfigError):
+            generate_rank_experiments(tmp_path / "bad", dataset="nyx")
+
+
+class TestRunCollect:
+    def test_run_row_count(self, study):
+        rows = run_rank_experiments(study)
+        # 1 baseline + 3 starts x 3 iterations per tolerance.
+        assert rows == 1 + 9
+
+    def test_collect(self, study):
+        run_rank_experiments(study)
+        text = collect_rank_experiments(study)
+        assert "miranda rank study" in text
+        assert "sthosvd" in text
+        assert "ra-hosi-dt (over)" in text
+        assert (study / "figure.txt").exists()
+
+    def test_collect_before_run(self, study):
+        with pytest.raises(FileNotFoundError):
+            collect_rank_experiments(study)

@@ -1,0 +1,92 @@
+"""Grid auto-tuning."""
+
+import math
+
+import pytest
+
+from repro.analysis.autotune import autotune_grid
+from repro.vmpi.machine import MachineModel
+
+
+class TestAutotune:
+    def test_returns_valid_grid(self):
+        choice = autotune_grid((128, 128, 128), (8, 8, 8), 16)
+        assert math.prod(choice.grid) == 16
+        assert choice.seconds > 0
+        assert choice.grid in choice.candidates
+
+    def test_best_of_candidates(self):
+        choice = autotune_grid((128, 128, 128), (8, 8, 8), 16)
+        assert choice.seconds == min(choice.candidates.values())
+
+    def test_exhaustive_at_least_as_good(self):
+        heur = autotune_grid((128, 128, 128), (8, 8, 8), 8)
+        exh = autotune_grid(
+            (128, 128, 128), (8, 8, 8), 8, exhaustive=True
+        )
+        assert exh.seconds <= heur.seconds + 1e-12
+        assert len(exh.candidates) >= len(heur.candidates)
+
+    def test_sthosvd_prefers_p1_one_commheavy(self):
+        machine = MachineModel(beta=3.2e-8, alpha=2e-5)
+        choice = autotune_grid(
+            (256, 256, 256), (8, 8, 8), 8, "sthosvd",
+            machine=machine, exhaustive=True,
+        )
+        assert choice.grid[0] == 1
+
+    def test_infeasible_shape(self):
+        with pytest.raises(ValueError):
+            autotune_grid((2, 2, 2), (1, 1, 1), 1024, exhaustive=False)
+
+    def test_p_one(self):
+        choice = autotune_grid((32, 32, 32), (4, 4, 4), 1)
+        assert choice.grid == (1, 1, 1)
+
+
+class TestCLIAuto:
+    def test_sthosvd_auto_grid(self, tmp_path, capsys):
+        from repro.cli import sthosvd_main
+
+        cfg = tmp_path / "a.cfg"
+        cfg.write_text(
+            "Print options = false\n"
+            "Processor grid dims = auto\n"
+            "Processors = 8\n"
+            "Global dims = 20 20 20\n"
+            "Ranks = 4 4 4\n"
+        )
+        sthosvd_main(["--parameter-file", str(cfg)])
+        out = capsys.readouterr().out
+        assert "Auto-tuned grid for sthosvd at P=8" in out
+        assert "STHOSVD ranks: (4, 4, 4)" in out
+
+    def test_hooi_auto_grid(self, tmp_path, capsys):
+        from repro.cli import hooi_main
+
+        cfg = tmp_path / "h.cfg"
+        cfg.write_text(
+            "Print options = false\n"
+            "Processor grid dims = auto\n"
+            "Processors = 4\n"
+            "Global dims = 20 20 20\n"
+            "Construction Ranks = 4 4 4\n"
+            "SVD Method = 2\n"
+            "Dimension Tree Memoization = true\n"
+        )
+        hooi_main(["--parameter-file", str(cfg)])
+        out = capsys.readouterr().out
+        assert "Auto-tuned grid for hosi-dt at P=4" in out
+
+    def test_auto_requires_processors(self, tmp_path):
+        from repro.cli import sthosvd_main
+        from repro.core.errors import ConfigError
+
+        cfg = tmp_path / "bad.cfg"
+        cfg.write_text(
+            "Processor grid dims = auto\n"
+            "Global dims = 8 8 8\n"
+            "Ranks = 2 2 2\n"
+        )
+        with pytest.raises(ConfigError):
+            sthosvd_main(["--parameter-file", str(cfg)])

@@ -1,0 +1,104 @@
+"""End-to-end CLI driver tests (artifact-style parameter files)."""
+
+import pytest
+
+from repro.cli import hooi_main, sthosvd_main
+from repro.core.errors import ConfigError
+
+STHOSVD_CFG = """
+Print options = true
+Print timings = true
+Noise = 0.0001
+SV Threshold = 0.0
+Perform STHOSVD = true
+Processor grid dims = 1 2 2 2
+Global dims = 20 20 20 20
+Ranks = 4 4 4 4
+"""
+
+HOOI_CFG = """
+Print options = true
+Print timings = true
+Dimension Tree Memoization = {dt}
+HOOI Adapt core tensor gather type = false
+Noise = 0.0001
+HOOI-Adapt Threshold = {adapt}
+HOOI max iters = {iters}
+SVD Method = {svd}
+Processor grid dims = 1 2 2 1
+Global dims = 20 20 20 20
+Construction Ranks = 4 4 4 4
+Decomposition Ranks = {dranks}
+"""
+
+
+def _write(tmp_path, text, name="param.cfg"):
+    f = tmp_path / name
+    f.write_text(text)
+    return str(f)
+
+
+class TestSTHOSVDDriver:
+    def test_fixed_rank(self, tmp_path, capsys):
+        rc = sthosvd_main(["--parameter-file", _write(tmp_path, STHOSVD_CFG)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "STHOSVD ranks: (4, 4, 4, 4)" in out
+        assert "Simulated wall time" in out
+        assert "Gram" in out
+
+    def test_error_specified(self, tmp_path, capsys):
+        cfg = STHOSVD_CFG.replace("SV Threshold = 0.0", "SV Threshold = 0.01")
+        sthosvd_main(["--parameter-file", _write(tmp_path, cfg)])
+        out = capsys.readouterr().out
+        assert "STHOSVD ranks: (4, 4, 4, 4)" in out
+
+    def test_prints_options(self, tmp_path, capsys):
+        sthosvd_main(["--parameter-file", _write(tmp_path, STHOSVD_CFG)])
+        out = capsys.readouterr().out
+        assert "global dims = 20 20 20 20" in out
+
+
+class TestHOOIDriver:
+    @pytest.mark.parametrize(
+        "dt,svd,label",
+        [
+            ("false", 0, "HOOI"),
+            ("true", 0, "HOOI-DT"),
+            ("false", 2, "HOSI"),
+            ("true", 2, "HOSI-DT"),
+        ],
+    )
+    def test_fixed_rank_variants(self, tmp_path, capsys, dt, svd, label):
+        cfg = HOOI_CFG.format(
+            dt=dt, adapt=0.0, iters=2, svd=svd, dranks="4 4 4 4"
+        )
+        rc = hooi_main(["--parameter-file", _write(tmp_path, cfg)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"Running {label}" in out
+        assert "iteration 2: approximation error" in out
+        assert "Final ranks: (4, 4, 4, 4)" in out
+
+    def test_rank_adaptive(self, tmp_path, capsys):
+        cfg = HOOI_CFG.format(
+            dt="true", adapt=0.01, iters=3, svd=2, dranks="6 6 6 6"
+        )
+        hooi_main(["--parameter-file", _write(tmp_path, cfg)])
+        out = capsys.readouterr().out
+        assert "rank-adaptive HOSI-DT" in out
+        assert "truncated to (4, 4, 4, 4)" in out
+        assert "Converged: True" in out
+
+    def test_bad_svd_method(self, tmp_path):
+        cfg = HOOI_CFG.format(
+            dt="true", adapt=0.0, iters=2, svd=7, dranks="4 4 4 4"
+        )
+        with pytest.raises(ConfigError):
+            hooi_main(["--parameter-file", _write(tmp_path, cfg)])
+
+    def test_missing_required_key(self, tmp_path):
+        with pytest.raises(ConfigError):
+            hooi_main(
+                ["--parameter-file", _write(tmp_path, "Noise = 0.1\n")]
+            )

@@ -1,0 +1,154 @@
+"""Block collectives and their alpha-beta cost formulas."""
+
+import numpy as np
+import pytest
+
+from repro.vmpi.collectives import (
+    allgather_blocks,
+    allgather_cost,
+    allreduce_blocks,
+    allreduce_cost,
+    alltoall_blocks,
+    alltoall_cost,
+    bcast_block,
+    bcast_cost,
+    gather_blocks,
+    gather_cost,
+    reduce_scatter_blocks,
+    reduce_scatter_cost,
+)
+
+
+@pytest.fixture
+def blocks(rng):
+    return [rng.standard_normal((6, 4)) for _ in range(4)]
+
+
+class TestAllreduce:
+    def test_sum(self, blocks):
+        out = allreduce_blocks(blocks)
+        expected = sum(blocks)
+        for b in out:
+            np.testing.assert_allclose(b, expected)
+
+    def test_result_is_copy(self, blocks):
+        out = allreduce_blocks(blocks)
+        out[0][:] = 0
+        assert not np.allclose(out[1], 0)
+
+    def test_shape_mismatch(self, blocks):
+        blocks[1] = blocks[1][:3]
+        with pytest.raises(ValueError):
+            allreduce_blocks(blocks)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            allreduce_blocks([])
+
+
+class TestReduceScatter:
+    def test_sum_then_scatter(self, blocks):
+        out = reduce_scatter_blocks(blocks, axis=0)
+        expected = np.array_split(sum(blocks), 4, axis=0)
+        assert len(out) == 4
+        for got, exp in zip(out, expected):
+            np.testing.assert_allclose(got, exp)
+
+    def test_uneven_split(self, rng):
+        blocks = [rng.standard_normal((7, 2)) for _ in range(3)]
+        out = reduce_scatter_blocks(blocks, axis=0)
+        assert [b.shape[0] for b in out] == [3, 2, 2]
+
+    def test_concat_inverts(self, blocks):
+        out = reduce_scatter_blocks(blocks, axis=1)
+        np.testing.assert_allclose(
+            np.concatenate(out, axis=1), sum(blocks)
+        )
+
+
+class TestAllgather:
+    def test_concatenation(self, blocks):
+        out = allgather_blocks(blocks, axis=0)
+        expected = np.concatenate(blocks, axis=0)
+        for b in out:
+            np.testing.assert_allclose(b, expected)
+
+    def test_inverse_of_reduce_scatter(self, blocks):
+        """allgather(reduce_scatter(blocks)) replicates the full sum."""
+        scattered = reduce_scatter_blocks(blocks, axis=0)
+        gathered = allgather_blocks(scattered, axis=0)
+        np.testing.assert_allclose(gathered[0], sum(blocks))
+
+
+class TestAlltoall:
+    def test_transpose_semantics(self, rng):
+        p = 3
+        send = [
+            [rng.standard_normal(2) for _ in range(p)] for _ in range(p)
+        ]
+        recv = alltoall_blocks(send)
+        for i in range(p):
+            for j in range(p):
+                np.testing.assert_array_equal(recv[j][i], send[i][j])
+
+    def test_ragged_rejected(self, rng):
+        send = [[rng.standard_normal(2)] * 2, [rng.standard_normal(2)]]
+        with pytest.raises(ValueError):
+            alltoall_blocks(send)
+
+
+class TestBcastGather:
+    def test_bcast(self, rng):
+        block = rng.standard_normal((3, 3))
+        out = bcast_block(block, 5)
+        assert len(out) == 5
+        for b in out:
+            np.testing.assert_array_equal(b, block)
+
+    def test_bcast_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            bcast_block(rng.standard_normal(2), 0)
+
+    def test_gather(self, blocks):
+        out = gather_blocks(blocks, root=1)
+        assert out[0] is None and out[2] is None
+        assert len(out[1]) == 4
+        np.testing.assert_array_equal(out[1][3], blocks[3])
+
+
+class TestCostFormulas:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            allreduce_cost,
+            reduce_scatter_cost,
+            allgather_cost,
+            alltoall_cost,
+            bcast_cost,
+            gather_cost,
+        ],
+    )
+    def test_zero_at_p1(self, fn):
+        assert fn(1e6, 1) == (0.0, 0.0)
+
+    def test_allreduce_is_twice_reduce_scatter(self):
+        """Ring allreduce = reduce-scatter + allgather."""
+        n, p = 1e6, 8
+        rs_w, _ = reduce_scatter_cost(n, p)
+        ar_w, _ = allreduce_cost(n, p)
+        assert ar_w == pytest.approx(2 * rs_w)
+
+    def test_words_approach_n_at_large_p(self):
+        w, _ = reduce_scatter_cost(1000.0, 1000)
+        assert w == pytest.approx(999.0)
+
+    def test_bcast_log_messages(self):
+        _, msgs = bcast_cost(100.0, 8)
+        assert msgs == 3.0
+
+    def test_words_monotone_in_p(self):
+        prev = 0.0
+        for p in (2, 4, 8, 16):
+            w, _ = allgather_cost(1000.0, p)
+            assert w >= prev
+            prev = w

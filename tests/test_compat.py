@@ -1,0 +1,56 @@
+"""TensorLy-style facade."""
+
+import numpy as np
+import pytest
+
+from repro.compat import partial_tucker, tucker, tucker_to_tensor
+from repro.tensor.ops import relative_error
+from repro.tensor.random import tucker_plus_noise
+
+
+class TestTucker:
+    def test_rank_specified(self, lowrank3):
+        core, factors = tucker(lowrank3, rank=(4, 3, 5))
+        assert core.shape == (4, 3, 5)
+        assert len(factors) == 3
+        rec = tucker_to_tensor((core, factors))
+        assert relative_error(lowrank3, rec) < 1e-3
+
+    def test_tol_specified(self, lowrank3):
+        core, factors = tucker(lowrank3, tol=0.01)
+        rec = tucker_to_tensor((core, factors))
+        assert relative_error(lowrank3, rec) <= 0.01 * (1 + 1e-6)
+
+    def test_tol_with_start_rank(self, lowrank3):
+        core, factors = tucker(lowrank3, rank=(5, 5, 5), tol=0.01)
+        rec = tucker_to_tensor((core, factors))
+        assert relative_error(lowrank3, rec) <= 0.01 * (1 + 1e-6)
+
+    def test_needs_spec(self, lowrank3):
+        with pytest.raises(ValueError):
+            tucker(lowrank3)
+
+    def test_deterministic(self, lowrank3):
+        a, _ = tucker(lowrank3, rank=(3, 3, 3), random_state=5)
+        b, _ = tucker(lowrank3, rank=(3, 3, 3), random_state=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPartialTucker:
+    def test_untouched_modes_full(self):
+        x = tucker_plus_noise((12, 10, 8), (3, 3, 3), noise=1e-4, seed=0)
+        core, factors = partial_tucker(x, modes=[0, 2], rank=[3, 3])
+        assert core.shape == (3, 10, 3)
+        assert len(factors) == 2
+
+    def test_reconstruction(self):
+        x = tucker_plus_noise((12, 10, 8), (3, 3, 3), noise=1e-4, seed=1)
+        core, factors = partial_tucker(x, modes=[0, 2], rank=[3, 3])
+        from repro.tensor.ops import multi_ttm
+
+        rec = multi_ttm(core, factors, modes=[0, 2])
+        assert relative_error(x, rec) < 1e-2
+
+    def test_rank_mismatch(self, lowrank3):
+        with pytest.raises(ValueError):
+            partial_tucker(lowrank3, modes=[0], rank=[2, 2])

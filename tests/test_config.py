@@ -1,0 +1,94 @@
+"""Parameter-file parsing."""
+
+import pytest
+
+from repro.config import ParameterFile, parse_parameter_text
+from repro.core.errors import ConfigError
+
+SAMPLE = """
+Print options = true
+Print timings = false
+# a comment
+Noise = 0.0001
+Processor grid dims = 1 2 2 2
+Global dims = 100 100 100 100   # trailing comment
+Ranks = 10 10 10 10
+SV Threshold = 0.0
+"""
+
+
+class TestParser:
+    def test_basic(self):
+        vals = parse_parameter_text(SAMPLE)
+        assert vals["noise"] == "0.0001"
+        assert vals["processor grid dims"] == "1 2 2 2"
+
+    def test_comments_stripped(self):
+        vals = parse_parameter_text(SAMPLE)
+        assert vals["global dims"] == "100 100 100 100"
+
+    def test_blank_lines_ignored(self):
+        assert parse_parameter_text("\n\n  \n") == {}
+
+    def test_case_insensitive_keys(self):
+        vals = parse_parameter_text("FOO Bar = 3")
+        assert vals["foo bar"] == "3"
+
+    def test_missing_equals(self):
+        with pytest.raises(ConfigError):
+            parse_parameter_text("just some text")
+
+    def test_empty_key(self):
+        with pytest.raises(ConfigError):
+            parse_parameter_text("= 3")
+
+    def test_last_wins(self):
+        vals = parse_parameter_text("A = 1\nA = 2")
+        assert vals["a"] == "2"
+
+
+class TestTypedAccess:
+    @pytest.fixture
+    def params(self):
+        return ParameterFile.from_text(SAMPLE)
+
+    def test_bool(self, params):
+        assert params.get_bool("Print options") is True
+        assert params.get_bool("Print timings") is False
+        assert params.get_bool("Missing", True) is True
+
+    def test_bool_variants(self):
+        p = ParameterFile.from_text("a = YES\nb = off\nc = 1")
+        assert p.get_bool("a") and p.get_bool("c") and not p.get_bool("b")
+
+    def test_bad_bool(self, params):
+        with pytest.raises(ConfigError):
+            ParameterFile.from_text("a = maybe").get_bool("a")
+
+    def test_float(self, params):
+        assert params.get_float("Noise") == pytest.approx(1e-4)
+
+    def test_bad_float(self):
+        with pytest.raises(ConfigError):
+            ParameterFile.from_text("a = x").get_float("a")
+
+    def test_int_list(self, params):
+        assert params.get_ints("Ranks") == (10, 10, 10, 10)
+        assert params.get_ints("Missing", (1, 2)) == (1, 2)
+
+    def test_bad_int_list(self):
+        with pytest.raises(ConfigError):
+            ParameterFile.from_text("a = 1 x 3").get_ints("a")
+
+    def test_missing_required(self, params):
+        with pytest.raises(ConfigError):
+            params.get_str("nonexistent")
+
+    def test_has(self, params):
+        assert params.has("ranks")
+        assert not params.has("bogus")
+
+    def test_from_path(self, tmp_path):
+        f = tmp_path / "x.cfg"
+        f.write_text("A = 5")
+        assert ParameterFile.from_path(f).get_int("a") == 5

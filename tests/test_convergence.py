@@ -1,0 +1,102 @@
+"""Convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    error_improvement,
+    max_factor_movement,
+    principal_angles,
+    subspace_distance,
+)
+from repro.tensor.random import random_orthonormal
+
+
+class TestPrincipalAngles:
+    def test_identical_subspaces(self):
+        u = random_orthonormal(10, 3, seed=0)
+        np.testing.assert_allclose(principal_angles(u, u), 0.0, atol=1e-7)
+
+    def test_orthogonal_subspaces(self):
+        u = np.eye(4)[:, :2]
+        v = np.eye(4)[:, 2:]
+        np.testing.assert_allclose(
+            principal_angles(u, v), np.pi / 2, atol=1e-12
+        )
+
+    def test_rotation_invariance(self):
+        u = random_orthonormal(12, 4, seed=1)
+        rng = np.random.default_rng(2)
+        q, _ = np.linalg.qr(rng.standard_normal((4, 4)))
+        np.testing.assert_allclose(
+            principal_angles(u, u @ q), 0.0, atol=1e-7
+        )
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            principal_angles(np.eye(3)[:, :1], np.eye(4)[:, :1])
+
+    def test_ascending(self):
+        u = random_orthonormal(20, 4, seed=3)
+        v = random_orthonormal(20, 4, seed=4)
+        a = principal_angles(u, v)
+        assert np.all(np.diff(a) >= -1e-12)
+
+
+class TestSubspaceDistance:
+    def test_bounds(self):
+        u = random_orthonormal(16, 3, seed=5)
+        v = random_orthonormal(16, 3, seed=6)
+        d = subspace_distance(u, v)
+        assert 0.0 <= d <= 1.0
+
+    def test_extremes(self):
+        u = np.eye(4)[:, :2]
+        v = np.eye(4)[:, 2:]
+        assert subspace_distance(u, u) == pytest.approx(0.0, abs=1e-6)
+        assert subspace_distance(u, v) == pytest.approx(1.0)
+
+
+class TestFactorMovement:
+    def test_hooi_factors_settle(self, lowrank3):
+        """After the first HOOI iteration the factors barely move —
+        the observation behind the single-sweep choice of §3.4."""
+        from repro.core.hooi import HOOIOptions
+        from repro.core.dimension_tree import (
+            SequentialTreeEngine,
+            hooi_iteration_dt,
+        )
+        from repro.linalg.llsv import LLSVMethod
+
+        rng = np.random.default_rng(7)
+        ranks = (4, 3, 5)
+        factors = [
+            random_orthonormal(n, r, seed=rng)
+            for n, r in zip(lowrank3.shape, ranks)
+        ]
+        movements = []
+        for _ in range(3):
+            before = [u.copy() for u in factors]
+            engine = SequentialTreeEngine(
+                factors, ranks, llsv_method=LLSVMethod.SUBSPACE
+            )
+            hooi_iteration_dt(lowrank3, engine)
+            factors = engine.factors
+            movements.append(max_factor_movement(before, factors))
+        # First iteration moves a lot (random init), later ones barely.
+        assert movements[0] > 10 * movements[2]
+
+    def test_length_mismatch(self):
+        u = random_orthonormal(5, 2, seed=8)
+        with pytest.raises(ValueError):
+            max_factor_movement([u], [u, u])
+
+    def test_empty(self):
+        assert max_factor_movement([], []) == 0.0
+
+
+def test_error_improvement():
+    assert error_improvement([0.5, 0.2, 0.15]) == pytest.approx(
+        [0.3, 0.05]
+    )
+    assert error_improvement([0.5]) == []

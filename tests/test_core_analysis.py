@@ -1,0 +1,168 @@
+"""Core analysis: prefix sums, storage grid, and the eq. (3) solver."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.core_analysis import (
+    greedy_rank_truncation,
+    leading_subtensor_energies,
+    solve_rank_truncation,
+    storage_cost_grid,
+)
+
+
+class TestLeadingSubtensorEnergies:
+    def test_matches_direct_norms(self, rng):
+        core = rng.standard_normal((4, 3, 5))
+        energies = leading_subtensor_energies(core)
+        for idx in itertools.product(range(4), range(3), range(5)):
+            sl = tuple(slice(0, i + 1) for i in idx)
+            assert energies[idx] == pytest.approx(
+                np.linalg.norm(core[sl]) ** 2, rel=1e-10
+            )
+
+    def test_total_energy(self, rng):
+        core = rng.standard_normal((3, 3, 3, 3))
+        energies = leading_subtensor_energies(core)
+        assert energies[-1, -1, -1, -1] == pytest.approx(
+            np.linalg.norm(core) ** 2
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_monotone_nondecreasing(self, seed):
+        rng = np.random.default_rng(seed)
+        core = rng.standard_normal((3, 4, 2))
+        energies = leading_subtensor_energies(core)
+        for axis in range(3):
+            assert np.all(np.diff(energies, axis=axis) >= -1e-12)
+
+
+class TestStorageCostGrid:
+    def test_matches_formula(self):
+        shape, core_shape = (10, 20, 30), (3, 2, 4)
+        cost = storage_cost_grid(shape, core_shape)
+        for idx in itertools.product(range(3), range(2), range(4)):
+            r = tuple(i + 1 for i in idx)
+            expected = math.prod(r) + sum(
+                n * rj for n, rj in zip(shape, r)
+            )
+            assert cost[idx] == pytest.approx(expected)
+
+    def test_order_mismatch(self):
+        with pytest.raises(ValueError):
+            storage_cost_grid((10, 10), (2, 2, 2))
+
+
+def _brute_force(core, target, shape):
+    energies = leading_subtensor_energies(core)
+    best, best_cost = None, np.inf
+    for idx in itertools.product(*(range(r) for r in core.shape)):
+        if energies[idx] >= target - 1e-9:
+            r = tuple(i + 1 for i in idx)
+            cost = math.prod(r) + sum(n * rj for n, rj in zip(shape, r))
+            if cost < best_cost:
+                best, best_cost = r, cost
+    return best, best_cost
+
+
+class TestSolveRankTruncation:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        shape = (30, 25, 20)
+        for trial in range(10):
+            core = rng.standard_normal((4, 5, 3)) * rng.geometric(
+                0.4, size=(4, 5, 3)
+            )
+            total = np.linalg.norm(core) ** 2
+            target = 0.9 * total
+            got = solve_rank_truncation(core, target, shape)
+            ref, ref_cost = _brute_force(core, target, shape)
+            assert got is not None and ref is not None
+            got_cost = math.prod(got) + sum(
+                n * r for n, r in zip(shape, got)
+            )
+            assert got_cost == pytest.approx(ref_cost)
+
+    def test_feasibility(self, rng):
+        core = rng.standard_normal((5, 4, 3))
+        total = np.linalg.norm(core) ** 2
+        target = 0.75 * total
+        ranks = solve_rank_truncation(core, target, (50, 40, 30))
+        energies = leading_subtensor_energies(core)
+        assert energies[tuple(r - 1 for r in ranks)] >= target * (1 - 1e-9)
+
+    def test_infeasible_returns_none(self, rng):
+        core = rng.standard_normal((3, 3))
+        total = np.linalg.norm(core) ** 2
+        assert solve_rank_truncation(core, 2 * total, (10, 10)) is None
+
+    def test_full_core_feasible_at_exact_total(self, rng):
+        """Rounding guard: target exactly equal to the total energy must
+        keep the full core feasible."""
+        core = rng.standard_normal((3, 4))
+        total = float(np.linalg.norm(core) ** 2)
+        ranks = solve_rank_truncation(core, total, (10, 10))
+        assert ranks is not None
+
+    def test_zero_target_minimal(self, rng):
+        core = np.abs(rng.standard_normal((4, 4))) + 0.1
+        ranks = solve_rank_truncation(core, 0.0, (10, 10))
+        assert ranks == (1, 1)
+
+    def test_concentrated_core_truncates_hard(self):
+        core = np.zeros((5, 5, 5))
+        core[0, 0, 0] = 10.0
+        core[4, 4, 4] = 0.01
+        ranks = solve_rank_truncation(
+            core, 0.99 * np.linalg.norm(core) ** 2, (20, 20, 20)
+        )
+        assert ranks == (1, 1, 1)
+
+    def test_cross_mode_tradeoff(self):
+        """The exhaustive solver may pick unequal ranks when mode sizes
+        differ (the flexibility STHOSVD's greedy choice lacks)."""
+        rng = np.random.default_rng(4)
+        core = rng.standard_normal((4, 4))
+        core[2:, :] *= 0.01
+        shape = (1000, 10)  # mode-0 columns are expensive
+        total = np.linalg.norm(core) ** 2
+        ranks = solve_rank_truncation(core, 0.9 * total, shape)
+        assert ranks[0] <= 2
+
+
+class TestGreedyTruncation:
+    def test_feasible(self, rng):
+        core = rng.standard_normal((5, 4, 3))
+        total = np.linalg.norm(core) ** 2
+        target = 0.8 * total
+        ranks = greedy_rank_truncation(core, target, (50, 40, 30))
+        energies = leading_subtensor_energies(core)
+        assert energies[tuple(r - 1 for r in ranks)] >= target * (1 - 1e-9)
+
+    def test_never_beats_exhaustive(self, rng):
+        shape = (40, 35, 30)
+        for seed in range(5):
+            gen = np.random.default_rng(seed)
+            core = gen.standard_normal((4, 4, 4)) * 2.0 ** -gen.integers(
+                0, 6, size=(4, 4, 4)
+            )
+            total = np.linalg.norm(core) ** 2
+            target = 0.85 * total
+            exh = solve_rank_truncation(core, target, shape)
+            gre = greedy_rank_truncation(core, target, shape)
+
+            def cost(r):
+                return math.prod(r) + sum(n * x for n, x in zip(shape, r))
+
+            assert cost(exh) <= cost(gre) + 1e-9
+
+    def test_infeasible_returns_none(self, rng):
+        core = rng.standard_normal((3, 3))
+        total = np.linalg.norm(core) ** 2
+        assert greedy_rank_truncation(core, 2 * total, (9, 9)) is None

@@ -1,0 +1,93 @@
+"""Cost ledger accounting."""
+
+import pytest
+
+from repro.vmpi.cost import CostLedger, PhaseCost
+from repro.vmpi.machine import MachineModel
+
+
+@pytest.fixture
+def ledger() -> CostLedger:
+    return CostLedger(MachineModel(flop_rate=1e9, alpha=1e-6, beta=1e-9), 4)
+
+
+class TestCharging:
+    def test_compute(self, ledger):
+        dt = ledger.compute("ttm", 1e9)
+        assert dt == pytest.approx(1.0)
+        assert ledger.seconds("ttm") == pytest.approx(1.0)
+        assert ledger.total_flops() == pytest.approx(1e9)
+
+    def test_sequential(self, ledger):
+        ledger.sequential("evd", 5e8)
+        assert ledger.seconds("evd") == pytest.approx(0.5)
+        assert ledger.total_seq_flops() == pytest.approx(5e8)
+        assert ledger.total_flops() == 0.0
+
+    def test_comm(self, ledger):
+        ledger.comm("ttm_comm", 1e9, 10)
+        assert ledger.seconds("ttm_comm") == pytest.approx(1.0, rel=1e-3)
+        assert ledger.total_words() == pytest.approx(1e9)
+
+    def test_comm_noop(self, ledger):
+        assert ledger.comm("x", 0.0, 0.0) == 0.0
+        assert "x" not in ledger.phases
+
+    def test_accumulation(self, ledger):
+        ledger.compute("ttm", 1e9)
+        ledger.compute("ttm", 1e9)
+        assert ledger.seconds("ttm") == pytest.approx(2.0)
+
+    def test_total_across_phases(self, ledger):
+        ledger.compute("a", 1e9)
+        ledger.sequential("b", 1e9)
+        assert ledger.seconds() == pytest.approx(2.0)
+
+
+class TestReporting:
+    def test_breakdown_sorted(self, ledger):
+        ledger.compute("small", 1e6)
+        ledger.compute("big", 1e9)
+        assert list(ledger.breakdown()) == ["big", "small"]
+
+    def test_snapshot_delta(self, ledger):
+        ledger.compute("a", 1e9)
+        snap = ledger.snapshot()
+        ledger.compute("a", 2e9)
+        assert ledger.seconds_since(snap) == pytest.approx(2.0)
+
+    def test_snapshot_is_deep(self, ledger):
+        ledger.compute("a", 1e9)
+        snap = ledger.snapshot()
+        ledger.compute("a", 1e9)
+        assert snap["a"].seconds == pytest.approx(1.0)
+
+
+class TestMerge:
+    def test_merge(self):
+        m = MachineModel(flop_rate=1e9)
+        a, b = CostLedger(m, 2), CostLedger(m, 2)
+        a.compute("x", 1e9)
+        b.compute("x", 1e9)
+        b.comm("y", 100, 1)
+        a.merge(b)
+        assert a.seconds("x") == pytest.approx(2.0)
+        assert "y" in a.phases
+
+    def test_merge_p_mismatch(self):
+        m = MachineModel()
+        with pytest.raises(ValueError):
+            CostLedger(m, 2).merge(CostLedger(m, 4))
+
+
+def test_invalid_rank_count():
+    with pytest.raises(ValueError):
+        CostLedger(MachineModel(), 0)
+
+
+def test_phasecost_merge():
+    a = PhaseCost(1.0, 2.0, 3.0, 4.0, 5.0)
+    a.merge(PhaseCost(1.0, 1.0, 1.0, 1.0, 1.0))
+    assert (a.seconds, a.flops, a.seq_flops, a.words, a.messages) == (
+        2.0, 3.0, 4.0, 5.0, 6.0,
+    )

@@ -1,0 +1,118 @@
+"""Table 1/2 closed forms and measured-vs-analytic proportionality."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.costs import (
+    hooi_iteration_flops,
+    hooi_iteration_words,
+    ra_hosi_dt_flops,
+    sthosvd_flops,
+    sthosvd_words,
+)
+from repro.core.hooi import variant_options
+from repro.distributed.arrays import SymbolicArray
+from repro.distributed.hooi import dist_hooi
+from repro.distributed.sthosvd import dist_sthosvd
+
+
+class TestClosedForms:
+    def test_sthosvd_gram_dominates_for_small_r(self):
+        f = sthosvd_flops(n=512, d=3, r=8, p=1)
+        assert f["gram"] > f["ttm"]
+
+    def test_dt_factor_over_direct(self):
+        direct = hooi_iteration_flops(64, 6, 4, 1, dimension_tree=False)
+        tree = hooi_iteration_flops(64, 6, 4, 1, dimension_tree=True)
+        assert direct["ttm"] / tree["ttm"] == pytest.approx(3.0)  # d/2
+
+    def test_subspace_vs_gram_ratio(self):
+        """LLSV via subspace iteration is ~(1/4)(n/r) cheaper (§3.4)."""
+        n, d, r = 1024, 3, 16
+        gram = hooi_iteration_flops(n, d, r, 1, subspace=False)
+        sub = hooi_iteration_flops(n, d, r, 1, subspace=True)
+        assert gram["llsv"] / sub["llsv"] == pytest.approx(n / r / 4)
+
+    def test_sequential_terms(self):
+        f = hooi_iteration_flops(100, 3, 5, 4, subspace=False)
+        assert f["llsv_seq"] == 3 * 100**3
+        f = hooi_iteration_flops(100, 3, 5, 4, subspace=True)
+        assert f["llsv_seq"] == 3 * 100 * 25
+
+    def test_ra_scales_with_iters(self):
+        one = ra_hosi_dt_flops(64, 3, 4, 2, iters=1)
+        three = ra_hosi_dt_flops(64, 3, 4, 2, iters=3)
+        for k in one:
+            assert three[k] == pytest.approx(3 * one[k])
+
+    def test_words_zero_comm_on_unit_grid(self):
+        w = sthosvd_words(64, 3, 4, (1, 1, 1))
+        assert w["ttm"] == 0.0
+        # Only the dn^2 allreduce term remains.
+        assert w["llsv"] == pytest.approx(3 * 64**2)
+
+    def test_dt_words_depend_on_p1_pd(self):
+        w_mid = hooi_iteration_words(64, 4, 4, (1, 4, 4, 1))
+        w_edge = hooi_iteration_words(64, 4, 4, (4, 1, 1, 4))
+        assert w_mid["ttm"] == 0.0
+        assert w_edge["ttm"] > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sthosvd_flops(0, 3, 1, 1)
+        with pytest.raises(ValueError):
+            sthosvd_flops(4, 3, 8, 1)
+
+
+class TestMeasuredVersusModel:
+    """The ledger's measured counts must track the paper's closed forms:
+    the measured/analytic ratio stays (near-)constant across a sweep."""
+
+    def test_sthosvd_gram_flops_proportional(self):
+        ratios = []
+        for n in (32, 64, 128):
+            x = SymbolicArray((n, n, n), np.float32)
+            _, stats = dist_sthosvd(x, (1, 2, 2), ranks=(4, 4, 4))
+            measured = stats.ledger.phases["gram"].flops
+            model = sthosvd_flops(n, 3, 4, 4)["gram"]
+            ratios.append(measured / model)
+        assert max(ratios) / min(ratios) < 1.3
+
+    def test_hosi_dt_ttm_flops_proportional(self):
+        opts = variant_options("hosi-dt", max_iters=1)
+        ratios = []
+        for n in (32, 64, 128):
+            x = SymbolicArray((n, n, n, n), np.float32)
+            _, stats = dist_hooi(x, (4, 4, 4, 4), (1, 2, 2, 1), options=opts)
+            measured = stats.ledger.phases["ttm"].flops
+            model = hooi_iteration_flops(n, 4, 4, 4)["ttm"]
+            ratios.append(measured / model)
+        assert max(ratios) / min(ratios) < 1.3
+
+    def test_direct_ttm_words_track_grid(self):
+        """Direct HOOI TTM words grow with P_1 as (d-1)(rn^{d-1}/P)(P_1-1)."""
+        opts = variant_options("hooi", max_iters=1)
+        n, r = 64, 4
+        measured, model = [], []
+        for grid in [(2, 1, 1), (4, 1, 1), (8, 1, 1)]:
+            x = SymbolicArray((n, n, n), np.float32)
+            _, stats = dist_hooi(x, (r, r, r), grid, options=opts)
+            measured.append(stats.ledger.phases["ttm_comm"].words)
+            model.append(hooi_iteration_words(
+                n, 3, r, grid, dimension_tree=False, subspace=True
+            )["ttm"])
+        ratios = [m / a for m, a in zip(measured, model)]
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_core_analysis_words_equal_core_size(self, lowrank4):
+        from repro.distributed.rank_adaptive import dist_rank_adaptive_hooi
+        from repro.core.rank_adaptive import RankAdaptiveOptions
+
+        opts = RankAdaptiveOptions(max_iters=1)
+        _, stats = dist_rank_adaptive_hooi(
+            lowrank4, 0.05, (4, 5, 3, 4), (1, 2, 2, 1), options=opts
+        )
+        words = stats.ledger.phases["core_comm"].words
+        core_size = 4 * 5 * 3 * 4
+        # gather moves (P-1)/P of the core size.
+        assert words == pytest.approx(core_size * 3 / 4, rel=1e-9)

@@ -1,0 +1,56 @@
+"""CSV persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.csv_io import (
+    read_scaling_csv,
+    write_dataset_csv,
+    write_scaling_csv,
+)
+from repro.analysis.scaling import ScalingPoint, strong_scaling
+
+
+class TestScalingCSV:
+    def test_roundtrip(self, tmp_path):
+        pts = [
+            ScalingPoint("sthosvd", 16, (1, 4, 4), 1.25, {"evd": 1.0}),
+            ScalingPoint("hosi-dt", 16, (4, 2, 2), 0.5, {}),
+        ]
+        f = tmp_path / "scale.csv"
+        write_scaling_csv(pts, f)
+        got = read_scaling_csv(f)
+        assert len(got) == 2
+        assert got[0].algorithm == "sthosvd"
+        assert got[0].grid == (1, 4, 4)
+        assert got[0].seconds == 1.25
+        assert got[1].p == 16
+
+    def test_real_sweep_roundtrip(self, tmp_path):
+        pts = strong_scaling(
+            (32, 32, 32), (4, 4, 4), [1, 4], algorithms=("hosi-dt",)
+        )
+        f = tmp_path / "sweep.csv"
+        write_scaling_csv(pts, f)
+        got = read_scaling_csv(f)
+        assert [(p.algorithm, p.p, p.seconds) for p in got] == [
+            (p.algorithm, p.p, p.seconds) for p in pts
+        ]
+
+
+class TestDatasetCSV:
+    def test_writes_all_rows(self, tmp_path):
+        from repro.analysis.experiments import run_dataset_experiment
+        from repro.datasets import miranda_like
+
+        x = miranda_like(24, seed=0).astype(np.float64)
+        exp = run_dataset_experiment(
+            "miranda", x, cores=16, tolerances=(0.1,), seed=0
+        )
+        f = tmp_path / "dataset.csv"
+        write_dataset_csv(exp, f)
+        lines = f.read_text().strip().splitlines()
+        # header + 1 baseline + 3 starts x 3 iterations
+        assert len(lines) == 1 + 1 + 9
+        assert lines[1].startswith("miranda,0.1,sthosvd")
+        assert any("ra-hosi-dt,under" in ln for ln in lines)

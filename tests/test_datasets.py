@@ -1,0 +1,110 @@
+"""Dataset surrogates: structure, determinism, compressibility."""
+
+import numpy as np
+import pytest
+
+from repro.core.sthosvd import sthosvd
+from repro.datasets import (
+    DATASETS,
+    hcci_like,
+    load_dataset,
+    miranda_like,
+    smooth_multilinear_field,
+    sp_like,
+)
+
+
+class TestSmoothField:
+    def test_shape_and_dtype(self):
+        x = smooth_multilinear_field((10, 12, 8), seed=0)
+        assert x.shape == (10, 12, 8)
+        assert x.dtype == np.float64
+
+    def test_deterministic(self):
+        a = smooth_multilinear_field((8, 8, 8), seed=3)
+        b = smooth_multilinear_field((8, 8, 8), seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        a = smooth_multilinear_field((8, 8, 8), seed=3)
+        b = smooth_multilinear_field((8, 8, 8), seed=4)
+        assert not np.allclose(a, b)
+
+    def test_spectrum_decays(self):
+        """The mode-unfolding singular values decay fast — the property
+        that makes Tucker compression effective on simulation data."""
+        x = smooth_multilinear_field((24, 24, 24), decay=0.7, seed=1)
+        from repro.tensor.dense import unfold
+
+        s = np.linalg.svd(unfold(x, 0), compute_uv=False)
+        assert s[10] < 1e-2 * s[0]
+
+    def test_smaller_decay_more_compressible(self):
+        fast = smooth_multilinear_field(
+            (20, 20, 20), decay=0.5, noise=0, seed=2
+        )
+        slow = smooth_multilinear_field(
+            (20, 20, 20), decay=0.95, noise=0, seed=2
+        )
+        t_fast, _ = sthosvd(fast, eps=0.01)
+        t_slow, _ = sthosvd(slow, eps=0.01)
+        assert t_fast.storage_size() <= t_slow.storage_size()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smooth_multilinear_field((8, 8), num_terms=0)
+        with pytest.raises(ValueError):
+            smooth_multilinear_field((8, 8), decay=1.5)
+
+
+class TestSurrogates:
+    def test_miranda_shape(self):
+        x = miranda_like(24, seed=0)
+        assert x.shape == (24, 24, 24)
+        assert x.dtype == np.float32
+
+    def test_hcci_shape(self):
+        x = hcci_like((16, 16, 5, 12), seed=0)
+        assert x.shape == (16, 16, 5, 12)
+        assert x.dtype == np.float64
+
+    def test_sp_shape(self):
+        x = sp_like((10, 10, 10, 3, 8), seed=0)
+        assert x.shape == (10, 10, 10, 3, 8)
+        assert x.ndim == 5
+
+    def test_miranda_high_compression_at_eps_point1(self):
+        """At eps = 0.1 the surrogate compresses hard (ranks << n),
+        matching the paper's high-compression regime."""
+        x = miranda_like(48, seed=0).astype(np.float64)
+        tucker, _ = sthosvd(x, eps=0.1)
+        assert all(r <= 12 for r in tucker.ranks)
+        assert tucker.relative_error(x) <= 0.1
+
+    def test_hcci_tolerance_rank_growth(self):
+        x = hcci_like((24, 24, 5, 16), seed=0)
+        loose, _ = sthosvd(x, eps=0.1)
+        tight, _ = sthosvd(x, eps=0.01)
+        assert tight.storage_size() >= loose.storage_size()
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(DATASETS) == {"miranda", "hcci", "sp"}
+
+    def test_load_by_name(self):
+        x = load_dataset("miranda", n=16, seed=1)
+        assert x.shape == (16, 16, 16)
+
+    def test_case_insensitive(self):
+        x = load_dataset("MIRANDA", n=8)
+        assert x.shape == (8, 8, 8)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("sdss")
+
+    def test_metadata(self):
+        spec = DATASETS["sp"]
+        assert spec.paper_shape == (500, 500, 500, 11, 400)
+        assert spec.paper_cores == 2048

@@ -1,0 +1,157 @@
+"""Dimension-tree structure and the memoized HOOI iteration (Alg. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dimension_tree import (
+    SequentialTreeEngine,
+    contraction_schedule,
+    hooi_iteration_direct,
+    hooi_iteration_dt,
+    leaf_order,
+    split_modes,
+    tree_nodes,
+)
+from repro.linalg.llsv import LLSVMethod
+from repro.tensor.random import random_orthonormal, tucker_plus_noise
+
+
+class TestSplitModes:
+    def test_root_split_order6(self):
+        """Paper Fig. 1: trailing half contracted first, in reverse."""
+        mu, eta = split_modes((0, 1, 2, 3, 4, 5))
+        assert mu == (5, 4, 3)
+        assert eta == (0, 1, 2)
+
+    def test_odd_count(self):
+        mu, eta = split_modes((0, 1, 2))
+        assert mu == (2, 1)
+        assert eta == (0,)
+
+    def test_two_modes(self):
+        mu, eta = split_modes((3, 4))
+        assert mu == (4,)
+        assert eta == (3,)
+
+    def test_single_mode_rejected(self):
+        with pytest.raises(ValueError):
+            split_modes((1,))
+
+
+class TestTreeStructure:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 6, 7])
+    def test_leaves_visited_in_mode_order(self, d):
+        assert leaf_order(d) == list(range(d))
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 6])
+    def test_every_mode_is_a_leaf(self, d):
+        nodes = tree_nodes(d)
+        leaves = [n for n in nodes if len(n) == 1]
+        assert sorted(next(iter(n)) for n in leaves) == list(range(d))
+
+    def test_root_is_all_modes(self):
+        assert tree_nodes(4)[0] == frozenset(range(4))
+
+    @pytest.mark.parametrize("d", [3, 4, 6])
+    def test_first_ttm_is_mode_d(self, d):
+        """The first TTM off the root is in the last mode (layout
+        optimization, §3.3)."""
+        assert contraction_schedule(d)[0] == d - 1
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 6])
+    def test_schedule_fewer_ttms_than_direct(self, d):
+        """The tree performs fewer TTMs than the direct d*(d-1)."""
+        n_tree = len(contraction_schedule(d))
+        n_direct = d * (d - 1)
+        if d > 2:
+            assert n_tree < n_direct
+        else:
+            assert n_tree == n_direct
+
+    def test_schedule_counts_order4(self):
+        # Root: contract {3,2} then recurse {0,1}; contract {0,1} then
+        # recurse {2,3}; each 2-mode subtree adds 2 TTMs.
+        sched = contraction_schedule(4)
+        assert len(sched) == 8
+        assert sched[:2] == [3, 2]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("d", [3, 4])
+    def test_dt_matches_direct_gram(self, d):
+        """One memoized iteration produces the same subspaces as one
+        direct iteration (both update modes in increasing order with
+        the same intermediate quantities)."""
+        shape = (12, 11, 10, 9)[:d]
+        ranks = (3, 2, 4, 2)[:d]
+        x = tucker_plus_noise(shape, ranks, noise=1e-3, seed=0)
+        rng = np.random.default_rng(1)
+        init = [
+            random_orthonormal(n, r, seed=rng) for n, r in zip(shape, ranks)
+        ]
+
+        f_direct = [u.copy() for u in init]
+        core_direct = hooi_iteration_direct(
+            x, f_direct, ranks, llsv_method=LLSVMethod.GRAM_EVD
+        )
+
+        engine = SequentialTreeEngine(
+            [u.copy() for u in init], ranks,
+            llsv_method=LLSVMethod.GRAM_EVD,
+        )
+        hooi_iteration_dt(x, engine)
+
+        for a, b in zip(f_direct, engine.factors):
+            np.testing.assert_allclose(a @ a.T, b @ b.T, atol=1e-8)
+        assert np.linalg.norm(core_direct) == pytest.approx(
+            np.linalg.norm(engine.core), rel=1e-8
+        )
+
+    def test_dt_matches_direct_subspace(self):
+        shape, ranks = (12, 11, 10), (3, 3, 3)
+        x = tucker_plus_noise(shape, ranks, noise=1e-4, seed=2)
+        rng = np.random.default_rng(3)
+        init = [
+            random_orthonormal(n, r, seed=rng) for n, r in zip(shape, ranks)
+        ]
+
+        f_direct = [u.copy() for u in init]
+        core_direct = hooi_iteration_direct(
+            x, f_direct, ranks, llsv_method=LLSVMethod.SUBSPACE
+        )
+        engine = SequentialTreeEngine(
+            [u.copy() for u in init], ranks,
+            llsv_method=LLSVMethod.SUBSPACE,
+        )
+        hooi_iteration_dt(x, engine)
+
+        for a, b in zip(f_direct, engine.factors):
+            np.testing.assert_allclose(a @ a.T, b @ b.T, atol=1e-7)
+        assert np.linalg.norm(core_direct) == pytest.approx(
+            np.linalg.norm(engine.core), rel=1e-7
+        )
+
+    def test_engine_records_timings(self):
+        shape, ranks = (10, 9, 8), (2, 2, 2)
+        x = tucker_plus_noise(shape, ranks, noise=1e-4, seed=4)
+        rng = np.random.default_rng(5)
+        init = [
+            random_orthonormal(n, r, seed=rng) for n, r in zip(shape, ranks)
+        ]
+        timings: dict[str, float] = {}
+        engine = SequentialTreeEngine(init, ranks, timings=timings)
+        hooi_iteration_dt(x, engine)
+        assert timings["ttm"] > 0
+        assert timings["llsv"] > 0
+
+    def test_core_formed_at_last_leaf(self):
+        shape, ranks = (8, 7, 6), (2, 2, 2)
+        x = tucker_plus_noise(shape, ranks, noise=1e-4, seed=6)
+        rng = np.random.default_rng(7)
+        init = [
+            random_orthonormal(n, r, seed=rng) for n, r in zip(shape, ranks)
+        ]
+        engine = SequentialTreeEngine(init, ranks)
+        hooi_iteration_dt(x, engine)
+        assert engine.core is not None
+        assert engine.core.shape == ranks

@@ -1,0 +1,98 @@
+"""Distributed HOOI variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.hooi import VARIANTS, hooi, variant_options
+from repro.distributed.arrays import SymbolicArray
+from repro.distributed.hooi import dist_hooi
+
+
+class TestConcrete:
+    @pytest.mark.parametrize("name", sorted(VARIANTS))
+    def test_matches_sequential(self, lowrank4, name):
+        opts = variant_options(name, max_iters=2, seed=5)
+        seq, seq_stats = hooi(lowrank4, (3, 4, 2, 3), opts)
+        dist, dist_stats = dist_hooi(
+            lowrank4, (3, 4, 2, 3), (1, 2, 2, 1), options=opts
+        )
+        assert dist is not None
+        np.testing.assert_allclose(
+            dist_stats.errors, seq_stats.errors, rtol=1e-7, atol=1e-10
+        )
+
+    def test_grid_does_not_change_numerics(self, lowrank4):
+        opts = variant_options("hosi-dt", max_iters=2, seed=1)
+        errs = []
+        for dims in [(1, 1, 1, 1), (2, 2, 1, 1), (1, 1, 2, 2)]:
+            _, stats = dist_hooi(lowrank4, (3, 4, 2, 3), dims, options=opts)
+            errs.append(stats.errors[-1])
+        assert max(errs) - min(errs) < 1e-10
+
+    def test_tol_early_stop(self, lowrank4):
+        opts = variant_options("hosi-dt", max_iters=50, tol=1e-9, seed=2)
+        _, stats = dist_hooi(lowrank4, (3, 4, 2, 3), (1, 1, 1, 1), options=opts)
+        assert stats.iterations < 50
+
+    def test_breakdown_subspace_variant(self, lowrank4):
+        opts = variant_options("hosi-dt", max_iters=1, seed=3)
+        _, stats = dist_hooi(lowrank4, (3, 4, 2, 3), (1, 2, 2, 1), options=opts)
+        assert {"ttm", "subspace", "qrcp"} <= set(stats.breakdown)
+        assert "evd" not in stats.breakdown
+
+    def test_breakdown_gram_variant(self, lowrank4):
+        opts = variant_options("hooi", max_iters=1, seed=3)
+        _, stats = dist_hooi(lowrank4, (3, 4, 2, 3), (1, 2, 2, 1), options=opts)
+        assert {"ttm", "gram", "evd"} <= set(stats.breakdown)
+        assert "qrcp" not in stats.breakdown
+
+
+class TestSymbolic:
+    def test_costs_only(self):
+        x = SymbolicArray((64, 64, 64, 64), np.float32)
+        opts = variant_options("hosi-dt", max_iters=2)
+        tucker, stats = dist_hooi(x, (8, 8, 8, 8), (1, 4, 4, 1), options=opts)
+        assert tucker is None
+        assert stats.iterations == 2
+        assert stats.errors == []
+        assert stats.simulated_seconds > 0
+
+    def test_dt_cheaper_than_direct(self):
+        """Dimension trees reduce TTM flops ~d/2 (Table 1)."""
+        x = SymbolicArray((64, 64, 64, 64), np.float32)
+        ttm_flops = {}
+        for name in ("hooi", "hooi-dt"):
+            opts = variant_options(name, max_iters=1)
+            _, stats = dist_hooi(x, (4, 4, 4, 4), (1, 1, 1, 1), options=opts)
+            ttm_flops[name] = stats.ledger.phases["ttm"].flops
+        ratio = ttm_flops["hooi"] / ttm_flops["hooi-dt"]
+        assert 1.5 < ratio < 2.5  # d/2 = 2 at d=4
+
+    def test_subspace_avoids_evd(self):
+        x = SymbolicArray((512, 512, 512), np.float32)
+        opts_g = variant_options("hooi-dt", max_iters=2)
+        opts_s = variant_options("hosi-dt", max_iters=2)
+        _, st_g = dist_hooi(x, (8, 8, 8), (1, 8, 8), options=opts_g)
+        _, st_s = dist_hooi(x, (8, 8, 8), (1, 8, 8), options=opts_s)
+        assert st_s.simulated_seconds < st_g.simulated_seconds
+
+    def test_two_iterations_double_cost(self):
+        x = SymbolicArray((64, 64, 64), np.float32)
+        opts1 = variant_options("hosi-dt", max_iters=1)
+        opts2 = variant_options("hosi-dt", max_iters=2)
+        _, s1 = dist_hooi(x, (8, 8, 8), (2, 2, 2), options=opts1)
+        _, s2 = dist_hooi(x, (8, 8, 8), (2, 2, 2), options=opts2)
+        assert s2.simulated_seconds == pytest.approx(
+            2 * s1.simulated_seconds, rel=1e-6
+        )
+
+
+class TestValidation:
+    def test_grid_order(self, lowrank3):
+        with pytest.raises(ConfigError):
+            dist_hooi(lowrank3, (2, 2, 2), (1, 1))
+
+    def test_bad_ranks(self, lowrank3):
+        with pytest.raises(ValueError):
+            dist_hooi(lowrank3, (99, 2, 2), (1, 1, 1))

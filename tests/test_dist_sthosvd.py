@@ -1,0 +1,94 @@
+"""Distributed STHOSVD."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.sthosvd import sthosvd
+from repro.distributed.arrays import SymbolicArray
+from repro.distributed.sthosvd import dist_sthosvd
+
+
+class TestConcrete:
+    @pytest.mark.parametrize(
+        "dims", [(1, 1, 1, 1), (2, 2, 1, 1), (1, 2, 2, 2)]
+    )
+    def test_matches_sequential(self, lowrank4, dims):
+        seq, _ = sthosvd(lowrank4, ranks=(3, 4, 2, 3))
+        dist, _ = dist_sthosvd(lowrank4, dims, ranks=(3, 4, 2, 3))
+        assert dist.ranks == seq.ranks
+        assert dist.relative_error(lowrank4) == pytest.approx(
+            seq.relative_error(lowrank4), rel=1e-8
+        )
+
+    def test_error_specified(self, lowrank4):
+        tucker, stats = dist_sthosvd(lowrank4, (1, 2, 1, 2), eps=0.01)
+        assert tucker.ranks == (3, 4, 2, 3)
+        assert tucker.relative_error(lowrank4) <= 0.01
+
+    def test_breakdown_phases(self, lowrank4):
+        _, stats = dist_sthosvd(lowrank4, (1, 2, 1, 2), ranks=(3, 4, 2, 3))
+        assert {"gram", "evd", "ttm"} <= set(stats.breakdown)
+        assert stats.simulated_seconds > 0
+        assert stats.grid_dims == (1, 2, 1, 2)
+
+    def test_mode_order(self, lowrank4):
+        t1, _ = dist_sthosvd(
+            lowrank4, (1, 1, 1, 1), ranks=(3, 4, 2, 3),
+            mode_order=(3, 2, 1, 0),
+        )
+        assert t1.ranks == (3, 4, 2, 3)
+
+
+class TestSymbolic:
+    def test_costs_only(self):
+        x = SymbolicArray((64, 64, 64), np.float32)
+        tucker, stats = dist_sthosvd(x, (1, 4, 4), ranks=(4, 4, 4))
+        assert tucker is None
+        assert stats.ranks == (4, 4, 4)
+        assert stats.simulated_seconds > 0
+
+    def test_requires_ranks(self):
+        x = SymbolicArray((16, 16, 16))
+        with pytest.raises(ConfigError):
+            dist_sthosvd(x, (1, 1, 1), eps=0.1)
+
+    def test_evd_bottleneck_at_scale(self):
+        """Large single dimension + many cores: the sequential EVD
+        dominates (the paper's 3-way STHOSVD plateau in Fig. 2)."""
+        x = SymbolicArray((2048, 2048, 2048), np.float32)
+        _, stats = dist_sthosvd(x, (1, 64, 64), ranks=(16, 16, 16))
+        assert stats.breakdown["evd"] > 0.5 * stats.simulated_seconds
+
+    def test_gram_dominates_at_small_p(self):
+        x = SymbolicArray((2048, 2048, 2048), np.float32)
+        _, stats = dist_sthosvd(x, (1, 1, 1), ranks=(16, 16, 16))
+        assert stats.breakdown["gram"] > stats.breakdown["evd"]
+
+    def test_strong_scaling_monotone_until_plateau(self):
+        x = SymbolicArray((512, 512, 512), np.float32)
+        times = []
+        for dims in [(1, 1, 1), (1, 2, 2), (1, 4, 4), (1, 8, 8)]:
+            _, stats = dist_sthosvd(x, dims, ranks=(8, 8, 8))
+            times.append(stats.simulated_seconds)
+        assert all(t2 <= t1 * 1.01 for t1, t2 in zip(times, times[1:]))
+
+
+class TestValidation:
+    def test_needs_spec(self, lowrank3):
+        with pytest.raises(ConfigError):
+            dist_sthosvd(lowrank3, (1, 1, 1))
+
+    def test_grid_order(self, lowrank3):
+        with pytest.raises(ConfigError):
+            dist_sthosvd(lowrank3, (1, 1), ranks=(2, 2, 2))
+
+    def test_bad_eps(self, lowrank3):
+        with pytest.raises(ConfigError):
+            dist_sthosvd(lowrank3, (1, 1, 1), eps=-0.5)
+
+    def test_bad_mode_order(self, lowrank3):
+        with pytest.raises(ConfigError):
+            dist_sthosvd(
+                lowrank3, (1, 1, 1), ranks=(2, 2, 2), mode_order=(0, 0, 1)
+            )

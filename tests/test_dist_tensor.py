@@ -1,0 +1,98 @@
+"""DistTensor handle: blocks, assembly, gather, symbolic mode."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.arrays import SymbolicArray
+from repro.distributed.dist_tensor import DistTensor
+from repro.vmpi.cost import CostLedger
+from repro.vmpi.grid import ProcessorGrid
+from repro.vmpi.machine import MachineModel
+
+
+def _dt(data, dims):
+    grid = ProcessorGrid(dims)
+    return DistTensor(data, grid, CostLedger(MachineModel(), grid.size))
+
+
+class TestConcrete:
+    def test_blocks_are_views(self, small3):
+        dt = _dt(small3, (2, 1, 2))
+        block = dt.local_block(0)
+        block[...] = 7.0
+        assert np.all(dt.data[dt.layout.local_slices((0, 0, 0))] == 7.0)
+
+    def test_all_blocks_cover(self, small3):
+        dt = _dt(small3.copy(), (2, 1, 2))
+        total = sum(b.size for b in dt.all_blocks())
+        assert total == small3.size
+
+    def test_assemble_inverts_blocks(self, small4):
+        dt = _dt(small4, (1, 2, 1, 3))
+        blocks = [b.copy() for b in dt.all_blocks()]
+        rebuilt = DistTensor.assemble(
+            blocks, small4.shape, dt.grid, dt.ledger
+        )
+        np.testing.assert_array_equal(rebuilt.data, small4)
+
+    def test_assemble_shape_check(self, small4):
+        dt = _dt(small4, (1, 2, 1, 3))
+        blocks = [b.copy() for b in dt.all_blocks()]
+        blocks[0] = blocks[0][:2]
+        with pytest.raises(ValueError):
+            DistTensor.assemble(blocks, small4.shape, dt.grid, dt.ledger)
+
+    def test_gather_charges_cost(self, small3):
+        dt = _dt(small3, (2, 2, 1))
+        out = dt.gather()
+        assert out is small3
+        assert dt.ledger.phases["core_comm"].words > 0
+
+    def test_gather_free_on_one_rank(self, small3):
+        dt = _dt(small3, (1, 1, 1))
+        dt.gather()
+        assert "core_comm" not in dt.ledger.phases
+
+    def test_metadata(self, small3):
+        dt = _dt(small3, (1, 1, 1))
+        assert dt.shape == small3.shape
+        assert dt.ndim == 3
+        assert dt.size == small3.size
+        assert dt.concrete
+
+
+class TestSymbolic:
+    def test_no_blocks(self):
+        dt = _dt(SymbolicArray((8, 8)), (2, 2))
+        assert not dt.concrete
+        with pytest.raises(TypeError):
+            dt.local_block(0)
+
+    def test_gather_still_charges(self):
+        dt = _dt(SymbolicArray((8, 8)), (2, 2))
+        dt.gather()
+        assert dt.ledger.phases["core_comm"].words > 0
+
+
+class TestValidation:
+    def test_grid_ledger_mismatch(self, small3):
+        grid = ProcessorGrid((2, 1, 1))
+        with pytest.raises(ValueError):
+            DistTensor(small3, grid, CostLedger(MachineModel(), 4))
+
+    def test_like_shares_grid(self, small3, rng):
+        dt = _dt(small3, (2, 1, 1))
+        other = dt.like(rng.standard_normal((4, 5, 4)))
+        assert other.grid is dt.grid
+        assert other.ledger is dt.ledger
+
+
+class TestSymbolicArray:
+    def test_metadata(self):
+        s = SymbolicArray((3, 4, 5))
+        assert s.ndim == 3
+        assert s.size == 60
+
+    def test_negative_extent(self):
+        with pytest.raises(ValueError):
+            SymbolicArray((3, -1))

@@ -1,0 +1,120 @@
+"""Edge-case shapes: singleton modes, d=2, full ranks, tiny tensors."""
+
+import numpy as np
+import pytest
+
+from repro.core.hooi import HOOIOptions, hooi
+from repro.core.rank_adaptive import rank_adaptive_hooi
+from repro.core.sthosvd import sthosvd
+from repro.distributed.sthosvd import dist_sthosvd
+from repro.tensor.dense import unfold
+from repro.tensor.random import tucker_plus_noise
+
+
+class TestSingletonModes:
+    """HCCI/SP have small 'variable' modes; the degenerate case is
+    extent 1."""
+
+    def test_sthosvd_with_singleton(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 1, 6))
+        tucker, _ = sthosvd(x, ranks=(3, 1, 3))
+        assert tucker.ranks == (3, 1, 3)
+
+    def test_hooi_with_singleton(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((8, 1, 6))
+        tucker, _ = hooi(x, (3, 1, 3), HOOIOptions(max_iters=2))
+        assert tucker.ranks == (3, 1, 3)
+
+    def test_rank_adaptive_with_singleton(self):
+        x = tucker_plus_noise((10, 1, 8), (2, 1, 2), noise=1e-3, seed=2)
+        tucker, stats = rank_adaptive_hooi(x, 0.01, (3, 1, 3))
+        assert stats.converged
+        assert tucker.ranks[1] == 1
+
+
+class TestMatrixCase:
+    """d=2 Tucker is the truncated SVD; all algorithms must agree with
+    LAPACK."""
+
+    def test_sthosvd_matches_svd(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((20, 15))
+        tucker, _ = sthosvd(a, ranks=(4, 4))
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        best = (u[:, :4] * s[:4]) @ vt[:4]
+        assert np.linalg.norm(
+            tucker.reconstruct() - best
+        ) < 1e-8 * np.linalg.norm(best)
+
+    def test_hooi_matches_svd(self):
+        from repro.linalg.llsv import LLSVMethod
+
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((20, 15))
+        # Gaussian matrices have a flat spectrum; the exact Gram-EVD
+        # update converges to the truncated SVD (subspace iteration
+        # would need many sweeps here).
+        tucker, _ = hooi(
+            a, (4, 4),
+            HOOIOptions(
+                max_iters=50, seed=5, llsv_method=LLSVMethod.GRAM_EVD
+            ),
+        )
+        u, s, vt = np.linalg.svd(a, full_matrices=False)
+        best_err = np.linalg.norm(a - (u[:, :4] * s[:4]) @ vt[:4])
+        got_err = np.linalg.norm(a - tucker.reconstruct())
+        assert got_err == pytest.approx(best_err, rel=1e-5)
+
+    def test_distributed_matrix(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((16, 12))
+        tucker, _ = dist_sthosvd(a, (2, 2), ranks=(3, 3))
+        seq, _ = sthosvd(a, ranks=(3, 3))
+        assert tucker.relative_error(a) == pytest.approx(
+            seq.relative_error(a), rel=1e-8
+        )
+
+
+class TestFullRank:
+    def test_full_ranks_lossless(self, small3):
+        tucker, _ = sthosvd(small3, ranks=small3.shape)
+        assert tucker.relative_error(small3) < 1e-10
+        # Full-rank Tucker is *larger* than the input (no compression).
+        assert tucker.compression_ratio() < 1.0
+
+    def test_rank_adaptive_tiny_eps_full_noise(self, rng):
+        """Pure noise at eps near machine precision pushes ranks to the
+        dimensions; RA must cope and report convergence status."""
+        x = rng.standard_normal((6, 6, 6))
+        tucker, stats = rank_adaptive_hooi(
+            x, 1e-7, (6, 6, 6),
+        )
+        if stats.converged:
+            assert tucker.relative_error(x) <= 1e-7 * (1 + 1e-3)
+
+
+class TestTinyTensors:
+    def test_two_by_two(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((2, 2, 2))
+        tucker, _ = sthosvd(x, ranks=(1, 1, 1))
+        assert tucker.ranks == (1, 1, 1)
+
+    def test_rank_one_everything(self):
+        x = np.ones((4, 4, 4))
+        tucker, _ = sthosvd(x, eps=0.5)
+        assert tucker.ranks == (1, 1, 1)
+        assert tucker.relative_error(x) < 1e-10
+
+    def test_zero_tensor(self):
+        x = np.zeros((4, 4, 4))
+        tucker, _ = sthosvd(x, ranks=(1, 1, 1))
+        assert tucker.relative_error(x) == 0.0
+
+    def test_unfold_singleton_all_modes(self):
+        x = np.arange(6.0).reshape(1, 6, 1)
+        for mode in range(3):
+            m = unfold(x, mode)
+            assert m.size == 6

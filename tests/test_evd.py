@@ -1,0 +1,60 @@
+"""Gram EVD and threshold-based rank selection."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.evd import gram_evd, rank_from_spectrum
+from repro.tensor.ops import gram
+
+
+class TestGramEVD:
+    def test_descending_eigenvalues(self, small3):
+        vals, _ = gram_evd(gram(small3, 0))
+        assert np.all(np.diff(vals) <= 1e-9)
+
+    def test_nonnegative(self, small3):
+        vals, _ = gram_evd(gram(small3, 1))
+        assert np.all(vals >= 0)
+
+    def test_eigenpairs(self, small3):
+        g = gram(small3, 0)
+        vals, vecs = gram_evd(g)
+        np.testing.assert_allclose(g @ vecs, vecs * vals, atol=1e-8)
+
+    def test_matches_singular_values(self, small3):
+        from repro.tensor.dense import unfold
+
+        vals, _ = gram_evd(gram(small3, 2))
+        s = np.linalg.svd(unfold(small3, 2), compute_uv=False)
+        np.testing.assert_allclose(vals, s**2, rtol=1e-8)
+
+    def test_negative_noise_clipped(self):
+        g = np.diag([1.0, -1e-15])
+        vals, _ = gram_evd(g)
+        assert vals.min() >= 0.0
+
+
+class TestRankFromSpectrum:
+    def test_exact_cutoff(self):
+        # tail sums: r=1 -> 4+1=5, r=2 -> 1, r=3 -> 0
+        vals = np.array([10.0, 4.0, 1.0])
+        assert rank_from_spectrum(vals, 5.0) == 1
+        assert rank_from_spectrum(vals, 4.999) == 2
+        assert rank_from_spectrum(vals, 1.0) == 2
+        assert rank_from_spectrum(vals, 0.5) == 3
+
+    def test_zero_threshold_full_rank(self):
+        vals = np.array([3.0, 2.0, 1.0])
+        assert rank_from_spectrum(vals, 0.0) == 3
+
+    def test_zero_threshold_with_zero_tail(self):
+        vals = np.array([3.0, 2.0, 0.0, 0.0])
+        assert rank_from_spectrum(vals, 0.0) == 2
+
+    def test_huge_threshold_returns_at_least_one(self):
+        vals = np.array([3.0, 2.0])
+        assert rank_from_spectrum(vals, 100.0) == 1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            rank_from_spectrum(np.array([1.0]), -1.0)

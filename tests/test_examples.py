@@ -1,0 +1,70 @@
+"""Smoke tests: every shipped example runs end to end.
+
+The heavy examples are monkeypatched down to toy sizes so this stays
+fast; what is being tested is that the example code paths exercise the
+public API without raising.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "OK: tolerance met." in out
+
+
+def test_parameter_driver(capsys):
+    out = _run("parameter_driver.py", capsys)
+    assert "repro-sthosvd" in out
+    assert "Converged: True" in out
+
+
+def test_dimension_tree_tour(capsys):
+    out = _run("dimension_tree_tour.py", capsys)
+    assert "{1,2,3,4,5,6}" in out
+    assert "caterpillar" in out
+
+
+def test_trace_timeline(capsys):
+    out = _run("trace_timeline.py", capsys)
+    assert "phase" in out and "#" in out
+
+
+def test_process_parallel(capsys):
+    out = _run("process_parallel.py", capsys)
+    assert "process-parallel STHOSVD" in out
+
+
+def test_artifact_workflow(capsys):
+    out = _run("artifact_workflow.py", capsys)
+    assert "step 3: collected figure" in out
+    assert "hosi-dt" in out
+
+
+@pytest.mark.slow
+def test_compress_simulation(capsys):
+    out = _run("compress_simulation.py", capsys)
+    assert "decompressed slab" in out
+
+
+@pytest.mark.slow
+def test_scaling_study(capsys):
+    out = _run("scaling_study.py", capsys)
+    assert "faster than" in out
+
+
+@pytest.mark.slow
+def test_variant_comparison(capsys):
+    out = _run("variant_comparison.py", capsys)
+    assert "hosi-dt" in out

@@ -1,0 +1,93 @@
+"""Dataset experiment protocol (Figs. 4-9 machinery)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    rank_start_variants,
+    run_dataset_experiment,
+)
+from repro.analysis.metrics import relative_size
+from repro.datasets import miranda_like
+
+
+class TestRankStartVariants:
+    def test_three_kinds(self):
+        starts = rank_start_variants((8, 8, 8), (100, 100, 100))
+        assert [s.kind for s in starts] == ["perfect", "over", "under"]
+
+    def test_over_is_25_percent_up(self):
+        starts = {s.kind: s.ranks for s in rank_start_variants(
+            (8, 8, 8), (100, 100, 100)
+        )}
+        assert starts["over"] == (10, 10, 10)
+        assert starts["under"] == (6, 6, 6)
+
+    def test_over_clipped_to_shape(self):
+        starts = {s.kind: s.ranks for s in rank_start_variants(
+            (8,), (9,)
+        )}
+        assert starts["over"] == (9,)
+
+    def test_under_at_least_one(self):
+        starts = {s.kind: s.ranks for s in rank_start_variants(
+            (1, 1), (10, 10)
+        )}
+        assert starts["under"] == (1, 1)
+
+
+@pytest.fixture(scope="module")
+def miranda_exp():
+    x = miranda_like(32, seed=0).astype("float64")
+    return run_dataset_experiment(
+        "miranda", x, cores=64, tolerances=(0.1, 0.01), seed=0
+    ), x
+
+
+class TestDatasetExperiment:
+    def test_baselines_meet_eps(self, miranda_exp):
+        exp, x = miranda_exp
+        for eps, base in exp.baselines.items():
+            assert base.error <= eps * (1 + 1e-6)
+            assert base.seconds > 0
+
+    def test_all_nine_runs_present(self, miranda_exp):
+        exp, _ = miranda_exp
+        assert len(exp.adaptive) == 2 * 3  # 2 tolerances x 3 starts
+        for eps in (0.1, 0.01):
+            for kind in ("perfect", "over", "under"):
+                assert exp.adaptive_for(eps, kind) is not None
+
+    def test_adaptive_meets_eps(self, miranda_exp):
+        exp, _ = miranda_exp
+        for run in exp.adaptive:
+            assert run.stats.converged, (run.eps, run.start.kind)
+            last_trunc = [
+                r for r in run.history if r.truncated_error is not None
+            ][-1]
+            assert last_trunc.truncated_error <= run.eps * (1 + 1e-6)
+
+    def test_time_to_threshold(self, miranda_exp):
+        exp, _ = miranda_exp
+        run = exp.adaptive_for(0.1, "over")
+        t = run.time_to_threshold()
+        assert t is not None and 0 < t <= run.stats.simulated_seconds
+
+    def test_final_relative_size(self, miranda_exp):
+        exp, x = miranda_exp
+        run = exp.adaptive_for(0.1, "perfect")
+        rs = run.final_relative_size(x.shape)
+        assert rs is not None and 0 < rs < 1
+
+    def test_high_compression_ra_competitive_size(self, miranda_exp):
+        """At eps = 0.1 the RA final size is at least comparable to
+        STHOSVD's (paper: often better)."""
+        exp, x = miranda_exp
+        base = exp.baselines[0.1]
+        run = exp.adaptive_for(0.1, "perfect")
+        rs = run.final_relative_size(x.shape)
+        assert rs <= base.relative_size * 1.3
+
+    def test_unknown_run_raises(self, miranda_exp):
+        exp, _ = miranda_exp
+        with pytest.raises(KeyError):
+            exp.adaptive_for(0.5, "perfect")

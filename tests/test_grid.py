@@ -1,0 +1,119 @@
+"""Processor grids and grid suggestion heuristics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vmpi.grid import ProcessorGrid, candidate_grids, suggested_grids
+
+
+class TestProcessorGrid:
+    def test_size(self):
+        assert ProcessorGrid((2, 3, 4)).size == 24
+
+    def test_coords_rank_roundtrip(self):
+        g = ProcessorGrid((2, 3, 4))
+        seen = set()
+        for r in range(g.size):
+            c = g.coords(r)
+            assert g.rank(c) == r
+            seen.add(c)
+        assert len(seen) == g.size
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        dims=st.lists(st.integers(1, 4), min_size=1, max_size=4),
+        r_seed=st.integers(0, 10**6),
+    )
+    def test_bijection_property(self, dims, r_seed):
+        g = ProcessorGrid(dims)
+        r = r_seed % g.size
+        assert g.rank(g.coords(r)) == r
+
+    def test_rank_out_of_range(self):
+        g = ProcessorGrid((2, 2))
+        with pytest.raises(ValueError):
+            g.coords(4)
+        with pytest.raises(ValueError):
+            g.rank((2, 0))
+        with pytest.raises(ValueError):
+            g.rank((0,))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            ProcessorGrid(())
+        with pytest.raises(ValueError):
+            ProcessorGrid((2, 0))
+
+    def test_mode_comm_ranks(self):
+        g = ProcessorGrid((2, 3))
+        ranks = g.mode_comm_ranks(1, (1, 0))
+        assert ranks == [g.rank((1, c)) for c in range(3)]
+        # Sub-communicators partition the ranks.
+        all_comms = [
+            tuple(g.mode_comm_ranks(1, (i, 0))) for i in range(2)
+        ]
+        flat = [r for comm in all_comms for r in comm]
+        assert sorted(flat) == list(range(6))
+
+    def test_mode_size(self):
+        g = ProcessorGrid((2, 3, 4))
+        assert [g.mode_size(j) for j in range(3)] == [2, 3, 4]
+
+    def test_iter_ranks(self):
+        g = ProcessorGrid((2, 2))
+        items = list(g.iter_ranks())
+        assert len(items) == 4
+        assert items[0] == (0, (0, 0))
+
+
+class TestCandidateGrids:
+    def test_all_products_correct(self):
+        for g in candidate_grids(12, 3):
+            assert math.prod(g) == 12
+
+    def test_exhaustive_count(self):
+        # Ordered factorizations of 8 = 2^3 into 2 slots: (1,8),(2,4),
+        # (4,2),(8,1) -> 4.
+        assert len(candidate_grids(8, 2)) == 4
+
+    def test_p_one(self):
+        assert candidate_grids(1, 3) == [(1, 1, 1)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            candidate_grids(0, 2)
+
+
+class TestSuggestedGrids:
+    @pytest.mark.parametrize("p", [1, 2, 16, 128, 4096])
+    @pytest.mark.parametrize("d", [3, 4, 5])
+    def test_products(self, p, d):
+        for g in suggested_grids(p, d):
+            assert math.prod(g) == p
+
+    def test_includes_p1_equals_1(self):
+        grids = suggested_grids(64, 3)
+        assert any(g[0] == 1 for g in grids)
+
+    def test_includes_p1_pd_equals_1(self):
+        grids = suggested_grids(64, 4)
+        assert any(g[0] == 1 and g[-1] == 1 for g in grids)
+
+    def test_shape_filter(self):
+        # Mode extents of 2 cannot host 64 ranks.
+        grids = suggested_grids(64, 3, shape=(2, 2, 4096))
+        for g in grids:
+            assert all(gj <= nj for gj, nj in zip(g, (2, 2, 4096)))
+        assert grids  # never empty
+
+    def test_fallback_when_all_filtered(self):
+        grids = suggested_grids(7, 3, shape=(2, 2, 100))
+        assert grids
+        assert all(math.prod(g) in (7,) or max(g) <= 100 for g in grids)
+
+    def test_nontrivial_factorization_of_odd_p(self):
+        for g in suggested_grids(12, 3):
+            assert math.prod(g) == 12

@@ -1,0 +1,146 @@
+"""Sequential HOOI and its variants (Alg. 2 + options)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.hooi import HOOIOptions, VARIANTS, hooi, variant_options
+from repro.linalg.llsv import LLSVMethod
+from repro.tensor.random import random_orthonormal, tucker_plus_noise
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+def test_all_variants_recover_lowrank(name, lowrank4):
+    opts = variant_options(name, max_iters=2, seed=0)
+    tucker, stats = hooi(lowrank4, (3, 4, 2, 3), opts)
+    assert tucker.ranks == (3, 4, 2, 3)
+    assert tucker.relative_error(lowrank4) < 1e-3
+    assert stats.iterations == 2
+
+
+def test_variants_agree(lowrank3):
+    errors = {}
+    for name in VARIANTS:
+        opts = variant_options(name, max_iters=2, seed=1)
+        tucker, _ = hooi(lowrank3, (4, 3, 5), opts)
+        errors[name] = tucker.relative_error(lowrank3)
+    vals = list(errors.values())
+    assert max(vals) - min(vals) < 1e-6
+
+
+def test_error_decreases_monotonically(lowrank3):
+    """HOOI is block coordinate descent: the objective never worsens."""
+    opts = HOOIOptions(max_iters=5, seed=2)
+    _, stats = hooi(lowrank3, (3, 3, 3), opts)
+    errs = stats.errors
+    assert all(errs[i + 1] <= errs[i] + 1e-12 for i in range(len(errs) - 1))
+
+
+def test_converges_within_two_iterations(lowrank4):
+    """The paper's empirical claim: random init reaches STHOSVD-like
+    error in 1-2 iterations on well-conditioned low-rank data."""
+    from repro.core.sthosvd import sthosvd
+
+    ref, _ = sthosvd(lowrank4, ranks=(3, 4, 2, 3))
+    ref_err = ref.relative_error(lowrank4)
+    opts = HOOIOptions(max_iters=2, seed=3)
+    tucker, _ = hooi(lowrank4, (3, 4, 2, 3), opts)
+    assert tucker.relative_error(lowrank4) <= ref_err * 1.05 + 1e-12
+
+
+def test_tol_early_stop(lowrank3):
+    opts = HOOIOptions(max_iters=50, tol=1e-8, seed=4)
+    _, stats = hooi(lowrank3, (4, 3, 5), opts)
+    assert stats.converged
+    assert stats.iterations < 50
+
+
+def test_error_identity_consistency(lowrank3):
+    opts = HOOIOptions(max_iters=2, seed=5)
+    tucker, stats = hooi(lowrank3, (4, 3, 5), opts)
+    assert stats.errors[-1] == pytest.approx(
+        tucker.relative_error(lowrank3), rel=1e-5, abs=1e-9
+    )
+
+
+def test_explicit_initial_factors(lowrank3):
+    rng = np.random.default_rng(6)
+    init = [
+        random_orthonormal(n, r, seed=rng)
+        for n, r in zip(lowrank3.shape, (4, 3, 5))
+    ]
+    opts = HOOIOptions(init=init, max_iters=1)
+    tucker, _ = hooi(lowrank3, (4, 3, 5), opts)
+    assert tucker.ranks == (4, 3, 5)
+
+
+def test_hosvd_init(lowrank3):
+    opts = HOOIOptions(init="hosvd", max_iters=1)
+    tucker, _ = hooi(lowrank3, (4, 3, 5), opts)
+    assert tucker.relative_error(lowrank3) < 1e-3
+
+
+def test_wrong_init_shape_rejected(lowrank3):
+    init = [np.zeros((4, 4))] * 3
+    with pytest.raises(ConfigError):
+        hooi(lowrank3, (4, 3, 5), HOOIOptions(init=init))
+
+
+def test_wrong_init_count_rejected(lowrank3):
+    rng = np.random.default_rng(7)
+    init = [random_orthonormal(lowrank3.shape[0], 4, seed=rng)]
+    with pytest.raises(ConfigError):
+        hooi(lowrank3, (4, 3, 5), HOOIOptions(init=init))
+
+
+def test_unknown_init_scheme(lowrank3):
+    with pytest.raises(ConfigError):
+        hooi(lowrank3, (4, 3, 5), HOOIOptions(init="identity"))
+
+
+def test_unknown_variant_name():
+    with pytest.raises(ConfigError):
+        variant_options("hooi-xl")
+
+
+def test_variant_overrides():
+    opts = variant_options("hosi-dt", max_iters=7)
+    assert opts.max_iters == 7
+    assert opts.use_dimension_tree
+    assert opts.llsv_method is LLSVMethod.SUBSPACE
+
+
+def test_invalid_options():
+    with pytest.raises(ConfigError):
+        HOOIOptions(max_iters=0)
+    with pytest.raises(ConfigError):
+        HOOIOptions(n_subspace_iters=0)
+    with pytest.raises(ConfigError):
+        HOOIOptions(llsv_method=LLSVMethod.RANDOMIZED)
+
+
+def test_invalid_ranks(lowrank3):
+    with pytest.raises(ValueError):
+        hooi(lowrank3, (99, 3, 5))
+
+
+def test_full_rank_is_exact(small3):
+    opts = HOOIOptions(max_iters=1, seed=8)
+    tucker, _ = hooi(small3, small3.shape, opts)
+    assert tucker.relative_error(small3) < 1e-10
+
+
+def test_phase_seconds_recorded(lowrank3):
+    opts = HOOIOptions(max_iters=1, seed=9)
+    _, stats = hooi(lowrank3, (4, 3, 5), opts)
+    assert stats.phase_seconds["ttm"] > 0
+    assert stats.phase_seconds["llsv"] > 0
+
+
+def test_multiple_subspace_iters(lowrank3):
+    opts_1 = HOOIOptions(max_iters=1, n_subspace_iters=1, seed=10)
+    opts_3 = HOOIOptions(max_iters=1, n_subspace_iters=3, seed=10)
+    t1, s1 = hooi(lowrank3, (4, 3, 5), opts_1)
+    t3, s3 = hooi(lowrank3, (4, 3, 5), opts_3)
+    # Extra sweeps can only help (or match) within an iteration.
+    assert s3.errors[-1] <= s1.errors[-1] + 1e-9

@@ -1,0 +1,107 @@
+"""Cross-module integration scenarios."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LLSVMethod,
+    hooi,
+    rank_adaptive_hooi,
+    sthosvd,
+    tucker_plus_noise,
+)
+from repro.analysis.metrics import relative_size
+from repro.core.hooi import variant_options
+from repro.datasets import hcci_like, miranda_like
+
+
+class TestCompressionPipeline:
+    def test_compress_then_decompress_region(self):
+        """The motivating Tucker use case: compress a simulation field,
+        then decompress only a subregion without full reconstruction."""
+        x = miranda_like(32, seed=0).astype(np.float64)
+        tucker, _ = sthosvd(x, eps=0.05)
+        region = (slice(4, 12), slice(0, 32), slice(16, 20))
+        sub = tucker.extract_subtensor(region)
+        rel = np.linalg.norm(sub - x[region]) / np.linalg.norm(x)
+        assert rel <= 0.05
+
+    def test_hooi_refines_sthosvd(self):
+        """Classic usage: STHOSVD init + HOOI refinement never hurts."""
+        x = tucker_plus_noise((16, 15, 14), (4, 4, 4), noise=0.1, seed=0)
+        st_t, _ = sthosvd(x, ranks=(3, 3, 3))
+        opts = variant_options(
+            "hosi-dt", max_iters=3, init=[u.copy() for u in st_t.factors]
+        )
+        ho_t, _ = hooi(x, (3, 3, 3), opts)
+        assert ho_t.relative_error(x) <= st_t.relative_error(x) + 1e-9
+
+    def test_ra_vs_sthosvd_size_and_error(self):
+        x = hcci_like((20, 20, 5, 12), seed=1)
+        eps = 0.05
+        st_t, _ = sthosvd(x, eps=eps)
+        ra_t, ra_s = rank_adaptive_hooi(x, eps, st_t.ranks)
+        assert ra_s.converged
+        assert ra_t.relative_error(x) <= eps * (1 + 1e-6)
+        assert relative_size(x.shape, ra_t.ranks) <= 1.0
+
+    def test_error_specified_equals_rank_specified_roundtrip(self):
+        x = tucker_plus_noise((14, 13, 12), (3, 3, 3), noise=1e-3, seed=2)
+        es_t, _ = sthosvd(x, eps=0.01)
+        rs_t, _ = sthosvd(x, ranks=es_t.ranks)
+        assert rs_t.relative_error(x) == pytest.approx(
+            es_t.relative_error(x), rel=1e-8
+        )
+
+    def test_lq_svd_pipeline(self):
+        x = tucker_plus_noise((12, 12, 12), (3, 3, 3), noise=1e-3, seed=3)
+        tucker, _ = sthosvd(x, eps=0.01, method=LLSVMethod.LQ_SVD)
+        assert tucker.relative_error(x) <= 0.01
+
+
+class TestSequentialDistributedParity:
+    """The simulated-distributed stack must be numerically transparent."""
+
+    def test_full_parity_matrix(self, lowrank4):
+        from repro.distributed.hooi import dist_hooi
+        from repro.distributed.sthosvd import dist_sthosvd
+
+        seq_st, _ = sthosvd(lowrank4, eps=0.01)
+        dist_st, _ = dist_sthosvd(lowrank4, (2, 1, 2, 1), eps=0.01)
+        assert seq_st.ranks == dist_st.ranks
+
+        for name in ("hooi", "hosi-dt"):
+            opts = variant_options(name, max_iters=2, seed=9)
+            seq_h, seq_stats = hooi(lowrank4, (3, 4, 2, 3), opts)
+            _, dist_stats = dist_hooi(
+                lowrank4, (3, 4, 2, 3), (1, 2, 2, 1), options=opts
+            )
+            # Contraction order differs (greedy vs increasing-mode), so
+            # agreement is up to floating-point rounding, not bitwise.
+            np.testing.assert_allclose(
+                seq_stats.errors, dist_stats.errors, rtol=1e-4, atol=1e-10
+            )
+
+    def test_simulated_time_independent_of_data(self):
+        """Two different concrete tensors of identical shape cost the
+        same simulated time (costs depend on shapes only)."""
+        from repro.distributed.sthosvd import dist_sthosvd
+
+        a = tucker_plus_noise((12, 12, 12), (3, 3, 3), noise=0.1, seed=1)
+        b = tucker_plus_noise((12, 12, 12), (3, 3, 3), noise=0.1, seed=2)
+        _, sa = dist_sthosvd(a, (1, 2, 2), ranks=(3, 3, 3))
+        _, sb = dist_sthosvd(b, (1, 2, 2), ranks=(3, 3, 3))
+        assert sa.simulated_seconds == pytest.approx(sb.simulated_seconds)
+
+    def test_symbolic_matches_concrete_costs(self):
+        """Symbolic and concrete runs of the same configuration charge
+        identical simulated costs."""
+        from repro.distributed.arrays import SymbolicArray
+        from repro.distributed.sthosvd import dist_sthosvd
+
+        x = tucker_plus_noise((12, 12, 12), (3, 3, 3), noise=0.1, seed=3)
+        _, sc = dist_sthosvd(x, (1, 2, 2), ranks=(3, 3, 3))
+        _, ss = dist_sthosvd(
+            SymbolicArray(x.shape, x.dtype), (1, 2, 2), ranks=(3, 3, 3)
+        )
+        assert ss.simulated_seconds == pytest.approx(sc.simulated_seconds)

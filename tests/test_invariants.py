@@ -1,0 +1,115 @@
+"""Cross-cutting accounting invariants of the simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hooi import variant_options
+from repro.core.rank_adaptive import RankAdaptiveOptions
+from repro.distributed.arrays import SymbolicArray
+from repro.distributed.hooi import dist_hooi
+from repro.distributed.rank_adaptive import dist_rank_adaptive_hooi
+from repro.distributed.sthosvd import dist_sthosvd
+from repro.vmpi.collectives import allreduce_blocks, reduce_scatter_blocks
+
+
+class TestBreakdownAccounting:
+    """breakdown must partition the total: sum == simulated_seconds."""
+
+    def test_sthosvd(self):
+        x = SymbolicArray((64, 64, 64), np.float32)
+        _, stats = dist_sthosvd(x, (1, 4, 4), ranks=(4, 4, 4))
+        assert sum(stats.breakdown.values()) == pytest.approx(
+            stats.simulated_seconds, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("name", ["hooi", "hosi-dt"])
+    def test_hooi_variants(self, name):
+        x = SymbolicArray((48, 48, 48, 48), np.float32)
+        opts = variant_options(name, max_iters=2)
+        _, stats = dist_hooi(x, (4, 4, 4, 4), (1, 2, 2, 1), options=opts)
+        assert sum(stats.breakdown.values()) == pytest.approx(
+            stats.simulated_seconds, rel=1e-12
+        )
+
+    def test_rank_adaptive_iterations_partition_total(self, lowrank4):
+        opts = RankAdaptiveOptions(max_iters=3, stop_at_threshold=False)
+        _, stats = dist_rank_adaptive_hooi(
+            lowrank4, 0.05, (4, 5, 3, 4), (1, 2, 2, 1), options=opts
+        )
+        assert sum(stats.iteration_seconds) == pytest.approx(
+            stats.simulated_seconds, rel=1e-12
+        )
+        # Per-iteration breakdowns partition per-iteration seconds.
+        for secs, down in zip(
+            stats.iteration_seconds, stats.iteration_breakdowns
+        ):
+            assert sum(down.values()) == pytest.approx(secs, rel=1e-9)
+
+
+class TestCostMonotonicity:
+    def test_more_ranks_never_slower_overall_shape(self):
+        """Simulated time is non-increasing from 1 rank to a few ranks
+        for compute-dominated configurations."""
+        times = []
+        for dims in [(1, 1, 1), (1, 2, 2), (1, 4, 4)]:
+            x = SymbolicArray((256, 256, 256), np.float32)
+            _, stats = dist_sthosvd(x, dims, ranks=(8, 8, 8))
+            times.append(stats.simulated_seconds)
+        assert times[0] >= times[1] >= times[2]
+
+    def test_bigger_tensor_costs_more(self):
+        def t(n):
+            x = SymbolicArray((n, n, n), np.float32)
+            _, stats = dist_sthosvd(x, (1, 2, 2), ranks=(4, 4, 4))
+            return stats.simulated_seconds
+
+        assert t(32) < t(64) < t(128)
+
+
+class TestCollectiveProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6), p=st.integers(1, 6))
+    def test_allreduce_linearity(self, seed, p):
+        rng = np.random.default_rng(seed)
+        a = [rng.standard_normal((3, 2)) for _ in range(p)]
+        b = [rng.standard_normal((3, 2)) for _ in range(p)]
+        lhs = allreduce_blocks([x + y for x, y in zip(a, b)])
+        rhs = [
+            x + y
+            for x, y in zip(allreduce_blocks(a), allreduce_blocks(b))
+        ]
+        for l, r in zip(lhs, rhs):
+            np.testing.assert_allclose(l, r, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6), p=st.integers(1, 6))
+    def test_reduce_scatter_preserves_sum(self, seed, p):
+        rng = np.random.default_rng(seed)
+        blocks = [rng.standard_normal((7, 3)) for _ in range(p)]
+        scattered = reduce_scatter_blocks(blocks, axis=0)
+        np.testing.assert_allclose(
+            np.concatenate(scattered, axis=0),
+            sum(blocks),
+            atol=1e-12,
+        )
+
+
+class TestNonCubicSymbolic:
+    def test_anisotropic_symbolic_sthosvd(self):
+        """Symbolic mode handles non-cubic shapes and uneven grids."""
+        x = SymbolicArray((672, 672, 33, 626), np.float64)
+        tucker, stats = dist_sthosvd(
+            x, (1, 4, 1, 32), ranks=(20, 20, 8, 30)
+        )
+        assert tucker is None
+        assert stats.ranks == (20, 20, 8, 30)
+        assert stats.simulated_seconds > 0
+
+    def test_grid_larger_than_small_mode(self):
+        """A grid dimension exceeding a mode's extent yields empty
+        blocks but consistent (finite, nonnegative) costs."""
+        x = SymbolicArray((64, 2, 64), np.float32)
+        _, stats = dist_sthosvd(x, (1, 4, 4), ranks=(4, 1, 4))
+        assert np.isfinite(stats.simulated_seconds)

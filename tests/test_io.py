@@ -1,0 +1,106 @@
+"""Raw tensor I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    load_raw,
+    load_raw_slab,
+    load_slices,
+    save_raw,
+    save_slices,
+)
+
+
+class TestRawRoundtrip:
+    def test_roundtrip(self, tmp_path, small4):
+        p = tmp_path / "x.raw"
+        save_raw(small4, p)
+        np.testing.assert_array_equal(load_raw(p), small4)
+
+    def test_dtype_preserved(self, tmp_path):
+        x = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        p = tmp_path / "x.raw"
+        save_raw(x, p)
+        got = load_raw(p)
+        assert got.dtype == np.float32
+        np.testing.assert_array_equal(got, x)
+
+    def test_fortran_order_on_disk(self, tmp_path):
+        """First mode varies fastest on disk (TuckerMPI convention)."""
+        x = np.arange(6, dtype=np.float64).reshape(2, 3)
+        p = tmp_path / "x.raw"
+        save_raw(x, p)
+        flat = np.fromfile(p, dtype=np.float64)
+        np.testing.assert_array_equal(flat, x.ravel(order="F"))
+
+    def test_missing_sidecar(self, tmp_path):
+        p = tmp_path / "x.raw"
+        np.zeros(4).tofile(p)
+        with pytest.raises(FileNotFoundError):
+            load_raw(p)
+
+    def test_size_mismatch(self, tmp_path, small3):
+        p = tmp_path / "x.raw"
+        save_raw(small3, p)
+        # Truncate the payload behind the metadata's back.
+        data = p.read_bytes()
+        p.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError):
+            load_raw(p)
+
+
+class TestSlabReads:
+    def test_slab_matches_full(self, tmp_path, small4):
+        p = tmp_path / "x.raw"
+        save_raw(small4, p)
+        slab = load_raw_slab(p, 1, 4)
+        np.testing.assert_array_equal(slab, small4[..., 1:4])
+
+    def test_full_range(self, tmp_path, small3):
+        p = tmp_path / "x.raw"
+        save_raw(small3, p)
+        np.testing.assert_array_equal(
+            load_raw_slab(p, 0, small3.shape[-1]), small3
+        )
+
+    def test_out_of_range(self, tmp_path, small3):
+        p = tmp_path / "x.raw"
+        save_raw(small3, p)
+        with pytest.raises(ValueError):
+            load_raw_slab(p, 0, small3.shape[-1] + 1)
+
+
+class TestSliceDirectory:
+    def test_roundtrip(self, tmp_path, small4):
+        paths = save_slices(small4, tmp_path / "slices", slab=2)
+        assert len(paths) == 3  # last mode extent 6, slab 2
+        np.testing.assert_array_equal(
+            load_slices(tmp_path / "slices"), small4
+        )
+
+    def test_uneven_slab(self, tmp_path, small3):
+        save_slices(small3, tmp_path / "s", slab=3)  # extent 4 -> 3+1
+        np.testing.assert_array_equal(
+            load_slices(tmp_path / "s"), small3
+        )
+
+    def test_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(FileNotFoundError):
+            load_slices(tmp_path / "empty")
+
+    def test_bad_slab(self, tmp_path, small3):
+        with pytest.raises(ValueError):
+            save_slices(small3, tmp_path / "s", slab=0)
+
+    def test_pipeline_compress_from_disk(self, tmp_path):
+        """End to end: generate -> save slices -> reload -> compress."""
+        from repro.core.sthosvd import sthosvd
+        from repro.datasets import miranda_like
+
+        x = miranda_like(24, seed=0).astype(np.float64)
+        save_slices(x, tmp_path / "m", slab=8)
+        y = load_slices(tmp_path / "m")
+        tucker, _ = sthosvd(y, eps=0.1)
+        assert tucker.relative_error(x) <= 0.1

@@ -1,0 +1,57 @@
+"""Kronecker-structured randomized range finder (Minster et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.randomized import kronecker_range_finder
+from repro.tensor.dense import unfold
+from repro.tensor.random import tucker_plus_noise
+
+
+def _captured(x, mode, q):
+    mat = unfold(x, mode)
+    return np.linalg.norm(q.T @ mat) / np.linalg.norm(mat)
+
+
+class TestKroneckerSketch:
+    def test_orthonormal(self, lowrank3):
+        q = kronecker_range_finder(lowrank3, 0, 4, seed=0)
+        np.testing.assert_allclose(q.T @ q, np.eye(4), atol=1e-10)
+
+    def test_captures_lowrank_range(self, lowrank3):
+        for mode in range(3):
+            q = kronecker_range_finder(lowrank3, mode, 5, seed=1)
+            assert _captured(lowrank3, mode, q) > 0.999, mode
+
+    def test_4way(self, lowrank4):
+        q = kronecker_range_finder(lowrank4, 1, 4, seed=2)
+        assert q.shape == (lowrank4.shape[1], 4)
+        assert _captured(lowrank4, 1, q) > 0.999
+
+    def test_rank_capped_at_mode_extent(self):
+        x = tucker_plus_noise((5, 12, 12), (3, 3, 3), noise=1e-4, seed=3)
+        q = kronecker_range_finder(x, 0, 99, seed=4)
+        assert q.shape == (5, 5)
+
+    def test_oversample_helps_or_matches(self, lowrank3):
+        lean = kronecker_range_finder(lowrank3, 0, 4, oversample=0, seed=5)
+        fat = kronecker_range_finder(lowrank3, 0, 4, oversample=8, seed=5)
+        assert _captured(lowrank3, 0, fat) >= _captured(
+            lowrank3, 0, lean
+        ) - 1e-6
+
+    def test_invalid_rank(self, lowrank3):
+        with pytest.raises(ValueError):
+            kronecker_range_finder(lowrank3, 0, 0)
+
+    def test_deterministic(self, lowrank3):
+        a = kronecker_range_finder(lowrank3, 0, 3, seed=6)
+        b = kronecker_range_finder(lowrank3, 0, 3, seed=6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_small_sketch_budget_on_tiny_modes(self):
+        """Modes too small to host the requested sketch size degrade
+        gracefully (sketch capped at the mode products)."""
+        x = tucker_plus_noise((12, 2, 2), (2, 2, 2), noise=1e-4, seed=7)
+        q = kronecker_range_finder(x, 0, 4, oversample=8, seed=8)
+        assert q.shape == (12, 4)

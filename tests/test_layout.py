@@ -1,0 +1,76 @@
+"""Block layout index math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.layout import BlockLayout
+from repro.vmpi.grid import ProcessorGrid
+
+
+class TestBlockLayout:
+    def test_blocks_tile_global_exactly(self, rng):
+        shape = (7, 6, 5)
+        grid = ProcessorGrid((2, 3, 2))
+        layout = BlockLayout(shape, grid)
+        coverage = np.zeros(shape, dtype=int)
+        for _, coords in grid.iter_ranks():
+            coverage[layout.local_slices(coords)] += 1
+        np.testing.assert_array_equal(coverage, 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shape=st.lists(st.integers(1, 9), min_size=1, max_size=3),
+        seed=st.integers(0, 10**6),
+    )
+    def test_tiling_property(self, shape, seed):
+        rng = np.random.default_rng(seed)
+        dims = tuple(int(rng.integers(1, s + 1)) for s in shape)
+        grid = ProcessorGrid(dims)
+        layout = BlockLayout(shape, grid)
+        coverage = np.zeros(tuple(shape), dtype=int)
+        for _, coords in grid.iter_ranks():
+            coverage[layout.local_slices(coords)] += 1
+        np.testing.assert_array_equal(coverage, 1)
+
+    def test_local_shape_matches_slices(self):
+        layout = BlockLayout((10, 7), ProcessorGrid((3, 2)))
+        for _, coords in layout.grid.iter_ranks():
+            sl = layout.local_slices(coords)
+            assert layout.local_shape(coords) == tuple(
+                s.stop - s.start for s in sl
+            )
+
+    def test_max_local_shape(self):
+        layout = BlockLayout((10, 7), ProcessorGrid((3, 2)))
+        assert layout.max_local_shape() == (4, 4)
+        assert layout.max_local_size() == 16
+
+    def test_even_split(self):
+        layout = BlockLayout((8, 8), ProcessorGrid((2, 4)))
+        assert layout.max_local_shape() == (4, 2)
+        for _, coords in layout.grid.iter_ranks():
+            assert layout.local_size(coords) == 8
+
+    def test_mode_share(self):
+        layout = BlockLayout((10, 7), ProcessorGrid((3, 2)))
+        assert layout.mode_share(0) == 4
+        assert layout.mode_share(1) == 4
+
+    def test_grid_order_mismatch(self):
+        with pytest.raises(ValueError):
+            BlockLayout((4, 4, 4), ProcessorGrid((2, 2)))
+
+    def test_coords_order_mismatch(self):
+        layout = BlockLayout((4, 4), ProcessorGrid((2, 2)))
+        with pytest.raises(ValueError):
+            layout.local_slices((0,))
+
+    def test_more_ranks_than_extent(self):
+        """Grids larger than a mode produce empty blocks, not errors."""
+        layout = BlockLayout((2, 4), ProcessorGrid((4, 1)))
+        sizes = [
+            layout.local_size(c) for _, c in layout.grid.iter_ranks()
+        ]
+        assert sorted(sizes) == [0, 0, 4, 4]

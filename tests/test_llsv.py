@@ -1,0 +1,93 @@
+"""Unified LLSV dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.llsv import LLSVMethod, llsv
+from repro.tensor.dense import unfold
+from repro.tensor.random import random_orthonormal
+
+
+def _captured(x, mode, q):
+    mat = unfold(x, mode)
+    return np.linalg.norm(q.T @ mat) / np.linalg.norm(mat)
+
+
+class TestDispatch:
+    def test_requires_rank_or_threshold(self, lowrank3):
+        with pytest.raises(ValueError):
+            llsv(lowrank3, 0)
+
+    def test_rank_out_of_range(self, lowrank3):
+        with pytest.raises(ValueError):
+            llsv(lowrank3, 0, rank=0)
+        with pytest.raises(ValueError):
+            llsv(lowrank3, 0, rank=lowrank3.shape[0] + 1)
+
+    def test_gram_evd_rank_specified(self, lowrank3):
+        res = llsv(lowrank3, 0, rank=4, method=LLSVMethod.GRAM_EVD)
+        assert res.factor.shape == (lowrank3.shape[0], 4)
+        assert res.rank == 4
+        assert res.sq_singular_values is not None
+        assert _captured(lowrank3, 0, res.factor) > 0.999
+
+    def test_gram_evd_error_specified(self, lowrank3):
+        norm_sq = np.linalg.norm(lowrank3) ** 2
+        res = llsv(
+            lowrank3, 0, threshold_sq=1e-4 * norm_sq,
+            method=LLSVMethod.GRAM_EVD,
+        )
+        assert res.rank == 4  # the construction rank in mode 0
+
+    def test_lq_svd_matches_gram_evd(self, lowrank3):
+        a = llsv(lowrank3, 1, rank=3, method=LLSVMethod.GRAM_EVD).factor
+        b = llsv(lowrank3, 1, rank=3, method=LLSVMethod.LQ_SVD).factor
+        np.testing.assert_allclose(a @ a.T, b @ b.T, atol=1e-6)
+
+    def test_rank_caps_threshold_choice(self, lowrank3):
+        norm_sq = np.linalg.norm(lowrank3) ** 2
+        res = llsv(
+            lowrank3, 0, rank=2, threshold_sq=1e-6 * norm_sq,
+            method=LLSVMethod.GRAM_EVD,
+        )
+        assert res.rank == 2
+
+    def test_randomized(self, lowrank3):
+        res = llsv(lowrank3, 0, rank=4, method=LLSVMethod.RANDOMIZED, seed=0)
+        assert res.factor.shape == (lowrank3.shape[0], 4)
+        assert _captured(lowrank3, 0, res.factor) > 0.99
+        assert res.sq_singular_values is None
+
+    def test_randomized_needs_rank(self, lowrank3):
+        with pytest.raises(ValueError):
+            llsv(
+                lowrank3, 0, threshold_sq=1.0, method=LLSVMethod.RANDOMIZED
+            )
+
+    def test_subspace(self, lowrank3):
+        u0 = random_orthonormal(lowrank3.shape[0], 4, seed=1)
+        res = llsv(
+            lowrank3, 0, rank=4, method=LLSVMethod.SUBSPACE, u_prev=u0
+        )
+        assert res.factor.shape == (lowrank3.shape[0], 4)
+        assert _captured(lowrank3, 0, res.factor) > 0.99
+
+    def test_subspace_needs_u_prev(self, lowrank3):
+        with pytest.raises(ValueError):
+            llsv(lowrank3, 0, rank=4, method=LLSVMethod.SUBSPACE)
+
+    def test_subspace_needs_rank(self, lowrank3):
+        u0 = random_orthonormal(lowrank3.shape[0], 4, seed=1)
+        with pytest.raises(ValueError):
+            llsv(
+                lowrank3, 0, threshold_sq=1.0,
+                method=LLSVMethod.SUBSPACE, u_prev=u0,
+            )
+
+    def test_all_methods_capture_lowrank_energy(self, lowrank4):
+        u0 = random_orthonormal(lowrank4.shape[2], 2, seed=2)
+        for method in LLSVMethod:
+            res = llsv(
+                lowrank4, 2, rank=2, method=method, u_prev=u0, seed=3
+            )
+            assert _captured(lowrank4, 2, res.factor) > 0.99, method

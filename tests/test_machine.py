@@ -1,0 +1,97 @@
+"""Machine model: roofline, node packing, kernel timings."""
+
+import pytest
+
+from repro.vmpi.machine import MachineModel, perlmutter_like
+
+
+class TestNodes:
+    def test_single_node(self):
+        m = MachineModel(cores_per_node=128)
+        assert m.nodes(1) == 1
+        assert m.nodes(128) == 1
+
+    def test_multi_node(self):
+        m = MachineModel(cores_per_node=128)
+        assert m.nodes(129) == 2
+        assert m.nodes(4096) == 32
+
+
+class TestBandwidthPerRank:
+    def test_decreases_within_node(self):
+        m = MachineModel()
+        assert m.bw_per_rank(1) > m.bw_per_rank(64) > m.bw_per_rank(128)
+
+    def test_constant_across_full_nodes(self):
+        """Fully packed nodes give every rank the same share — aggregate
+        bandwidth grows with node count (the multi-node scaling
+        resumption of §4.1)."""
+        m = MachineModel(cores_per_node=128)
+        assert m.bw_per_rank(128) == pytest.approx(m.bw_per_rank(256))
+        assert m.bw_per_rank(128) == pytest.approx(m.bw_per_rank(4096))
+
+
+class TestComputeSeconds:
+    def test_compute_bound(self):
+        m = MachineModel(flop_rate=1e9, node_mem_bw=1e12)
+        assert m.compute_seconds(1e9, 10.0, 1) == pytest.approx(1.0)
+
+    def test_memory_bound(self):
+        m = MachineModel(flop_rate=1e12, node_mem_bw=1e9, cores_per_node=1)
+        assert m.compute_seconds(10.0, 1e9, 1) == pytest.approx(1.0)
+
+    def test_memory_bound_kernel_does_not_scale_within_node(self):
+        """A bandwidth-bound kernel's per-rank time stays ~constant as
+        ranks share the node (total work / node bandwidth)."""
+        m = MachineModel(flop_rate=1e15, node_mem_bw=1e9, cores_per_node=128)
+        words_total = 1e9
+        t1 = m.compute_seconds(0, words_total / 1, 1)
+        t64 = m.compute_seconds(0, words_total / 64, 64)
+        assert t64 == pytest.approx(t1, rel=1e-9)
+
+    def test_zero_mem_words(self):
+        m = MachineModel()
+        assert m.compute_seconds(m.flop_rate, 0.0, 4) == pytest.approx(1.0)
+
+
+class TestSequentialAndComm:
+    def test_sequential(self):
+        m = MachineModel(flop_rate=2e9)
+        assert m.sequential_seconds(2e9) == pytest.approx(1.0)
+
+    def test_comm(self):
+        m = MachineModel(alpha=1e-6, beta=1e-9)
+        assert m.comm_seconds(1e9, 0) == pytest.approx(1.0)
+        assert m.comm_seconds(0, 1e6) == pytest.approx(1.0)
+
+    def test_evd_cubic(self):
+        m = MachineModel()
+        assert m.evd_seconds(200) == pytest.approx(8 * m.evd_seconds(100))
+
+    def test_qrcp_scaling(self):
+        m = MachineModel()
+        assert m.qrcp_seconds(100, 20) == pytest.approx(
+            4 * m.qrcp_seconds(100, 10)
+        )
+
+
+class TestValidation:
+    def test_bad_rates(self):
+        with pytest.raises(ValueError):
+            MachineModel(flop_rate=0)
+        with pytest.raises(ValueError):
+            MachineModel(node_mem_bw=-1)
+
+    def test_bad_latency(self):
+        with pytest.raises(ValueError):
+            MachineModel(alpha=-1e-6)
+
+    def test_bad_cores(self):
+        with pytest.raises(ValueError):
+            MachineModel(cores_per_node=0)
+
+
+def test_perlmutter_preset():
+    m = perlmutter_like()
+    assert m.cores_per_node == 128
+    assert m.flop_rate > 0

@@ -1,0 +1,97 @@
+"""Memory accounting and single-node feasibility analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.memory import (
+    max_cubic_dim,
+    required_nodes,
+    tensor_fits,
+)
+from repro.distributed.sthosvd import dist_sthosvd
+from repro.distributed.arrays import SymbolicArray
+from repro.vmpi.cost import CostLedger
+from repro.vmpi.machine import MachineModel, perlmutter_like
+
+
+class TestLedgerMemory:
+    def test_peak_tracked(self):
+        led = CostLedger(MachineModel(), 4)
+        led.note_memory(100.0)
+        led.note_memory(50.0)
+        assert led.peak_words == 100.0
+
+    def test_feasibility(self):
+        m = MachineModel(node_mem_words=1000, cores_per_node=4)
+        led = CostLedger(m, 4)
+        led.note_memory(200.0)
+        assert led.memory_feasible()
+        led.note_memory(300.0)
+        assert not led.memory_feasible()
+
+    def test_float32_doubles_budget(self):
+        m = MachineModel(node_mem_words=1000, cores_per_node=4)
+        led = CostLedger(m, 4)
+        led.note_memory(400.0)
+        assert not led.memory_feasible(dtype_bytes=8)
+        assert led.memory_feasible(dtype_bytes=4)
+
+
+class TestKernelMemoryNotes:
+    def test_sthosvd_records_peak(self):
+        x = SymbolicArray((64, 64, 64), np.float32)
+        _, stats = dist_sthosvd(x, (1, 2, 2), ranks=(4, 4, 4))
+        # Peak must at least cover the input block.
+        assert stats.ledger.peak_words >= 64 * 64 * 64 / 4
+
+    def test_peak_decreases_with_p(self):
+        peaks = {}
+        for dims in [(1, 1, 1), (1, 4, 4)]:
+            x = SymbolicArray((64, 64, 64), np.float32)
+            _, stats = dist_sthosvd(x, dims, ranks=(4, 4, 4))
+            peaks[dims] = stats.ledger.peak_words
+        assert peaks[(1, 4, 4)] < peaks[(1, 1, 1)]
+
+
+class TestFeasibility:
+    def test_paper_3way_choice_fits_one_node(self):
+        """The paper's 3750^3 float32 pick fits on one 512 GB node."""
+        assert tensor_fits((3750, 3750, 3750), dtype_bytes=4)
+
+    def test_much_larger_3way_does_not(self):
+        assert not tensor_fits((5500, 5500, 5500), dtype_bytes=4)
+
+    def test_paper_4way_choice_fits_one_node(self):
+        """560^4 float32 is right at the single-node limit (the paper
+        maximized it)."""
+        assert tensor_fits((560, 560, 560, 560), dtype_bytes=4)
+        assert not tensor_fits((640, 640, 640, 640), dtype_bytes=4)
+
+    def test_max_cubic_dim_brackets_paper_choices(self):
+        n3 = max_cubic_dim(3, dtype_bytes=4)
+        n4 = max_cubic_dim(4, dtype_bytes=4)
+        # Paper: 3750 and 560 under its (unstated) workspace budget.
+        assert 3750 <= n3 <= 5200
+        assert 560 <= n4 <= 650
+
+    def test_max_dim_consistent_with_fits(self):
+        n = max_cubic_dim(3, dtype_bytes=4)
+        assert tensor_fits((n, n, n), dtype_bytes=4)
+
+    def test_more_ranks_more_memory(self):
+        small = max_cubic_dim(3, p=1)
+        big = max_cubic_dim(3, p=1024)
+        assert big > small
+
+    def test_required_nodes(self):
+        m = perlmutter_like()
+        # SP dataset: 4.4 TB double precision needs multiple 512 GB
+        # nodes (the paper ran it on 16).
+        nodes = required_nodes(
+            (500, 500, 500, 11, 400), dtype_bytes=8, machine=m
+        )
+        assert 9 <= nodes <= 16
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            max_cubic_dim(0)

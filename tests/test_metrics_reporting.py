@@ -1,0 +1,95 @@
+"""Metrics, breakdown grouping, and ASCII reporting."""
+
+import pytest
+
+from repro.analysis.breakdown import DISPLAY_GROUPS, group_breakdown
+from repro.analysis.metrics import (
+    compression_ratio,
+    relative_size,
+    tucker_storage,
+)
+from repro.analysis.reporting import (
+    format_breakdown,
+    format_series,
+    format_table,
+)
+
+
+class TestMetrics:
+    def test_tucker_storage(self):
+        assert tucker_storage((10, 10), (2, 3)) == 6 + 20 + 30
+
+    def test_compression_ratio(self):
+        assert compression_ratio((10, 10), (2, 3)) == pytest.approx(100 / 56)
+
+    def test_relative_size_inverse(self):
+        assert relative_size((10, 10), (2, 3)) == pytest.approx(56 / 100)
+
+    def test_order_mismatch(self):
+        with pytest.raises(ValueError):
+            tucker_storage((10, 10), (2,))
+
+
+class TestGroupBreakdown:
+    def test_grouping(self):
+        raw = {
+            "ttm": 1.0,
+            "ttm_comm": 0.5,
+            "gram": 2.0,
+            "evd": 3.0,
+            "qrcp": 0.25,
+        }
+        out = group_breakdown(raw)
+        assert out["TTM"] == pytest.approx(1.5)
+        assert out["Gram"] == pytest.approx(2.0)
+        assert out["EVD"] == pytest.approx(3.0)
+        assert out["QRCP"] == pytest.approx(0.25)
+
+    def test_unknown_phase_goes_to_other(self):
+        out = group_breakdown({"mystery": 1.0})
+        assert out == {"Other": 1.0}
+
+    def test_total_preserved(self):
+        raw = {"ttm": 1.0, "subspace": 2.0, "core_comm": 0.5, "zzz": 0.1}
+        out = group_breakdown(raw)
+        assert sum(out.values()) == pytest.approx(sum(raw.values()))
+
+    def test_zero_groups_dropped(self):
+        out = group_breakdown({"ttm": 1.0})
+        assert "EVD" not in out
+
+    def test_groups_cover_known_phases(self):
+        known = {p for ps in DISPLAY_GROUPS.values() for p in ps}
+        assert "redistribute_comm" in known
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        s = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = s.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "10" in lines[3]
+
+    def test_table_title(self):
+        s = format_table(["x"], [[1]], title="T1")
+        assert s.splitlines()[0] == "T1"
+
+    def test_series(self):
+        s = format_series(
+            "P", [1, 2], {"sthosvd": [4.0, 2.0], "hosi": [1.0, 0.5]}
+        )
+        assert "sthosvd" in s and "hosi" in s
+        assert len(s.splitlines()) == 4
+
+    def test_breakdown_table(self):
+        s = format_breakdown(
+            ["cfg1", "cfg2"],
+            [{"TTM": 1.0}, {"TTM": 0.5, "EVD": 2.0}],
+        )
+        assert "total" in s
+        assert "EVD" in s
+
+    def test_empty_rows(self):
+        s = format_table(["a"], [])
+        assert len(s.splitlines()) == 2

@@ -1,0 +1,93 @@
+"""STHOSVD mode-order heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.sthosvd import auto_mode_order, sthosvd
+from repro.distributed.arrays import SymbolicArray
+from repro.distributed.sthosvd import dist_sthosvd
+from repro.tensor.random import tucker_plus_noise
+
+
+class TestAutoModeOrder:
+    def test_smallest_key_first(self):
+        # keys n^2/(n-r): 100^2/95=105.3, 10^2/5=20, 50^2/45=55.6
+        order = auto_mode_order((100, 10, 50), (5, 5, 5))
+        assert order == (1, 2, 0)
+
+    def test_without_ranks_smallest_mode_first(self):
+        assert auto_mode_order((10, 100, 50)) == (0, 2, 1)
+
+    def test_untruncated_mode_goes_last(self):
+        order = auto_mode_order((10, 10, 10), (10, 2, 2))
+        assert order[-1] == 0
+
+    def test_is_permutation(self):
+        order = auto_mode_order((7, 7, 7, 7))
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_order_mismatch(self):
+        with pytest.raises(ValueError):
+            auto_mode_order((10, 10), (2,))
+
+    def test_exchange_optimality_brute_force(self):
+        """The closed-form key matches the brute-force optimum of the
+        Gram-dominated cost model on random instances."""
+        import itertools
+
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            d = int(rng.integers(2, 5))
+            shape = tuple(int(rng.integers(4, 60)) for _ in range(d))
+            ranks = tuple(
+                int(rng.integers(1, max(2, n // 2))) for n in shape
+            )
+
+            def cost(order):
+                size = float(np.prod(shape))
+                total = 0.0
+                for j in order:
+                    total += shape[j] * size
+                    size *= ranks[j] / shape[j]
+                return total
+
+            best = min(
+                itertools.permutations(range(d)), key=cost
+            )
+            got = auto_mode_order(shape, ranks)
+            assert cost(got) == pytest.approx(cost(best), rel=1e-9)
+
+
+class TestSTHOSVDAutoOrder:
+    def test_auto_accepted(self, lowrank3):
+        tucker, stats = sthosvd(lowrank3, eps=0.05, mode_order="auto")
+        assert tucker.relative_error(lowrank3) <= 0.05
+        assert sorted(stats.mode_order) == [0, 1, 2]
+
+    def test_unknown_string(self, lowrank3):
+        with pytest.raises(ConfigError):
+            sthosvd(lowrank3, eps=0.05, mode_order="random")
+
+    def test_auto_beats_ascending_on_skewed_shapes(self):
+        """With one huge mode first in ascending order, the heuristic
+        (small modes first) saves an order of magnitude of Gram flops."""
+        shape, ranks = (512, 32, 32), (4, 4, 4)
+        x = SymbolicArray(shape, np.float32)
+        flops = {}
+        for key, order in [
+            ("ascending", None),
+            ("auto", auto_mode_order(shape, ranks)),
+        ]:
+            _, stats = dist_sthosvd(
+                x, (1, 1, 1), ranks=ranks, mode_order=order
+            )
+            flops[key] = stats.ledger.total_flops()
+        assert flops["auto"] < 0.2 * flops["ascending"]
+
+    def test_error_guarantee_unchanged(self):
+        x = tucker_plus_noise((20, 12, 16), (3, 3, 3), noise=0.05, seed=0)
+        t_asc, _ = sthosvd(x, eps=0.1)
+        t_auto, _ = sthosvd(x, eps=0.1, mode_order="auto")
+        assert t_auto.relative_error(x) <= 0.1
+        assert t_asc.relative_error(x) <= 0.1

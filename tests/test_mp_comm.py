@@ -1,0 +1,118 @@
+"""Real process-parallel mini-MPI and process-parallel STHOSVD."""
+
+import numpy as np
+import pytest
+
+from repro.core.sthosvd import sthosvd
+from repro.distributed.mp_sthosvd import mp_sthosvd
+from repro.tensor.random import tucker_plus_noise
+from repro.vmpi.mp_comm import ProcessComm, run_spmd
+
+# Module-level SPMD programs (must be picklable).
+
+
+def _prog_allreduce(comm: ProcessComm) -> float:
+    block = np.full((2, 2), float(comm.rank + 1))
+    total = comm.allreduce(block)
+    return float(total[0, 0])
+
+
+def _prog_reduce_scatter(comm: ProcessComm) -> np.ndarray:
+    block = np.arange(8.0) + comm.rank
+    return comm.reduce_scatter(block, axis=0)
+
+
+def _prog_allgather(comm: ProcessComm) -> np.ndarray:
+    return comm.allgather(np.array([float(comm.rank)]), axis=0)
+
+
+def _prog_bcast(comm: ProcessComm) -> float:
+    payload = np.array([42.0]) if comm.rank == 1 else None
+    return float(comm.bcast(payload, root=1)[0])
+
+
+def _prog_gather(comm: ProcessComm) -> int:
+    out = comm.gather(np.array([comm.rank]), root=0)
+    if comm.rank == 0:
+        return sum(int(b[0]) for b in out)
+    assert out is None
+    return -1
+
+
+def _prog_subgroup(comm: ProcessComm) -> float:
+    # Two disjoint groups: even and odd ranks.
+    group = tuple(
+        r for r in range(comm.size) if r % 2 == comm.rank % 2
+    )
+    total = comm.allreduce(np.array([1.0]), group=group)
+    return float(total[0])
+
+
+def _prog_fail(comm: ProcessComm) -> None:
+    if comm.rank == 1:
+        raise ValueError("boom")
+
+
+class TestRunSPMD:
+    def test_allreduce(self):
+        out = run_spmd(_prog_allreduce, 3)
+        assert out == [6.0, 6.0, 6.0]  # 1+2+3
+
+    def test_reduce_scatter(self):
+        out = run_spmd(_prog_reduce_scatter, 2)
+        total = np.arange(8.0) * 2 + 1  # rank0 + rank1
+        np.testing.assert_allclose(out[0], total[:4])
+        np.testing.assert_allclose(out[1], total[4:])
+
+    def test_allgather(self):
+        out = run_spmd(_prog_allgather, 3)
+        for o in out:
+            np.testing.assert_array_equal(o, [0.0, 1.0, 2.0])
+
+    def test_bcast(self):
+        assert run_spmd(_prog_bcast, 3) == [42.0, 42.0, 42.0]
+
+    def test_gather(self):
+        out = run_spmd(_prog_gather, 3)
+        assert out[0] == 0 + 1 + 2
+        assert out[1] == out[2] == -1
+
+    def test_disjoint_subgroups(self):
+        out = run_spmd(_prog_subgroup, 4)
+        assert out == [2.0, 2.0, 2.0, 2.0]
+
+    def test_single_rank(self):
+        assert run_spmd(_prog_allreduce, 1) == [1.0]
+
+    def test_worker_failure_surfaced(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            run_spmd(_prog_fail, 2)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            run_spmd(_prog_allreduce, 0)
+
+
+class TestMPSTHOSVD:
+    @pytest.mark.parametrize("dims", [(1, 1, 1), (2, 2, 1), (2, 1, 2)])
+    def test_matches_sequential(self, dims):
+        x = tucker_plus_noise((14, 12, 10), (3, 3, 2), noise=1e-4, seed=0)
+        seq, _ = sthosvd(x, ranks=(3, 3, 2))
+        par = mp_sthosvd(x, dims, ranks=(3, 3, 2))
+        assert par.ranks == seq.ranks
+        assert par.relative_error(x) == pytest.approx(
+            seq.relative_error(x), rel=1e-8
+        )
+
+    def test_error_specified(self):
+        x = tucker_plus_noise((14, 12, 10), (3, 3, 2), noise=1e-4, seed=1)
+        par = mp_sthosvd(x, (2, 1, 2), eps=0.01)
+        assert par.ranks == (3, 3, 2)
+        assert par.relative_error(x) <= 0.01
+
+    def test_validation(self):
+        x = np.zeros((4, 4, 4))
+        with pytest.raises(ValueError):
+            mp_sthosvd(x, (1, 1, 1))
+        with pytest.raises(ValueError):
+            mp_sthosvd(x, (1, 1), ranks=(2, 2, 2))

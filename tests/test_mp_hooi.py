@@ -1,0 +1,34 @@
+"""Process-parallel HOSI."""
+
+import numpy as np
+import pytest
+
+from repro.core.hooi import hooi, variant_options
+from repro.distributed.mp_hooi import mp_hosi
+from repro.tensor.random import tucker_plus_noise
+
+
+class TestMPHOSI:
+    @pytest.mark.parametrize("dims", [(1, 1, 1), (2, 2, 1), (1, 2, 2)])
+    def test_matches_sequential(self, dims):
+        x = tucker_plus_noise((14, 12, 10), (3, 3, 2), noise=1e-4, seed=1)
+        opts = variant_options("hosi", max_iters=2, seed=7)
+        seq, _ = hooi(x, (3, 3, 2), opts)
+        par = mp_hosi(x, (3, 3, 2), dims, max_iters=2, seed=7)
+        assert par.relative_error(x) == pytest.approx(
+            seq.relative_error(x), rel=1e-6
+        )
+        for a, b in zip(seq.factors, par.factors):
+            np.testing.assert_allclose(a @ a.T, b @ b.T, atol=1e-7)
+
+    def test_4way(self):
+        x = tucker_plus_noise((8, 8, 8, 8), (2, 2, 2, 2), noise=1e-4, seed=2)
+        par = mp_hosi(x, (2, 2, 2, 2), (1, 2, 2, 1), max_iters=2, seed=3)
+        assert par.relative_error(x) < 1e-3
+
+    def test_validation(self):
+        x = np.zeros((4, 4, 4))
+        with pytest.raises(ValueError):
+            mp_hosi(x, (2, 2, 2), (1, 1))
+        with pytest.raises(ValueError):
+            mp_hosi(x, (9, 2, 2), (1, 1, 1))

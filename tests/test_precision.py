@@ -1,0 +1,67 @@
+"""Mixed-precision behaviour (the paper runs float32 synthetic /
+float32-float64 datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hooi import variant_options, hooi
+from repro.core.rank_adaptive import rank_adaptive_hooi
+from repro.core.sthosvd import sthosvd
+from repro.tensor.random import tucker_plus_noise
+
+
+@pytest.fixture
+def x32():
+    return tucker_plus_noise(
+        (16, 14, 12), (3, 3, 3), noise=1e-3, seed=0, dtype=np.float32
+    )
+
+
+class TestFloat32Pipelines:
+    def test_sthosvd_dtype_flow(self, x32):
+        tucker, _ = sthosvd(x32, eps=0.01)
+        assert tucker.relative_error(x32) <= 0.01
+        # Factors stay in a floating type compatible with the input.
+        rec = tucker.reconstruct()
+        assert rec.dtype in (np.float32, np.float64)
+
+    @pytest.mark.parametrize("name", ["hooi", "hosi-dt"])
+    def test_hooi_variants_float32(self, x32, name):
+        opts = variant_options(name, max_iters=2, seed=1)
+        tucker, _ = hooi(x32, (3, 3, 3), opts)
+        assert tucker.relative_error(x32) < 5e-3
+
+    def test_rank_adaptive_float32(self, x32):
+        tucker, stats = rank_adaptive_hooi(x32, 0.01, (4, 4, 4))
+        assert stats.converged
+        assert tucker.relative_error(x32) <= 0.01 * (1 + 1e-5)
+
+    def test_error_floor_scales_with_precision(self):
+        """float32 cannot recover below ~1e-6 relative error; float64
+        goes much lower on the same noiseless problem."""
+        shapes, ranks = (14, 12, 10), (3, 3, 3)
+        errs = {}
+        for dtype in (np.float32, np.float64):
+            x = tucker_plus_noise(
+                shapes, ranks, noise=0.0, seed=2, dtype=dtype
+            )
+            tucker, _ = sthosvd(x, ranks=ranks)
+            errs[dtype] = tucker.relative_error(x)
+        assert errs[np.float64] < 1e-12
+        assert errs[np.float32] < 1e-5
+        assert errs[np.float64] < errs[np.float32]
+
+    def test_distributed_float32(self, x32):
+        from repro.distributed.sthosvd import dist_sthosvd
+
+        tucker, stats = dist_sthosvd(x32, (2, 1, 2), eps=0.01)
+        assert tucker.relative_error(x32) <= 0.01
+        # float32 halves the words... the ledger counts elements, so
+        # the simulated volume is dtype-independent by design.
+        assert stats.simulated_seconds > 0
+
+    def test_spmd_float32(self, x32):
+        from repro.distributed.spmd import spmd_sthosvd
+
+        tucker = spmd_sthosvd(x32, (2, 2, 1), eps=0.01)
+        assert tucker.relative_error(x32) <= 0.01

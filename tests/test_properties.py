@@ -1,0 +1,119 @@
+"""Property-based tests of the library's central invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.core_analysis import (
+    leading_subtensor_energies,
+    solve_rank_truncation,
+)
+from repro.core.rank_adaptive import rank_adaptive_hooi
+from repro.core.sthosvd import sthosvd
+from repro.core.tucker import TuckerTensor
+from repro.tensor.dense import tensor_norm
+from repro.tensor.ops import multi_ttm
+from repro.tensor.random import random_orthonormal, tucker_plus_noise
+
+shapes3 = st.tuples(
+    st.integers(4, 10), st.integers(4, 10), st.integers(4, 10)
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(shape=shapes3, seed=st.integers(0, 10**6))
+def test_error_identity_holds_for_any_orthonormal_projection(shape, seed):
+    """||X - X^||^2 = ||X||^2 - ||G||^2 for any orthonormal factors."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(shape)
+    ranks = tuple(max(1, n // 2) for n in shape)
+    factors = [
+        random_orthonormal(n, r, seed=rng) for n, r in zip(shape, ranks)
+    ]
+    core = multi_ttm(x, factors, transpose=True)
+    tt = TuckerTensor(core=core, factors=factors)
+    lhs = tensor_norm(x - tt.reconstruct()) ** 2
+    rhs = tensor_norm(x) ** 2 - tensor_norm(core) ** 2
+    assert lhs == pytest.approx(rhs, rel=1e-8, abs=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    eps=st.sampled_from([0.5, 0.2, 0.05]),
+)
+def test_sthosvd_error_guarantee_property(seed, eps):
+    rng = np.random.default_rng(seed)
+    shape = tuple(int(rng.integers(6, 12)) for _ in range(3))
+    ranks = tuple(max(1, n // 3) for n in shape)
+    x = tucker_plus_noise(shape, ranks, noise=0.1, seed=rng)
+    tucker, _ = sthosvd(x, eps=eps)
+    assert tucker.relative_error(x) <= eps * (1 + 1e-9)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_rank_adaptive_honours_budget_property(seed):
+    rng = np.random.default_rng(seed)
+    shape = tuple(int(rng.integers(8, 14)) for _ in range(3))
+    ranks = tuple(max(1, n // 4) for n in shape)
+    x = tucker_plus_noise(shape, ranks, noise=0.01, seed=rng)
+    eps = 0.05
+    tucker, stats = rank_adaptive_hooi(
+        x, eps, tuple(r + 1 for r in ranks)
+    )
+    if stats.converged:
+        assert tucker.relative_error(x) <= eps * (1 + 1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_truncation_solver_feasible_and_no_better_than_full(seed):
+    rng = np.random.default_rng(seed)
+    core = rng.standard_normal((4, 3, 5))
+    total = float(np.linalg.norm(core) ** 2)
+    frac = float(rng.uniform(0.3, 0.999))
+    target = frac * total
+    shape = tuple(int(rng.integers(10, 50)) for _ in range(3))
+    ranks = solve_rank_truncation(core, target, shape)
+    assert ranks is not None
+    energies = leading_subtensor_energies(core)
+    assert energies[tuple(r - 1 for r in ranks)] >= target * (1 - 1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_multi_ttm_agrees_with_kron_unfolding(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((4, 5, 3))
+    mats = [rng.standard_normal((2, n)) for n in x.shape]
+    from repro.tensor.dense import unfold
+
+    y = multi_ttm(x, mats)
+    kron = np.kron(mats[2], mats[1])
+    np.testing.assert_allclose(
+        unfold(y, 0), mats[0] @ unfold(x, 0) @ kron.T, atol=1e-9
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6), p_exp=st.integers(0, 5))
+def test_simulated_time_positive_and_monotone_with_work(seed, p_exp):
+    """More iterations never cost less simulated time."""
+    from repro.core.hooi import variant_options
+    from repro.distributed.arrays import SymbolicArray
+    from repro.distributed.hooi import dist_hooi
+
+    p = 2**p_exp
+    x = SymbolicArray((32, 32, 32), np.float32)
+    from repro.vmpi.grid import suggested_grids
+
+    grid = suggested_grids(p, 3)[0]
+    _, s1 = dist_hooi(
+        x, (4, 4, 4), grid, options=variant_options("hosi-dt", max_iters=1)
+    )
+    _, s2 = dist_hooi(
+        x, (4, 4, 4), grid, options=variant_options("hosi-dt", max_iters=2)
+    )
+    assert 0 < s1.simulated_seconds < s2.simulated_seconds

@@ -1,0 +1,60 @@
+"""Public API surface stability."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.tensor",
+    "repro.linalg",
+    "repro.core",
+    "repro.vmpi",
+    "repro.distributed",
+    "repro.datasets",
+    "repro.analysis",
+    "repro.artifact",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    """Every name in a package's __all__ is actually importable."""
+    mod = importlib.import_module(name)
+    assert hasattr(mod, "__all__"), name
+    for attr in mod.__all__:
+        assert hasattr(mod, attr), f"{name}.{attr}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_sorted_and_unique(name):
+    mod = importlib.import_module(name)
+    names = list(mod.__all__)
+    assert len(names) == len(set(names)), name
+
+
+def test_top_level_quickstart_names():
+    """The README quickstart's imports exist at the top level."""
+    import repro
+
+    for attr in (
+        "rank_adaptive_hooi",
+        "sthosvd",
+        "hooi",
+        "tucker_plus_noise",
+        "TuckerTensor",
+        "LLSVMethod",
+    ):
+        assert hasattr(repro, attr)
+
+
+def test_version_dunder():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_console_scripts_callable():
+    from repro.cli import hooi_main, sthosvd_main
+
+    assert callable(sthosvd_main) and callable(hooi_main)

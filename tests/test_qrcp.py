@@ -1,0 +1,110 @@
+"""QR with column pivoting: from-scratch Householder vs LAPACK."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.qrcp import householder_qrcp, qrcp
+
+
+def _random(m, n, seed=0, rank=None):
+    rng = np.random.default_rng(seed)
+    if rank is None:
+        return rng.standard_normal((m, n))
+    return rng.standard_normal((m, rank)) @ rng.standard_normal((rank, n))
+
+
+class TestHouseholderQRCP:
+    def test_reconstruction(self):
+        a = _random(8, 6, seed=1)
+        q, r, piv = householder_qrcp(a)
+        np.testing.assert_allclose(a[:, piv], q @ r, atol=1e-10)
+
+    def test_orthonormal_q(self):
+        a = _random(10, 4, seed=2)
+        q, _, _ = householder_qrcp(a)
+        np.testing.assert_allclose(q.T @ q, np.eye(4), atol=1e-10)
+
+    def test_r_upper_triangular(self):
+        a = _random(7, 7, seed=3)
+        _, r, _ = householder_qrcp(a)
+        np.testing.assert_allclose(r, np.triu(r), atol=1e-12)
+
+    def test_diagonal_decreasing(self):
+        """Pivoting sorts |R_jj| non-increasing (energy ordering the
+        core-analysis heuristic relies on)."""
+        a = _random(12, 8, seed=4)
+        _, r, _ = householder_qrcp(a)
+        d = np.abs(np.diag(r))
+        assert np.all(d[:-1] >= d[1:] - 1e-10)
+
+    def test_truncated_rank(self):
+        a = _random(9, 6, seed=5)
+        q, r, piv = householder_qrcp(a, rank=3)
+        assert q.shape == (9, 3)
+        assert r.shape == (3, 6)
+        np.testing.assert_allclose(q.T @ q, np.eye(3), atol=1e-10)
+
+    def test_wide_matrix(self):
+        a = _random(4, 9, seed=6)
+        q, r, piv = householder_qrcp(a)
+        assert q.shape == (4, 4)
+        np.testing.assert_allclose(a[:, piv], q @ r, atol=1e-10)
+
+    def test_rank_deficient(self):
+        a = _random(8, 6, seed=7, rank=3)
+        q, r, piv = householder_qrcp(a)
+        d = np.abs(np.diag(r))
+        assert d[3] < 1e-8 * d[0]
+
+    def test_zero_matrix(self):
+        q, r, piv = householder_qrcp(np.zeros((5, 3)))
+        np.testing.assert_allclose(q.T @ q, np.eye(3), atol=1e-12)
+        np.testing.assert_allclose(r, 0.0, atol=1e-12)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            householder_qrcp(_random(4, 4), rank=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        m=st.integers(2, 12),
+        n=st.integers(2, 10),
+        seed=st.integers(0, 10**6),
+    )
+    def test_reconstruction_property(self, m, n, seed):
+        a = _random(m, n, seed=seed)
+        q, r, piv = householder_qrcp(a)
+        np.testing.assert_allclose(a[:, piv], q @ r, atol=1e-8)
+
+    def test_same_column_space_as_lapack(self):
+        a = _random(10, 5, seed=8)
+        q_h, _, _ = householder_qrcp(a)
+        q_l, _, _ = qrcp(a, method="lapack")
+        # Same subspace: projectors agree.
+        np.testing.assert_allclose(
+            q_h @ q_h.T, q_l @ q_l.T, atol=1e-9
+        )
+
+
+class TestQRCPDispatch:
+    def test_lapack_reconstruction(self):
+        a = _random(8, 5, seed=9)
+        q, r, piv = qrcp(a)
+        np.testing.assert_allclose(a[:, piv], q @ r, atol=1e-10)
+
+    def test_rank_truncation(self):
+        a = _random(8, 5, seed=10)
+        q, r, _ = qrcp(a, rank=2)
+        assert q.shape == (8, 2)
+        assert r.shape == (2, 5)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            qrcp(_random(3, 3), method="cholesky")
+
+    def test_householder_method_selected(self):
+        a = _random(6, 4, seed=11)
+        q, r, piv = qrcp(a, method="householder")
+        np.testing.assert_allclose(a[:, piv], q @ r, atol=1e-9)

@@ -1,0 +1,83 @@
+"""Random tensor generators."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.dense import tensor_norm, unfold
+from repro.tensor.random import (
+    random_orthonormal,
+    random_tucker,
+    tucker_plus_noise,
+)
+
+
+class TestRandomOrthonormal:
+    def test_orthonormal_columns(self):
+        q = random_orthonormal(12, 5, seed=0)
+        np.testing.assert_allclose(q.T @ q, np.eye(5), atol=1e-12)
+
+    def test_shape_and_dtype(self):
+        q = random_orthonormal(8, 3, seed=1, dtype=np.float32)
+        assert q.shape == (8, 3)
+        assert q.dtype == np.float32
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_orthonormal(6, 2, seed=42), random_orthonormal(6, 2, seed=42)
+        )
+
+    def test_square(self):
+        q = random_orthonormal(5, 5, seed=0)
+        np.testing.assert_allclose(q @ q.T, np.eye(5), atol=1e-12)
+
+    def test_too_many_columns(self):
+        with pytest.raises(ValueError):
+            random_orthonormal(3, 4)
+
+
+class TestRandomTucker:
+    def test_exact_multilinear_rank(self):
+        full, core, factors = random_tucker((10, 9, 8), (3, 2, 4), seed=0)
+        assert core.shape == (3, 2, 4)
+        for mode, r in enumerate((3, 2, 4)):
+            assert np.linalg.matrix_rank(unfold(full, mode), tol=1e-8) == r
+
+    def test_reconstruction_consistency(self):
+        from repro.tensor.ops import multi_ttm
+
+        full, core, factors = random_tucker((6, 7, 5), (2, 3, 2), seed=3)
+        np.testing.assert_allclose(full, multi_ttm(core, factors), atol=1e-12)
+
+    def test_factor_orthonormality(self):
+        _, _, factors = random_tucker((6, 7, 5), (2, 3, 2), seed=5)
+        for u in factors:
+            np.testing.assert_allclose(
+                u.T @ u, np.eye(u.shape[1]), atol=1e-12
+            )
+
+
+class TestTuckerPlusNoise:
+    def test_noise_level(self):
+        x0 = tucker_plus_noise((12, 12, 12), (3, 3, 3), noise=0.0, seed=9)
+        x1 = tucker_plus_noise((12, 12, 12), (3, 3, 3), noise=0.01, seed=9)
+        rel = tensor_norm(x1 - x0) / tensor_norm(x0)
+        assert rel == pytest.approx(0.01, rel=1e-6)
+
+    def test_zero_noise_is_low_rank(self):
+        x = tucker_plus_noise((10, 10, 10), (2, 2, 2), noise=0.0, seed=2)
+        s = np.linalg.svd(unfold(x, 0), compute_uv=False)
+        assert s[2] < 1e-10 * s[0]
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            tucker_plus_noise((5, 5), (2, 2), noise=-0.1)
+
+    def test_dtype(self):
+        x = tucker_plus_noise((5, 5), (2, 2), seed=0, dtype=np.float32)
+        assert x.dtype == np.float32
+
+    def test_generator_seed_shared_state(self):
+        rng = np.random.default_rng(0)
+        a = tucker_plus_noise((5, 5), (2, 2), seed=rng)
+        b = tucker_plus_noise((5, 5), (2, 2), seed=rng)
+        assert not np.allclose(a, b)

@@ -1,0 +1,53 @@
+"""Randomized range finder baseline."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.randomized import randomized_range_finder
+
+
+def _lowrank(m, n, r, seed=0, noise=1e-8):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, r)) @ rng.standard_normal((r, n))
+    return a + noise * rng.standard_normal((m, n))
+
+
+class TestRangeFinder:
+    def test_orthonormal(self):
+        q = randomized_range_finder(_lowrank(20, 30, 4), 4, seed=0)
+        np.testing.assert_allclose(q.T @ q, np.eye(4), atol=1e-10)
+
+    def test_captures_range(self):
+        a = _lowrank(25, 40, 5)
+        q = randomized_range_finder(a, 5, seed=1)
+        residual = a - q @ (q.T @ a)
+        assert np.linalg.norm(residual) < 1e-5 * np.linalg.norm(a)
+
+    def test_power_iterations_help_on_flat_spectrum(self):
+        rng = np.random.default_rng(2)
+        u, _ = np.linalg.qr(rng.standard_normal((40, 40)))
+        v, _ = np.linalg.qr(rng.standard_normal((40, 40)))
+        s = np.concatenate([np.full(5, 10.0), np.full(35, 3.0)])
+        a = u @ np.diag(s) @ v.T
+
+        def err(p):
+            q = randomized_range_finder(
+                a, 5, oversample=0, power_iters=p, seed=3
+            )
+            return np.linalg.norm(a - q @ (q.T @ a))
+
+        assert err(4) < err(0)
+
+    def test_rank_capped_at_rows(self):
+        q = randomized_range_finder(_lowrank(4, 30, 3), 10, seed=4)
+        assert q.shape == (4, 4)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            randomized_range_finder(_lowrank(5, 5, 2), 0)
+
+    def test_deterministic_with_seed(self):
+        a = _lowrank(10, 12, 3, seed=5)
+        q1 = randomized_range_finder(a, 3, seed=6)
+        q2 = randomized_range_finder(a, 3, seed=6)
+        np.testing.assert_array_equal(q1, q2)

@@ -1,0 +1,175 @@
+"""Sequential rank-adaptive HOOI (Alg. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.rank_adaptive import (
+    RankAdaptiveOptions,
+    expand_factor,
+    rank_adaptive_hooi,
+)
+from repro.linalg.llsv import LLSVMethod
+from repro.tensor.random import random_orthonormal, tucker_plus_noise
+
+
+class TestExpandFactor:
+    def test_preserves_existing_columns(self):
+        u = random_orthonormal(10, 3, seed=0)
+        rng = np.random.default_rng(1)
+        big = expand_factor(u, 5, rng)
+        np.testing.assert_array_equal(big[:, :3], u)
+
+    def test_orthonormal_result(self):
+        u = random_orthonormal(12, 4, seed=2)
+        rng = np.random.default_rng(3)
+        big = expand_factor(u, 7, rng)
+        np.testing.assert_allclose(big.T @ big, np.eye(7), atol=1e-10)
+
+    def test_noop_when_not_growing(self):
+        u = random_orthonormal(8, 4, seed=4)
+        rng = np.random.default_rng(5)
+        assert expand_factor(u, 3, rng) is u
+        assert expand_factor(u, 4, rng) is u
+
+    def test_cannot_exceed_rows(self):
+        u = random_orthonormal(5, 4, seed=6)
+        with pytest.raises(ValueError):
+            expand_factor(u, 6, np.random.default_rng(7))
+
+
+class TestOptions:
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            RankAdaptiveOptions(alpha=1.0)
+
+    def test_max_iters_positive(self):
+        with pytest.raises(ConfigError):
+            RankAdaptiveOptions(max_iters=0)
+
+    def test_truncation_name(self):
+        with pytest.raises(ConfigError):
+            RankAdaptiveOptions(truncation="random")
+
+    def test_llsv_kernel_restricted(self):
+        with pytest.raises(ConfigError):
+            RankAdaptiveOptions(llsv_method=LLSVMethod.RANDOMIZED)
+
+
+class TestRankAdaptive:
+    @pytest.mark.parametrize("eps", [0.2, 0.05])
+    def test_meets_tolerance(self, eps):
+        x = tucker_plus_noise((18, 16, 14), (4, 4, 4), noise=0.02, seed=0)
+        tucker, stats = rank_adaptive_hooi(x, eps, (5, 5, 5))
+        assert stats.converged
+        assert tucker.relative_error(x) <= eps * (1 + 1e-6)
+
+    def test_perfect_start_one_iteration(self, lowrank4):
+        tucker, stats = rank_adaptive_hooi(
+            lowrank4, 0.01, (3, 4, 2, 3),
+            RankAdaptiveOptions(max_iters=3),
+        )
+        assert stats.first_satisfied == 1
+        assert tucker.ranks == (3, 4, 2, 3)
+
+    def test_overshoot_truncates(self, lowrank4):
+        tucker, stats = rank_adaptive_hooi(
+            lowrank4, 0.01, (5, 6, 4, 5),
+            RankAdaptiveOptions(max_iters=3),
+        )
+        assert stats.first_satisfied == 1
+        # Truncation recovers (close to) the construction ranks.
+        assert tucker.ranks == (3, 4, 2, 3)
+
+    def test_undershoot_grows_then_converges(self, lowrank4):
+        tucker, stats = rank_adaptive_hooi(
+            lowrank4, 0.01, (1, 1, 1, 1),
+            RankAdaptiveOptions(max_iters=6, alpha=2.0),
+        )
+        assert stats.converged
+        assert tucker.relative_error(lowrank4) <= 0.01 * (1 + 1e-6)
+        # Ranks grew before convergence.
+        assert stats.first_satisfied > 1
+
+    def test_ranks_grow_by_alpha(self, lowrank4):
+        _, stats = rank_adaptive_hooi(
+            lowrank4, 1e-4, (1, 1, 1, 1),
+            RankAdaptiveOptions(max_iters=2, alpha=2.0),
+        )
+        h = stats.history
+        assert h[0].ranks_used == (1, 1, 1, 1)
+        assert h[1].ranks_used == (2, 2, 2, 2)
+
+    def test_history_records(self, lowrank4):
+        _, stats = rank_adaptive_hooi(lowrank4, 0.01, (4, 5, 3, 4))
+        assert len(stats.history) >= 1
+        rec = stats.history[-1]
+        assert rec.satisfied
+        assert rec.truncated_ranks is not None
+        assert rec.truncated_error <= 0.01 * (1 + 1e-6)
+        assert rec.truncated_storage <= rec.storage_size
+        assert rec.seconds > 0
+
+    def test_stop_at_threshold_false_continues(self, lowrank4):
+        opts = RankAdaptiveOptions(max_iters=3, stop_at_threshold=False)
+        _, stats = rank_adaptive_hooi(lowrank4, 0.05, (4, 5, 3, 4), opts)
+        assert len(stats.history) == 3
+
+    def test_stop_at_threshold_true_stops(self, lowrank4):
+        opts = RankAdaptiveOptions(max_iters=3, stop_at_threshold=True)
+        _, stats = rank_adaptive_hooi(lowrank4, 0.05, (4, 5, 3, 4), opts)
+        assert len(stats.history) == stats.first_satisfied
+
+    def test_greedy_truncation_option(self, lowrank4):
+        opts = RankAdaptiveOptions(truncation="greedy")
+        tucker, stats = rank_adaptive_hooi(lowrank4, 0.01, (4, 5, 3, 4), opts)
+        assert stats.converged
+        assert tucker.relative_error(lowrank4) <= 0.01 * (1 + 1e-6)
+
+    def test_unreachable_eps_returns_unconverged(self, rng):
+        """Full-noise tensor cannot be compressed to eps=1e-8 in a few
+        rank-growth steps from rank 1."""
+        x = rng.standard_normal((10, 10, 10))
+        _, stats = rank_adaptive_hooi(
+            x, 1e-8, (1, 1, 1), RankAdaptiveOptions(max_iters=2)
+        )
+        assert not stats.converged
+        assert stats.first_satisfied is None
+
+    def test_gram_evd_variant(self, lowrank4):
+        opts = RankAdaptiveOptions(
+            llsv_method=LLSVMethod.GRAM_EVD, use_dimension_tree=False
+        )
+        tucker, stats = rank_adaptive_hooi(lowrank4, 0.01, (4, 5, 3, 4), opts)
+        assert stats.converged
+        assert tucker.relative_error(lowrank4) <= 0.01 * (1 + 1e-6)
+
+    def test_invalid_eps(self, lowrank4):
+        with pytest.raises(ConfigError):
+            rank_adaptive_hooi(lowrank4, 0.0, (2, 2, 2, 2))
+        with pytest.raises(ConfigError):
+            rank_adaptive_hooi(lowrank4, 1.0, (2, 2, 2, 2))
+
+    def test_init_ranks_clipped(self, lowrank4):
+        """Initial ranks beyond the tensor dims are clipped, not an error."""
+        tucker, stats = rank_adaptive_hooi(lowrank4, 0.01, (99, 99, 99, 99))
+        assert stats.converged
+
+    def test_core_analysis_time_recorded(self, lowrank4):
+        _, stats = rank_adaptive_hooi(lowrank4, 0.05, (4, 5, 3, 4))
+        assert stats.phase_seconds.get("core_analysis", 0.0) > 0
+
+    def test_better_compression_than_sthosvd_possible(self):
+        """RA's cross-mode truncation is never *worse* than STHOSVD's
+        greedy per-mode choice on this structured example (paper §5)."""
+        from repro.core.sthosvd import sthosvd
+
+        x = tucker_plus_noise((20, 18, 16), (5, 5, 5), noise=0.03, seed=9)
+        eps = 0.1
+        st_t, _ = sthosvd(x, eps=eps)
+        ra_t, ra_s = rank_adaptive_hooi(
+            x, eps, st_t.ranks,
+            RankAdaptiveOptions(max_iters=3, stop_at_threshold=False),
+        )
+        assert ra_s.converged
+        assert ra_t.storage_size() <= st_t.storage_size() * 1.25

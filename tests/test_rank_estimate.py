@@ -1,0 +1,67 @@
+"""Initial-rank estimation from sampled spectra."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.rank_estimate import estimate_ranks
+from repro.core.sthosvd import sthosvd
+from repro.tensor.random import tucker_plus_noise
+
+
+class TestEstimateRanks:
+    def test_bracket_true_ranks(self, lowrank4):
+        est = estimate_ranks(lowrank4, 0.01, margin=1.0)
+        # With a strongly low-rank tensor the estimate lands on (or
+        # just above) the construction ranks.
+        true = (3, 4, 2, 3)
+        assert all(t <= e <= t + 2 for t, e in zip(true, est))
+
+    def test_margin_overestimates(self, lowrank4):
+        bare = estimate_ranks(lowrank4, 0.01, margin=1.0, seed=0)
+        fat = estimate_ranks(lowrank4, 0.01, margin=1.5, seed=0)
+        assert all(f >= b for b, f in zip(bare, fat))
+
+    def test_clipped_to_shape(self):
+        x = tucker_plus_noise((6, 6, 6), (5, 5, 5), noise=0.3, seed=0)
+        est = estimate_ranks(x, 1e-4, margin=3.0)
+        assert all(e <= 6 for e in est)
+
+    def test_full_sampling_matches_sthosvd_choice(self):
+        """With every column sampled, the per-mode choice equals the
+        one STHOSVD's first mode would make."""
+        x = tucker_plus_noise((14, 12, 10), (3, 3, 3), noise=0.02, seed=1)
+        est = estimate_ranks(
+            x, 0.1, sample_columns=10**6, margin=1.0
+        )
+        tucker, stats = sthosvd(x, eps=0.1)
+        # Mode 0 is computed from the untruncated tensor in both.
+        assert est[0] == tucker.ranks[0]
+
+    def test_good_ra_seed(self):
+        """End to end: the estimate seeds RA-HOOI into convergence
+        within two iterations."""
+        from repro.core.rank_adaptive import (
+            RankAdaptiveOptions,
+            rank_adaptive_hooi,
+        )
+
+        x = tucker_plus_noise((20, 18, 16), (4, 4, 4), noise=0.02, seed=2)
+        est = estimate_ranks(x, 0.05)
+        tucker, stats = rank_adaptive_hooi(
+            x, 0.05, est, RankAdaptiveOptions(max_iters=3)
+        )
+        assert stats.converged
+        assert stats.first_satisfied <= 2
+
+    def test_validation(self, lowrank3):
+        with pytest.raises(ConfigError):
+            estimate_ranks(lowrank3, 0.0)
+        with pytest.raises(ConfigError):
+            estimate_ranks(lowrank3, 0.1, sample_columns=0)
+        with pytest.raises(ConfigError):
+            estimate_ranks(lowrank3, 0.1, margin=0.5)
+
+    def test_deterministic(self, lowrank3):
+        a = estimate_ranks(lowrank3, 0.05, seed=3)
+        b = estimate_ranks(lowrank3, 0.05, seed=3)
+        assert a == b

@@ -1,0 +1,91 @@
+"""Chunked decompression."""
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruct import (
+    iter_slabs,
+    reconstruct_into,
+    streamed_relative_error,
+)
+from repro.core.sthosvd import sthosvd
+from repro.tensor.random import tucker_plus_noise
+
+
+@pytest.fixture
+def compressed():
+    x = tucker_plus_noise((18, 16, 14), (4, 4, 4), noise=1e-3, seed=0)
+    tucker, _ = sthosvd(x, ranks=(4, 4, 4))
+    return x, tucker
+
+
+class TestIterSlabs:
+    def test_slabs_tile_reconstruction(self, compressed):
+        x, tucker = compressed
+        full = tucker.reconstruct()
+        for mode in range(3):
+            seen = np.zeros_like(full)
+            for sl, block in iter_slabs(tucker, mode, slab=5):
+                index = [slice(None)] * 3
+                index[mode] = sl
+                seen[tuple(index)] = block
+            np.testing.assert_allclose(seen, full, atol=1e-12)
+
+    def test_slab_count(self, compressed):
+        _, tucker = compressed
+        slabs = list(iter_slabs(tucker, 0, slab=5))
+        assert len(slabs) == 4  # 18 -> 5+5+5+3
+
+    def test_invalid_args(self, compressed):
+        _, tucker = compressed
+        with pytest.raises(ValueError):
+            list(iter_slabs(tucker, 0, slab=0))
+        with pytest.raises(ValueError):
+            list(iter_slabs(tucker, 5, slab=2))
+
+
+class TestReconstructInto:
+    def test_matches_direct(self, compressed):
+        _, tucker = compressed
+        out = np.empty(tucker.shape)
+        reconstruct_into(tucker, out, mode=1, slab=4)
+        np.testing.assert_allclose(out, tucker.reconstruct(), atol=1e-12)
+
+    def test_memmap_target(self, compressed, tmp_path):
+        _, tucker = compressed
+        mm = np.memmap(
+            tmp_path / "out.raw",
+            dtype=np.float64,
+            mode="w+",
+            shape=tucker.shape,
+        )
+        reconstruct_into(tucker, mm, slab=6)
+        np.testing.assert_allclose(
+            np.array(mm), tucker.reconstruct(), atol=1e-12
+        )
+
+    def test_shape_mismatch(self, compressed):
+        _, tucker = compressed
+        with pytest.raises(ValueError):
+            reconstruct_into(tucker, np.empty((2, 2, 2)))
+
+
+class TestStreamedError:
+    def test_matches_direct_error(self, compressed):
+        x, tucker = compressed
+        direct = tucker.relative_error(x)
+        for mode in range(3):
+            streamed = streamed_relative_error(
+                tucker, x, mode=mode, slab=7
+            )
+            assert streamed == pytest.approx(direct, rel=1e-10)
+
+    def test_zero_reference(self, compressed):
+        _, tucker = compressed
+        z = np.zeros(tucker.shape)
+        assert streamed_relative_error(tucker, z) == np.inf
+
+    def test_shape_mismatch(self, compressed):
+        _, tucker = compressed
+        with pytest.raises(ValueError):
+            streamed_relative_error(tucker, np.zeros((3, 3, 3)))

@@ -1,0 +1,68 @@
+"""Roofline analysis helpers."""
+
+import pytest
+
+from repro.analysis.roofline import (
+    KERNELS,
+    kernel_point,
+    machine_balance,
+)
+from repro.vmpi.machine import MachineModel
+
+
+class TestMachineBalance:
+    def test_balance_value(self):
+        m = MachineModel(
+            flop_rate=1e10, node_mem_bw=1e9, cores_per_node=1
+        )
+        assert machine_balance(m, 1) == pytest.approx(10.0)
+
+    def test_balance_grows_with_node_sharing(self):
+        m = MachineModel(cores_per_node=128)
+        assert machine_balance(m, 128) > machine_balance(m, 1)
+
+
+class TestKernelPoints:
+    def test_gram_intensity_2n(self):
+        pt = kernel_point("sthosvd_gram", n=512, r=8, d=3)
+        assert pt.intensity == pytest.approx(2 * 512)
+
+    def test_ttm_intensity_2r(self):
+        pt = kernel_point("hooi_ttm", n=512, r=8, d=3)
+        assert pt.intensity == pytest.approx(2 * 8)
+
+    def test_small_r_ttm_memory_bound_on_full_node(self):
+        """The paper's §5 observation: small-r TTMs are bandwidth-bound
+        once a node is fully packed (while the same kernel on a single
+        rank with the whole node's bandwidth is not)."""
+        pt = kernel_point("hooi_ttm", n=560, r=4, d=4, p=128)
+        assert pt.memory_bound
+        pt1 = kernel_point("hooi_ttm", n=560, r=4, d=4, p=1)
+        assert not pt1.memory_bound
+
+    def test_gram_compute_bound(self):
+        pt = kernel_point("sthosvd_gram", n=3750, r=30, d=3, p=128)
+        assert not pt.memory_bound
+
+    def test_attainable_capped_by_peak(self):
+        m = MachineModel()
+        pt = kernel_point("sthosvd_gram", n=4096, r=8, d=3, machine=m)
+        assert pt.attainable_flops == pytest.approx(m.flop_rate)
+
+    def test_attainable_bandwidth_limited(self):
+        m = MachineModel(cores_per_node=128)
+        pt = kernel_point("hooi_ttm", n=512, r=4, d=3, p=128, machine=m)
+        assert pt.attainable_flops < m.flop_rate
+
+    def test_contraction_point(self):
+        pt = kernel_point("subspace_contraction", n=512, r=8, d=3)
+        assert pt.intensity == pytest.approx(2 * 8)
+        assert pt.flops > 0 and pt.words > 0
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            kernel_point("fft", n=8, r=2, d=3)
+
+    def test_kernel_registry(self):
+        for k in KERNELS:
+            kernel_point(k, n=64, r=4, d=3)

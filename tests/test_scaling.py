@@ -1,0 +1,99 @@
+"""Strong-scaling harness (Fig. 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import (
+    ALGORITHMS,
+    default_grid,
+    run_variant,
+    strong_scaling,
+)
+from repro.core.errors import ConfigError
+from repro.distributed.arrays import SymbolicArray
+
+
+class TestDefaultGrid:
+    def test_sthosvd_prefers_p1_one(self):
+        g = default_grid(64, (512, 512, 512), "sthosvd")
+        assert g[0] == 1
+
+    def test_dt_prefers_edges_one(self):
+        g = default_grid(64, (512, 512, 512, 512), "hosi-dt")
+        assert g[0] == 1 and g[-1] == 1
+
+    def test_product(self):
+        import math
+
+        for algo in ALGORITHMS:
+            assert math.prod(default_grid(128, (256,) * 3, algo)) == 128
+
+
+class TestRunVariant:
+    def test_sthosvd_dispatch(self):
+        x = SymbolicArray((32, 32, 32), np.float32)
+        _, stats = run_variant(x, "sthosvd", (1, 2, 2), ranks=(4, 4, 4))
+        assert stats.simulated_seconds > 0
+
+    def test_hooi_requires_ranks(self):
+        x = SymbolicArray((32, 32, 32), np.float32)
+        with pytest.raises(ConfigError):
+            run_variant(x, "hosi-dt", (1, 2, 2))
+
+    def test_concrete_dispatch(self, lowrank3):
+        tucker, stats = run_variant(
+            lowrank3, "hosi-dt", (1, 2, 2), ranks=(4, 3, 5)
+        )
+        assert tucker is not None
+
+
+class TestStrongScaling:
+    def test_point_per_algo_and_p(self):
+        pts = strong_scaling(
+            (64, 64, 64), (4, 4, 4), [1, 4],
+            algorithms=("sthosvd", "hosi-dt"),
+        )
+        assert len(pts) == 4
+        keys = {(p.algorithm, p.p) for p in pts}
+        assert ("sthosvd", 1) in keys and ("hosi-dt", 4) in keys
+
+    def test_times_decrease_initially(self):
+        pts = strong_scaling(
+            (128, 128, 128), (8, 8, 8), [1, 8],
+            algorithms=("hosi-dt",),
+        )
+        t = {p.p: p.seconds for p in pts}
+        assert t[8] < t[1]
+
+    def test_paper_shape_sthosvd_plateaus_hosi_dt_scales(self):
+        """The headline Fig. 2 (3-way) shape at the paper's dimensions."""
+        pts = strong_scaling(
+            (3750, 3750, 3750), (30, 30, 30), [64, 4096],
+            algorithms=("sthosvd", "hosi-dt"),
+        )
+        t = {(p.algorithm, p.p): p.seconds for p in pts}
+        sth_speedup = t[("sthosvd", 64)] / t[("sthosvd", 4096)]
+        hosi_speedup = t[("hosi-dt", 64)] / t[("hosi-dt", 4096)]
+        assert sth_speedup < 8  # EVD plateau (64x more cores, <8x faster)
+        assert hosi_speedup > 20  # keeps scaling
+        # At 4096 cores HOSI-DT beats STHOSVD by a large factor.
+        assert (
+            t[("sthosvd", 4096)] / t[("hosi-dt", 4096)] > 50
+        )
+
+    def test_hooi_twice_sthosvd_at_evd_plateau(self):
+        """Gram-based HOOI does 2x the EVDs over two iterations, so it
+        plateaus at ~2x STHOSVD's time (paper §4.1)."""
+        pts = strong_scaling(
+            (3750, 3750, 3750), (30, 30, 30), [4096],
+            algorithms=("sthosvd", "hooi-dt"),
+        )
+        t = {p.algorithm: p.seconds for p in pts}
+        assert t["hooi-dt"] / t["sthosvd"] == pytest.approx(2.0, rel=0.25)
+
+    def test_concrete_data_run(self, lowrank3):
+        pts = strong_scaling(
+            lowrank3.shape, (4, 3, 5), [1, 2],
+            algorithms=("hosi-dt",), data=lowrank3,
+        )
+        assert len(pts) == 2

@@ -1,0 +1,129 @@
+"""Sequential STHOSVD (Alg. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.sthosvd import sthosvd
+from repro.linalg.llsv import LLSVMethod
+from repro.tensor.random import tucker_plus_noise
+
+
+class TestErrorSpecified:
+    @pytest.mark.parametrize("eps", [0.3, 0.1, 0.01])
+    def test_error_guarantee(self, eps):
+        x = tucker_plus_noise((15, 14, 13), (5, 5, 5), noise=0.05, seed=0)
+        tucker, _ = sthosvd(x, eps=eps)
+        assert tucker.relative_error(x) <= eps * (1 + 1e-9)
+
+    def test_recovers_construction_ranks(self, lowrank4):
+        tucker, _ = sthosvd(lowrank4, eps=1e-2)
+        assert tucker.ranks == (3, 4, 2, 3)
+
+    def test_looser_eps_smaller_ranks(self):
+        x = tucker_plus_noise((16, 16, 16), (6, 6, 6), noise=0.02, seed=1)
+        tight, _ = sthosvd(x, eps=0.01)
+        loose, _ = sthosvd(x, eps=0.3)
+        assert loose.storage_size() <= tight.storage_size()
+
+    def test_orthonormal_factors(self, lowrank3):
+        tucker, _ = sthosvd(lowrank3, eps=0.05)
+        assert tucker.is_orthonormal()
+
+    def test_core_identity_error(self, lowrank3):
+        tucker, stats = sthosvd(lowrank3, eps=0.05)
+        assert tucker.relative_error_via_core(stats.x_norm) == pytest.approx(
+            tucker.relative_error(lowrank3), rel=1e-5, abs=1e-9
+        )
+
+
+class TestRankSpecified:
+    def test_exact_ranks(self, lowrank4):
+        tucker, _ = sthosvd(lowrank4, ranks=(2, 3, 2, 2))
+        assert tucker.ranks == (2, 3, 2, 2)
+
+    def test_full_ranks_exact(self, small3):
+        tucker, _ = sthosvd(small3, ranks=small3.shape)
+        assert tucker.relative_error(small3) < 1e-10
+
+    def test_rank_caps_adaptive(self, lowrank4):
+        tucker, _ = sthosvd(lowrank4, eps=1e-6, ranks=(2, 2, 2, 2))
+        assert tucker.ranks == (2, 2, 2, 2)
+
+    def test_invalid_ranks(self, small3):
+        with pytest.raises(ValueError):
+            sthosvd(small3, ranks=(99, 1, 1))
+
+
+class TestOptions:
+    def test_needs_eps_or_ranks(self, small3):
+        with pytest.raises(ConfigError):
+            sthosvd(small3)
+
+    def test_nonpositive_eps(self, small3):
+        with pytest.raises(ConfigError):
+            sthosvd(small3, eps=0.0)
+
+    def test_mode_order(self, lowrank3):
+        a, _ = sthosvd(lowrank3, ranks=(4, 3, 5))
+        b, stats = sthosvd(lowrank3, ranks=(4, 3, 5), mode_order=(2, 0, 1))
+        assert stats.mode_order == (2, 0, 1)
+        # Both are quasi-optimal; errors are close.
+        assert a.relative_error(lowrank3) == pytest.approx(
+            b.relative_error(lowrank3), abs=1e-4
+        )
+
+    def test_invalid_mode_order(self, small3):
+        with pytest.raises(ConfigError):
+            sthosvd(small3, ranks=(2, 2, 2), mode_order=(0, 0, 1))
+
+    def test_lq_svd_method(self, lowrank3):
+        a, _ = sthosvd(lowrank3, eps=0.05, method=LLSVMethod.GRAM_EVD)
+        b, _ = sthosvd(lowrank3, eps=0.05, method=LLSVMethod.LQ_SVD)
+        assert a.ranks == b.ranks
+
+    def test_stats_populated(self, lowrank3):
+        tucker, stats = sthosvd(lowrank3, eps=0.05)
+        assert stats.ranks == tucker.ranks
+        assert set(stats.spectra) == {0, 1, 2}
+        assert stats.phase_seconds["llsv"] > 0
+        assert stats.phase_seconds["ttm"] > 0
+
+    def test_spectra_lengths_shrink(self, lowrank3):
+        """Later modes see the already-truncated tensor, so their
+        unfolding spectra have full mode length but the processed
+        tensor shrinks (spectrum per mode has n_j entries)."""
+        _, stats = sthosvd(lowrank3, eps=0.05)
+        for mode, spec in stats.spectra.items():
+            assert len(spec) == lowrank3.shape[mode]
+
+
+class TestHOSVD:
+    def test_error_guarantee(self):
+        from repro.core.hosvd import hosvd
+
+        x = tucker_plus_noise((14, 13, 12), (4, 4, 4), noise=0.05, seed=3)
+        tucker = hosvd(x, eps=0.1)
+        assert tucker.relative_error(x) <= 0.1 * (1 + 1e-9)
+
+    def test_rank_specified(self, lowrank3):
+        from repro.core.hosvd import hosvd
+
+        tucker = hosvd(lowrank3, ranks=(4, 3, 5))
+        assert tucker.ranks == (4, 3, 5)
+        assert tucker.relative_error(lowrank3) < 1e-3
+
+    def test_needs_spec(self, small3):
+        from repro.core.hosvd import hosvd
+
+        with pytest.raises(ConfigError):
+            hosvd(small3)
+
+    def test_agrees_with_sthosvd_on_lowrank(self, lowrank4):
+        from repro.core.hosvd import hosvd
+
+        a = hosvd(lowrank4, ranks=(3, 4, 2, 3))
+        b, _ = sthosvd(lowrank4, ranks=(3, 4, 2, 3))
+        assert a.relative_error(lowrank4) == pytest.approx(
+            b.relative_error(lowrank4), abs=1e-5
+        )

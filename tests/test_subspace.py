@@ -1,0 +1,83 @@
+"""Subspace-iteration LLSV (Alg. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.subspace import subspace_iteration_llsv
+from repro.tensor.dense import unfold
+from repro.tensor.random import random_orthonormal, tucker_plus_noise
+
+
+def _leading_subspace(x, mode, r):
+    u, _, _ = np.linalg.svd(unfold(x, mode), full_matrices=False)
+    return u[:, :r]
+
+
+class TestSubspaceIteration:
+    def test_orthonormal_output(self, lowrank3):
+        u0 = random_orthonormal(lowrank3.shape[0], 4, seed=0)
+        q = subspace_iteration_llsv(lowrank3, 0, u0, 4)
+        np.testing.assert_allclose(q.T @ q, np.eye(4), atol=1e-10)
+
+    def test_recovers_leading_subspace_from_good_init(self, lowrank3):
+        """Initialized with the exact subspace, one sweep preserves it."""
+        u_true = _leading_subspace(lowrank3, 0, 4)
+        q = subspace_iteration_llsv(lowrank3, 0, u_true, 4)
+        np.testing.assert_allclose(
+            q @ q.T, u_true @ u_true.T, atol=1e-6
+        )
+
+    def test_captures_energy_from_random_init(self, lowrank3):
+        """On a strongly low-rank tensor even one random-start sweep
+        captures almost all the unfolding energy."""
+        u0 = random_orthonormal(lowrank3.shape[0], 4, seed=1)
+        q = subspace_iteration_llsv(lowrank3, 0, u0, 4)
+        mat = unfold(lowrank3, 0)
+        captured = np.linalg.norm(q.T @ mat) / np.linalg.norm(mat)
+        assert captured > 0.99
+
+    def test_multiple_iterations_improve(self, rng):
+        # A slowly decaying spectrum where one sweep is not enough.
+        x = rng.standard_normal((20, 18, 16))
+        u0 = random_orthonormal(20, 5, seed=2)
+        mat = unfold(x, 0)
+        cap1 = np.linalg.norm(
+            subspace_iteration_llsv(x, 0, u0, 5, n_iters=1).T @ mat
+        )
+        cap50 = np.linalg.norm(
+            subspace_iteration_llsv(x, 0, u0, 5, n_iters=50).T @ mat
+        )
+        best = np.linalg.norm(_leading_subspace(x, 0, 5).T @ mat)
+        assert cap50 >= cap1 - 1e-9
+        assert cap50 == pytest.approx(best, rel=1e-2)
+
+    def test_rank_smaller_than_width(self, lowrank3):
+        u0 = random_orthonormal(lowrank3.shape[0], 6, seed=3)
+        q = subspace_iteration_llsv(lowrank3, 0, u0, 4)
+        assert q.shape == (lowrank3.shape[0], 4)
+
+    def test_rank_exceeding_width_rejected(self, lowrank3):
+        u0 = random_orthonormal(lowrank3.shape[0], 3, seed=4)
+        with pytest.raises(ValueError):
+            subspace_iteration_llsv(lowrank3, 0, u0, 4)
+
+    def test_wrong_row_count_rejected(self, lowrank3):
+        u0 = random_orthonormal(lowrank3.shape[0] + 1, 3, seed=5)
+        with pytest.raises(ValueError):
+            subspace_iteration_llsv(lowrank3, 0, u0, 3)
+
+    def test_zero_iters_rejected(self, lowrank3):
+        u0 = random_orthonormal(lowrank3.shape[0], 3, seed=6)
+        with pytest.raises(ValueError):
+            subspace_iteration_llsv(lowrank3, 0, u0, 3, n_iters=0)
+
+    def test_pivot_ordering_concentrates_energy(self):
+        """QRCP ordering puts higher-energy directions first, so leading
+        truncations of the resulting basis capture more energy."""
+        x = tucker_plus_noise((24, 20, 18), (6, 6, 6), noise=1e-6, seed=8)
+        u0 = random_orthonormal(24, 6, seed=9)
+        q = subspace_iteration_llsv(x, 0, u0, 6)
+        mat = unfold(x, 0)
+        energies = np.linalg.norm(q.T @ mat, axis=1) ** 2
+        # Leading column captures the most energy.
+        assert energies[0] == pytest.approx(energies.max(), rel=1e-6)

@@ -1,0 +1,95 @@
+"""Event tracing and timeline rendering."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.arrays import SymbolicArray
+from repro.distributed.hooi import dist_hooi
+from repro.distributed.sthosvd import dist_sthosvd
+from repro.vmpi.cost import CostKind
+from repro.vmpi.machine import MachineModel
+from repro.vmpi.trace import TraceEvent, TracingLedger, render_timeline
+
+
+class TestTracingLedger:
+    def test_records_all_kinds(self):
+        led = TracingLedger(MachineModel(), 4)
+        led.compute("a", 1e9)
+        led.sequential("b", 1e9)
+        led.comm("c", 1e6, 2)
+        kinds = [e.kind for e in led.events]
+        assert kinds == [
+            CostKind.COMPUTE, CostKind.SEQUENTIAL, CostKind.COMM,
+        ]
+
+    def test_events_are_contiguous(self):
+        led = TracingLedger(MachineModel(), 1)
+        led.compute("a", 1e9)
+        led.compute("b", 2e9)
+        assert led.events[1].start == pytest.approx(led.events[0].end)
+
+    def test_zero_cost_not_recorded(self):
+        led = TracingLedger(MachineModel(), 1)
+        led.comm("a", 0.0, 0.0)
+        assert led.events == []
+
+    def test_totals_match_base_ledger(self):
+        led = TracingLedger(MachineModel(), 2)
+        led.compute("a", 1e9)
+        led.comm("b", 1e6, 1)
+        assert sum(e.seconds for e in led.events) == pytest.approx(
+            led.seconds()
+        )
+
+
+class TestDriversWithTrace:
+    def test_sthosvd_trace(self):
+        x = SymbolicArray((64, 64, 64), np.float32)
+        _, stats = dist_sthosvd(x, (1, 2, 2), ranks=(4, 4, 4), trace=True)
+        events = stats.ledger.events
+        assert events
+        # STHOSVD structure: a gram step precedes the first EVD.
+        phases = [e.phase for e in events]
+        assert phases.index("gram") < phases.index("evd")
+
+    def test_hooi_trace(self):
+        from repro.core.hooi import variant_options
+
+        x = SymbolicArray((32, 32, 32), np.float32)
+        _, stats = dist_hooi(
+            x, (4, 4, 4), (2, 2, 1),
+            options=variant_options("hosi-dt", max_iters=1),
+            trace=True,
+        )
+        phases = {e.phase for e in stats.ledger.events}
+        assert "ttm" in phases and "qrcp" in phases
+
+    def test_trace_off_by_default(self):
+        x = SymbolicArray((32, 32, 32), np.float32)
+        _, stats = dist_sthosvd(x, (1, 2, 2), ranks=(4, 4, 4))
+        assert not hasattr(stats.ledger, "events")
+
+
+class TestRenderTimeline:
+    def test_empty(self):
+        assert render_timeline([]) == "(no events)"
+
+    def test_lanes_and_totals(self):
+        events = [
+            TraceEvent("a", CostKind.COMPUTE, 0.0, 1.0),
+            TraceEvent("b", CostKind.COMM, 1.0, 1.0),
+        ]
+        out = render_timeline(events, width=20)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("a")
+        assert "#" in lines[1] and "#" in lines[2]
+
+    def test_short_events_visible(self):
+        events = [
+            TraceEvent("long", CostKind.COMPUTE, 0.0, 100.0),
+            TraceEvent("blip", CostKind.COMM, 100.0, 1e-9),
+        ]
+        out = render_timeline(events, width=30)
+        blip_line = [l for l in out.splitlines() if l.startswith("blip")][0]
+        assert "#" in blip_line

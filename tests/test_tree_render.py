@@ -1,0 +1,39 @@
+"""ASCII dimension-tree rendering (paper Fig. 1)."""
+
+import pytest
+
+from repro.core.tree_render import render_tree
+
+
+class TestRenderTree:
+    def test_order6_structure(self):
+        out = render_tree(6)
+        # Root holds all six modes.
+        assert "{1,2,3,4,5,6}" in out
+        # Every factor-update leaf appears.
+        for j in range(1, 7):
+            assert f"update U{j}" in out
+        # The first contraction off the root is in the trailing half,
+        # highest mode first (paper's layout argument).
+        assert "[TTM 6,5,4]" in out
+
+    def test_order2(self):
+        out = render_tree(2)
+        assert "update U1" in out and "update U2" in out
+
+    def test_single_rule(self):
+        out = render_tree(4, rule="single")
+        assert "{1,2,3,4}" in out
+        assert "[TTM 4,3,2]" in out
+
+    def test_each_leaf_once(self):
+        out = render_tree(5)
+        for j in range(1, 6):
+            assert out.count(f"update U{j}") == 1
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            render_tree(1)
+
+    def test_core_note(self):
+        assert "core" in render_tree(4)

@@ -1,0 +1,56 @@
+"""Dimension-tree split-rule ablation plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.dimension_tree import (
+    SPLIT_RULES,
+    SequentialTreeEngine,
+    contraction_schedule,
+    hooi_iteration_dt,
+    leaf_order,
+    split_modes,
+)
+from repro.tensor.random import random_orthonormal, tucker_plus_noise
+
+
+class TestSingleRule:
+    def test_split(self):
+        mu, eta = split_modes((0, 1, 2, 3), rule="single")
+        assert eta == (0,)
+        assert mu == (3, 2, 1)
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 6])
+    def test_leaf_order_preserved(self, d):
+        assert leaf_order(d, rule="single") == list(range(d))
+
+    @pytest.mark.parametrize("d", [3, 4, 5, 6])
+    def test_more_ttms_than_half(self, d):
+        n_single = len(contraction_schedule(d, rule="single"))
+        n_half = len(contraction_schedule(d, rule="half"))
+        assert n_single >= n_half
+
+    def test_unknown_rule(self):
+        with pytest.raises(ValueError):
+            split_modes((0, 1, 2), rule="golden")
+        assert set(SPLIT_RULES) == {"half", "single"}
+
+    def test_numerics_identical_across_rules(self):
+        """Tree shape changes cost, never the computed subspaces."""
+        shape, ranks = (10, 9, 8, 7), (2, 3, 2, 2)
+        x = tucker_plus_noise(shape, ranks, noise=1e-4, seed=0)
+        rng = np.random.default_rng(1)
+        init = [
+            random_orthonormal(n, r, seed=rng)
+            for n, r in zip(shape, ranks)
+        ]
+        cores = {}
+        for rule in SPLIT_RULES:
+            engine = SequentialTreeEngine(
+                [u.copy() for u in init], ranks
+            )
+            hooi_iteration_dt(x, engine, rule=rule)
+            cores[rule] = engine.core
+        assert np.linalg.norm(cores["half"]) == pytest.approx(
+            np.linalg.norm(cores["single"]), rel=1e-8
+        )

@@ -1,0 +1,189 @@
+"""TTM kernels: identities against unfoldings, multi-TTM semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.dense import fold, unfold
+from repro.tensor.ops import (
+    contract_all_but_mode,
+    gram,
+    multi_ttm,
+    relative_error,
+    ttm,
+    ttm_flops,
+)
+
+
+class TestTTM:
+    def test_matches_unfolding_definition(self, small3, rng):
+        for mode in range(3):
+            u = rng.standard_normal((7, small3.shape[mode]))
+            y = ttm(small3, u, mode)
+            np.testing.assert_allclose(
+                unfold(y, mode), u @ unfold(small3, mode), atol=1e-12
+            )
+
+    def test_transpose(self, small3, rng):
+        u = rng.standard_normal((small3.shape[1], 3))
+        y = ttm(small3, u, 1, transpose=True)
+        np.testing.assert_allclose(
+            unfold(y, 1), u.T @ unfold(small3, 1), atol=1e-12
+        )
+
+    def test_output_shape(self, small4, rng):
+        u = rng.standard_normal((9, small4.shape[2]))
+        y = ttm(small4, u, 2)
+        assert y.shape == (5, 4, 9, 6)
+
+    def test_identity_matrix_is_noop(self, small3):
+        eye = np.eye(small3.shape[0])
+        np.testing.assert_allclose(ttm(small3, eye, 0), small3, atol=1e-13)
+
+    def test_dimension_mismatch(self, small3, rng):
+        u = rng.standard_normal((4, small3.shape[0] + 1))
+        with pytest.raises(ValueError):
+            ttm(small3, u, 0)
+
+    def test_non_matrix_factor(self, small3, rng):
+        with pytest.raises(ValueError):
+            ttm(small3, rng.standard_normal(6), 0)
+
+    def test_successive_same_mode_ttms_compose(self, small3, rng):
+        a = rng.standard_normal((5, small3.shape[0]))
+        b = rng.standard_normal((3, 5))
+        np.testing.assert_allclose(
+            ttm(ttm(small3, a, 0), b, 0), ttm(small3, b @ a, 0), atol=1e-11
+        )
+
+
+class TestMultiTTM:
+    def test_mode_order_invariance(self, small3, rng):
+        """TTMs in distinct modes commute."""
+        mats = [
+            rng.standard_normal((2, small3.shape[0])),
+            rng.standard_normal((3, small3.shape[1])),
+            rng.standard_normal((2, small3.shape[2])),
+        ]
+        ref = ttm(ttm(ttm(small3, mats[0], 0), mats[1], 1), mats[2], 2)
+        alt = ttm(ttm(ttm(small3, mats[2], 2), mats[0], 0), mats[1], 1)
+        np.testing.assert_allclose(ref, alt, atol=1e-11)
+        np.testing.assert_allclose(multi_ttm(small3, mats), ref, atol=1e-11)
+
+    def test_skip(self, small3, rng):
+        mats = [
+            rng.standard_normal((small3.shape[j], 2)) for j in range(3)
+        ]
+        y = multi_ttm(small3, mats, transpose=True, skip=1)
+        assert y.shape == (2, small3.shape[1], 2)
+
+    def test_none_entries_skipped(self, small3, rng):
+        u = rng.standard_normal((2, small3.shape[2]))
+        y = multi_ttm(small3, [None, None, u])
+        np.testing.assert_allclose(y, ttm(small3, u, 2), atol=1e-12)
+
+    def test_explicit_modes(self, small4, rng):
+        u1 = rng.standard_normal((2, small4.shape[1]))
+        u3 = rng.standard_normal((2, small4.shape[3]))
+        y = multi_ttm(small4, [u1, u3], modes=[1, 3])
+        ref = ttm(ttm(small4, u1, 1), u3, 3)
+        np.testing.assert_allclose(y, ref, atol=1e-12)
+
+    def test_duplicate_modes_rejected(self, small3, rng):
+        u = rng.standard_normal((2, small3.shape[0]))
+        with pytest.raises(ValueError):
+            multi_ttm(small3, [u, u], modes=[0, 0])
+
+    def test_wrong_length_rejected(self, small3, rng):
+        u = rng.standard_normal((2, small3.shape[0]))
+        with pytest.raises(ValueError):
+            multi_ttm(small3, [u])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_orthonormal_compression_reduces_norm(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((6, 5, 4))
+        from repro.tensor.random import random_orthonormal
+
+        mats = [
+            random_orthonormal(n, 2, seed=rng) for n in x.shape
+        ]
+        core = multi_ttm(x, mats, transpose=True)
+        assert np.linalg.norm(core) <= np.linalg.norm(x) + 1e-10
+
+
+class TestGram:
+    def test_matches_unfolding(self, small4):
+        for mode in range(small4.ndim):
+            mat = unfold(small4, mode)
+            np.testing.assert_allclose(
+                gram(small4, mode), mat @ mat.T, atol=1e-10
+            )
+
+    def test_symmetric_psd(self, small3):
+        g = gram(small3, 0)
+        np.testing.assert_allclose(g, g.T, atol=1e-13)
+        assert np.linalg.eigvalsh(g).min() >= -1e-10
+
+    def test_trace_is_squared_norm(self, small3):
+        g = gram(small3, 1)
+        assert np.trace(g) == pytest.approx(np.linalg.norm(small3) ** 2)
+
+
+class TestContractAllButMode:
+    def test_matches_unfolding_product(self, rng):
+        a = rng.standard_normal((6, 4, 5))
+        b = rng.standard_normal((3, 4, 5))
+        z = contract_all_but_mode(a, b, 0)
+        expected = unfold(a, 0) @ unfold(b, 0).T
+        np.testing.assert_allclose(z, expected, atol=1e-11)
+
+    def test_all_modes(self, rng):
+        a = rng.standard_normal((4, 5, 3, 2))
+        for mode in range(4):
+            shape_b = list(a.shape)
+            shape_b[mode] = 2
+            b = rng.standard_normal(shape_b)
+            z = contract_all_but_mode(a, b, mode)
+            np.testing.assert_allclose(
+                z, unfold(a, mode) @ unfold(b, mode).T, atol=1e-11
+            )
+
+    def test_gram_special_case(self, small3):
+        np.testing.assert_allclose(
+            contract_all_but_mode(small3, small3, 1),
+            gram(small3, 1),
+            atol=1e-10,
+        )
+
+    def test_shape_mismatch(self, rng):
+        a = rng.standard_normal((4, 5, 3))
+        b = rng.standard_normal((2, 5, 4))
+        with pytest.raises(ValueError):
+            contract_all_but_mode(a, b, 0)
+
+    def test_order_mismatch(self, rng):
+        a = rng.standard_normal((4, 5, 3))
+        b = rng.standard_normal((4, 5))
+        with pytest.raises(ValueError):
+            contract_all_but_mode(a, b, 0)
+
+
+class TestRelativeError:
+    def test_zero_for_equal(self, small3):
+        assert relative_error(small3, small3) == 0.0
+
+    def test_scaling(self, small3):
+        assert relative_error(small3, 2 * small3) == pytest.approx(1.0)
+
+    def test_zero_reference(self):
+        z = np.zeros((2, 2))
+        assert relative_error(z, z) == 0.0
+        assert relative_error(z, np.ones((2, 2))) == np.inf
+
+
+def test_ttm_flops():
+    assert ttm_flops((10, 10, 10), 5, 0) == 2 * 5 * 1000
+    assert ttm_flops((4, 3), 2, 1) == 2 * 2 * 12

@@ -1,0 +1,157 @@
+"""TuckerTensor container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tucker import TuckerTensor
+from repro.tensor.ops import multi_ttm
+from repro.tensor.random import random_orthonormal, random_tucker
+
+
+def _tt(shape=(8, 7, 6), ranks=(3, 2, 4), seed=0):
+    rng = np.random.default_rng(seed)
+    core = rng.standard_normal(ranks)
+    factors = [
+        random_orthonormal(n, r, seed=rng) for n, r in zip(shape, ranks)
+    ]
+    return TuckerTensor(core=core, factors=factors)
+
+
+class TestConstruction:
+    def test_metadata(self):
+        tt = _tt()
+        assert tt.shape == (8, 7, 6)
+        assert tt.ranks == (3, 2, 4)
+        assert tt.ndim == 3
+
+    def test_factor_count_mismatch(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            TuckerTensor(
+                core=rng.standard_normal((2, 2)),
+                factors=[rng.standard_normal((4, 2))],
+            )
+
+    def test_factor_rank_mismatch(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            TuckerTensor(
+                core=rng.standard_normal((2, 3)),
+                factors=[
+                    rng.standard_normal((4, 2)),
+                    rng.standard_normal((4, 2)),
+                ],
+            )
+
+
+class TestStorage:
+    def test_storage_size(self):
+        tt = _tt()
+        assert tt.storage_size() == 3 * 2 * 4 + 8 * 3 + 7 * 2 + 6 * 4
+
+    def test_compression_ratio(self):
+        tt = _tt()
+        assert tt.compression_ratio() == pytest.approx(
+            (8 * 7 * 6) / tt.storage_size()
+        )
+
+    def test_full_size(self):
+        assert _tt().full_size() == 8 * 7 * 6
+
+
+class TestNumerics:
+    def test_reconstruct(self):
+        tt = _tt()
+        np.testing.assert_allclose(
+            tt.reconstruct(), multi_ttm(tt.core, tt.factors), atol=1e-12
+        )
+
+    def test_error_identity(self):
+        """||X - X^||^2 == ||X||^2 - ||G||^2 when G = X x U^T (orthonormal)."""
+        full, _, factors = random_tucker((10, 9, 8), (3, 3, 3), seed=1)
+        rng = np.random.default_rng(2)
+        x = full + 0.01 * rng.standard_normal(full.shape)
+        core = multi_ttm(x, factors, transpose=True)
+        tt = TuckerTensor(core=core, factors=list(factors))
+        x_norm = np.linalg.norm(x)
+        exact = tt.relative_error(x)
+        via_core = tt.relative_error_via_core(x_norm)
+        assert via_core == pytest.approx(exact, rel=1e-6)
+
+    def test_relative_error_via_core_requires_positive_norm(self):
+        with pytest.raises(ValueError):
+            _tt().relative_error_via_core(0.0)
+
+    def test_is_orthonormal(self):
+        assert _tt().is_orthonormal()
+        tt = _tt()
+        tt.factors[0] = tt.factors[0] * 2
+        assert not tt.is_orthonormal()
+
+    def test_exact_representation(self):
+        full, core, factors = random_tucker((8, 7, 6), (2, 3, 2), seed=3)
+        tt = TuckerTensor(core=core, factors=list(factors))
+        assert tt.relative_error(full) < 1e-12
+
+
+class TestTruncate:
+    def test_leading_truncation(self):
+        tt = _tt()
+        small = tt.truncate((2, 2, 2))
+        assert small.ranks == (2, 2, 2)
+        np.testing.assert_array_equal(small.core, tt.core[:2, :2, :2])
+        for u_small, u in zip(small.factors, tt.factors):
+            np.testing.assert_array_equal(u_small, u[:, :2])
+
+    def test_truncate_noop(self):
+        tt = _tt()
+        same = tt.truncate(tt.ranks)
+        np.testing.assert_array_equal(same.core, tt.core)
+
+    def test_invalid_truncation(self):
+        tt = _tt()
+        with pytest.raises(ValueError):
+            tt.truncate((4, 2, 2))  # exceeds current rank in mode 0
+        with pytest.raises(ValueError):
+            tt.truncate((0, 2, 2))
+        with pytest.raises(ValueError):
+            tt.truncate((2, 2))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_truncation_is_valid_tucker(self, seed):
+        """Any leading truncation of an orthonormal Tucker tensor has
+        error ||X^||^2 - ||G(1:r)||^2 against the untruncated one."""
+        rng = np.random.default_rng(seed)
+        tt = _tt(seed=seed)
+        r = tuple(rng.integers(1, x + 1) for x in tt.ranks)
+        small = tt.truncate(r)
+        diff = np.linalg.norm(tt.reconstruct() - small.reconstruct()) ** 2
+        gap = (
+            np.linalg.norm(tt.core) ** 2 - np.linalg.norm(small.core) ** 2
+        )
+        assert diff == pytest.approx(gap, rel=1e-6, abs=1e-9)
+
+
+class TestSubtensorExtraction:
+    def test_matches_full_reconstruction(self):
+        tt = _tt()
+        full = tt.reconstruct()
+        region = (slice(1, 5), slice(0, 3), slice(2, 6))
+        np.testing.assert_allclose(
+            tt.extract_subtensor(region), full[region], atol=1e-12
+        )
+
+    def test_single_fiber(self):
+        tt = _tt()
+        full = tt.reconstruct()
+        region = (slice(0, 8), slice(3, 4), slice(2, 3))
+        np.testing.assert_allclose(
+            tt.extract_subtensor(region), full[region], atol=1e-12
+        )
+
+    def test_wrong_region_order(self):
+        with pytest.raises(ValueError):
+            _tt().extract_subtensor((slice(0, 2),))

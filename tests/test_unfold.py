@@ -1,0 +1,121 @@
+"""Unfold/fold: conventions, inverses, and the Kronecker identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.dense import DenseTensor, fold, tensor_norm, unfold
+from repro.tensor.ops import multi_ttm
+
+
+def test_unfold_shape(small3):
+    for mode in range(3):
+        mat = unfold(small3, mode)
+        assert mat.shape == (
+            small3.shape[mode],
+            small3.size // small3.shape[mode],
+        )
+
+
+def test_unfold_negative_mode(small3):
+    np.testing.assert_array_equal(unfold(small3, -1), unfold(small3, 2))
+
+
+def test_unfold_mode_out_of_range(small3):
+    with pytest.raises(ValueError):
+        unfold(small3, 3)
+    with pytest.raises(ValueError):
+        unfold(small3, -4)
+
+
+def test_unfold_known_small_case():
+    # Kolda & Bader's running example: X[i, j, k] with columns being
+    # mode fibers in Fortran order of the remaining modes.
+    x = np.arange(24).reshape(3, 4, 2)
+    m0 = unfold(x, 0)
+    # First column of the mode-0 unfolding is the (j=0, k=0) fiber.
+    np.testing.assert_array_equal(m0[:, 0], x[:, 0, 0])
+    # Second column varies the lowest remaining mode (j) fastest.
+    np.testing.assert_array_equal(m0[:, 1], x[:, 1, 0])
+    np.testing.assert_array_equal(m0[:, 4], x[:, 0, 1])
+
+
+def test_fold_inverts_unfold(small4):
+    for mode in range(small4.ndim):
+        mat = unfold(small4, mode)
+        np.testing.assert_array_equal(fold(mat, mode, small4.shape), small4)
+
+
+def test_fold_shape_mismatch(small3):
+    mat = unfold(small3, 0)
+    with pytest.raises(ValueError):
+        fold(mat, 1, small3.shape)  # rows disagree with shape[1]
+
+
+def test_unfold_rows_are_mode_fibers(small4):
+    mat = unfold(small4, 2)
+    # Every column of the unfolding must appear as a mode-2 fiber.
+    fibers = {
+        tuple(small4[i, j, :, k])
+        for i in range(small4.shape[0])
+        for j in range(small4.shape[1])
+        for k in range(small4.shape[3])
+    }
+    for col in mat.T:
+        assert tuple(col) in fibers
+
+
+def test_multi_ttm_kronecker_identity(rng):
+    """unfold(X x1 U1 ... xd Ud, j) == Uj X_(j) kron(U_d..U_{j+1},U_{j-1}..U_1)^T."""
+    x = rng.standard_normal((4, 3, 5))
+    mats = [rng.standard_normal((r, n)) for r, n in zip((2, 2, 3), x.shape)]
+    y = multi_ttm(x, mats)
+    for j in range(3):
+        others = [mats[m] for m in reversed(range(3)) if m != j]
+        kron = others[0]
+        for m in others[1:]:
+            kron = np.kron(kron, m)
+        expected = mats[j] @ unfold(x, j) @ kron.T
+        np.testing.assert_allclose(unfold(y, j), expected, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.lists(st.integers(1, 5), min_size=1, max_size=4),
+    mode_seed=st.integers(0, 10**6),
+)
+def test_fold_unfold_roundtrip_property(shape, mode_seed):
+    rng = np.random.default_rng(mode_seed)
+    x = rng.standard_normal(tuple(shape))
+    mode = mode_seed % len(shape)
+    np.testing.assert_array_equal(fold(unfold(x, mode), mode, shape), x)
+
+
+def test_tensor_norm_matches_frobenius(small4):
+    assert tensor_norm(small4) == pytest.approx(np.linalg.norm(small4))
+
+
+def test_tensor_norm_zero():
+    assert tensor_norm(np.zeros((3, 3))) == 0.0
+
+
+class TestDenseTensor:
+    def test_norm_cached(self, small3):
+        t = DenseTensor(small3)
+        expected = float(np.linalg.norm(small3))
+        assert t.norm() == pytest.approx(expected)
+        # Mutate underlying data: the cached value must not change,
+        # demonstrating compute-once semantics.
+        t.data[:] = 0
+        assert t.norm() == pytest.approx(expected)
+
+    def test_metadata(self, small3):
+        t = DenseTensor(small3)
+        assert t.shape == small3.shape
+        assert t.ndim == 3
+        assert t.size == small3.size
+
+    def test_unfold_passthrough(self, small3):
+        t = DenseTensor(small3)
+        np.testing.assert_array_equal(t.unfold(1), unfold(small3, 1))

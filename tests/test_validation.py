@@ -1,0 +1,61 @@
+"""Argument validation helpers."""
+
+import pytest
+
+from repro.tensor.validation import check_mode, check_ranks, check_shape
+
+
+class TestCheckMode:
+    def test_valid(self):
+        assert check_mode(3, 0) == 0
+        assert check_mode(3, 2) == 2
+
+    def test_negative_wraps(self):
+        assert check_mode(4, -1) == 3
+        assert check_mode(4, -4) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_mode(3, 3)
+        with pytest.raises(ValueError):
+            check_mode(3, -4)
+
+    def test_float_coerced(self):
+        assert check_mode(3, 1.0) == 1
+
+
+class TestCheckShape:
+    def test_valid(self):
+        assert check_shape([3, 4]) == (3, 4)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            check_shape([])
+
+    def test_nonpositive(self):
+        with pytest.raises(ValueError):
+            check_shape([3, 0])
+        with pytest.raises(ValueError):
+            check_shape([3, -1])
+
+
+class TestCheckRanks:
+    def test_valid(self):
+        assert check_ranks((5, 6), (2, 3)) == (2, 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_ranks((5, 6), (2,))
+
+    def test_exceeding(self):
+        with pytest.raises(ValueError):
+            check_ranks((5, 6), (6, 3))
+
+    def test_exceeding_clipped_when_allowed(self):
+        assert check_ranks((5, 6), (9, 3), allow_exceed=True) == (5, 3)
+
+    def test_nonpositive_rank(self):
+        with pytest.raises(ValueError):
+            check_ranks((5, 6), (0, 3))
+        with pytest.raises(ValueError):
+            check_ranks((5, 6), (0, 3), allow_exceed=True)

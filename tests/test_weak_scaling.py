@@ -1,0 +1,43 @@
+"""Weak-scaling extension study."""
+
+import pytest
+
+from repro.analysis.scaling import weak_scaling
+
+
+class TestWeakScaling:
+    def test_points_per_algo_and_p(self):
+        pts = weak_scaling(
+            (64, 64, 64), (4, 4, 4), [1, 8],
+            algorithms=("hosi-dt", "sthosvd"),
+        )
+        assert len(pts) == 4
+
+    def test_hosi_dt_near_flat(self):
+        """Per-rank work constant -> near-flat HOSI-DT weak scaling
+        (communication adds a mild slope)."""
+        pts = weak_scaling(
+            (64, 64, 64), (4, 4, 4), [1, 8, 64],
+            algorithms=("hosi-dt",),
+        )
+        t = {p.p: p.seconds for p in pts}
+        assert t[64] < 4 * t[1]
+
+    def test_sthosvd_grows_with_p(self):
+        """STHOSVD's sequential EVD scales with the *global* mode size,
+        so its weak-scaling curve climbs steeply."""
+        pts = weak_scaling(
+            (256, 256, 256), (8, 8, 8), [1, 64],
+            algorithms=("sthosvd", "hosi-dt"),
+        )
+        t = {(p.algorithm, p.p): p.seconds for p in pts}
+        sth_growth = t[("sthosvd", 64)] / t[("sthosvd", 1)]
+        hosi_growth = t[("hosi-dt", 64)] / t[("hosi-dt", 1)]
+        assert sth_growth > 2 * hosi_growth
+
+    def test_shape_grows(self):
+        pts = weak_scaling(
+            (32, 32, 32), (4, 4, 4), [8], algorithms=("hosi-dt",)
+        )
+        # At p=8 each mode doubles: the best grid covers a 64^3 tensor.
+        assert pts[0].p == 8
