@@ -43,6 +43,7 @@ SECTIONS: tuple[tuple[str, str], ...] = (
     ("machine_sensitivity", "Extension — machine-model sensitivity"),
     ("decompression", "Extension — region decompression"),
     ("crossover", "Analysis — §3.1 n/r crossover"),
+    ("mp_transport", "Infrastructure — mp transport shoot-out"),
 )
 
 

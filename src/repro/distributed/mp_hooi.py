@@ -21,7 +21,7 @@ from repro.tensor.ops import contract_all_but_mode, ttm
 from repro.tensor.random import random_orthonormal
 from repro.tensor.validation import check_ranks
 from repro.vmpi.grid import ProcessorGrid
-from repro.vmpi.mp_comm import ProcessComm, run_spmd
+from repro.vmpi.mp_comm import CommConfig, ProcessComm, run_spmd
 
 __all__ = ["mp_hosi"]
 
@@ -135,8 +135,14 @@ def mp_hosi(
     max_iters: int = 2,
     seed: int = 0,
     timeout: float = 240.0,
+    transport: str = "p2p",
+    comm_config: CommConfig | None = None,
 ) -> TuckerTensor:
-    """Rank-specified HOSI on real processes (one per grid cell)."""
+    """Rank-specified HOSI on real processes (one per grid cell).
+
+    ``transport``/``comm_config`` select and tune the communication
+    layer exactly as in :func:`repro.distributed.mp_sthosvd.mp_sthosvd`.
+    """
     ranks = check_ranks(x.shape, ranks)
     grid = ProcessorGrid(grid_dims)
     if grid.ndim != x.ndim:
@@ -156,6 +162,8 @@ def mp_hosi(
         max_iters,
         seed,
         timeout=timeout,
+        transport=transport,
+        config=comm_config,
     )
     core, factors = outs[0]
     assert core is not None and factors is not None

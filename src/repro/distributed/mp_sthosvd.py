@@ -21,7 +21,7 @@ from repro.tensor.dense import unfold
 from repro.tensor.ops import ttm
 from repro.tensor.validation import check_ranks
 from repro.vmpi.grid import ProcessorGrid
-from repro.vmpi.mp_comm import ProcessComm, run_spmd
+from repro.vmpi.mp_comm import CommConfig, ProcessComm, run_spmd
 
 __all__ = ["mp_sthosvd"]
 
@@ -92,12 +92,18 @@ def mp_sthosvd(
     ranks: Sequence[int] | None = None,
     eps: float | None = None,
     timeout: float = 120.0,
+    transport: str = "p2p",
+    comm_config: CommConfig | None = None,
 ) -> TuckerTensor:
     """Run STHOSVD on real processes (one per grid cell).
 
     Parameters mirror :func:`repro.distributed.spmd.spmd_sthosvd`; the
     difference is execution: ``prod(grid_dims)`` OS processes, data
-    moving only through the mini-MPI collectives.
+    moving only through the mini-MPI collectives.  ``transport`` and
+    ``comm_config`` select and tune the communication layer (see
+    :func:`repro.vmpi.mp_comm.run_spmd`); the default deterministic
+    peer-to-peer transport reduces in rank order, so the result is
+    bit-identical to :func:`~repro.distributed.spmd.spmd_sthosvd`.
     """
     if ranks is None and eps is None:
         raise ValueError("mp_sthosvd needs ranks or eps")
@@ -131,6 +137,8 @@ def mp_sthosvd(
         None if ranks is None else tuple(ranks),
         threshold_sq,
         timeout=timeout,
+        transport=transport,
+        config=comm_config,
     )
     results = outs
     core, factors = results[0]

@@ -19,17 +19,32 @@ from repro.vmpi.collectives import (
     bcast_block,
     gather_blocks,
     reduce_scatter_blocks,
+    select_allreduce_algorithm,
 )
 from repro.vmpi.cost import CostKind, CostLedger, PhaseCost
 from repro.vmpi.grid import ProcessorGrid, candidate_grids, suggested_grids
 from repro.vmpi.machine import MachineModel, perlmutter_like
+from repro.vmpi.mp_comm import (
+    CollectiveTimeoutError,
+    CommConfig,
+    ProcessComm,
+    StarComm,
+    run_spmd,
+)
+from repro.vmpi.trace import CollectiveRecord, CommTrace
 
 __all__ = [
+    "CollectiveRecord",
+    "CollectiveTimeoutError",
+    "CommConfig",
+    "CommTrace",
     "CostKind",
     "CostLedger",
     "MachineModel",
     "PhaseCost",
+    "ProcessComm",
     "ProcessorGrid",
+    "StarComm",
     "allgather_blocks",
     "allreduce_blocks",
     "alltoall_blocks",
@@ -38,5 +53,7 @@ __all__ = [
     "gather_blocks",
     "perlmutter_like",
     "reduce_scatter_blocks",
+    "run_spmd",
+    "select_allreduce_algorithm",
     "suggested_grids",
 ]

@@ -34,6 +34,12 @@ __all__ = [
     "alltoall_cost",
     "bcast_cost",
     "gather_cost",
+    "allreduce_short_cost",
+    "recursive_doubling_allreduce_cost",
+    "rabenseifner_allreduce_cost",
+    "reduce_scatter_halving_cost",
+    "allreduce_crossover_words",
+    "select_allreduce_algorithm",
 ]
 
 
@@ -160,3 +166,98 @@ def gather_cost(n: float, p: int) -> tuple[float, float]:
     if p <= 1:
         return 0.0, 0.0
     return n * (p - 1) / p, float(math.ceil(math.log2(p)))
+
+
+# ---------------------------------------------------------------------------
+# per-algorithm schedule costs (certified against executed schedules)
+# ---------------------------------------------------------------------------
+#
+# The executing mini-MPI (:mod:`repro.vmpi.mp_comm`) selects a concrete
+# algorithm per collective call; each algorithm below has a closed-form
+# per-rank ``(words, messages)`` profile that
+# ``tests/test_schedule_cost.py`` asserts against the message counters
+# the transport actually records.  The generic ``*_cost`` formulas above
+# (what the simulator charges) correspond to the large-payload
+# bandwidth-optimal members of these families.
+
+
+def allreduce_short_cost(n: float, p: int) -> tuple[float, float]:
+    """Latency-optimal allreduce for short payloads of ``n`` words.
+
+    Bruck-style recursive-doubling allgather of all ``p`` contributions
+    followed by a local rank-order reduction: ``ceil(log2 p)`` rounds,
+    ``n (p-1)`` words sent per rank.  Works for any ``p`` and reduces
+    in deterministic rank order (bit-identical to a sequential
+    left-to-right sum).
+    """
+    if p <= 1:
+        return 0.0, 0.0
+    return n * (p - 1), float(math.ceil(math.log2(p)))
+
+
+def recursive_doubling_allreduce_cost(n: float, p: int) -> tuple[float, float]:
+    """Recursive-doubling allreduce on partial sums (power-of-two ``p``):
+    ``ceil(log2 p)`` exchanges of the full ``n``-word payload."""
+    if p <= 1:
+        return 0.0, 0.0
+    return n * math.ceil(math.log2(p)), float(math.ceil(math.log2(p)))
+
+
+def rabenseifner_allreduce_cost(n: float, p: int) -> tuple[float, float]:
+    """Rabenseifner allreduce (power-of-two ``p``): recursive-halving
+    reduce-scatter + recursive-doubling allgather.  Bandwidth matches
+    the ring allreduce (``2n(p-1)/p`` words) at ``2 ceil(log2 p)``
+    messages instead of ``2(p-1)``."""
+    if p <= 1:
+        return 0.0, 0.0
+    return 2.0 * n * (p - 1) / p, 2.0 * math.ceil(math.log2(p))
+
+
+def reduce_scatter_halving_cost(n: float, p: int) -> tuple[float, float]:
+    """Recursive-halving reduce-scatter (power-of-two ``p``): the ring
+    formula's ``n(p-1)/p`` words in ``ceil(log2 p)`` messages."""
+    if p <= 1:
+        return 0.0, 0.0
+    return n * (p - 1) / p, float(math.ceil(math.log2(p)))
+
+
+def allreduce_crossover_words(
+    p: int, *, alpha: float = 2.0e-6, beta: float = 3.2e-10
+) -> float:
+    """Payload size (words) where the long allreduce overtakes the short.
+
+    Equating the alpha-beta times of :func:`allreduce_short_cost`
+    (``alpha ceil(log2 p) + beta n (p-1)``) and :func:`allreduce_cost`
+    (``alpha 2(p-1) + beta 2n(p-1)/p``) gives
+
+    ``n* = alpha (2(p-1) - ceil(log2 p)) / (beta (p-1)(p-2)/p)``.
+
+    For ``p <= 2`` the short algorithm is never worse (the bandwidth
+    terms coincide), so the crossover is infinite.
+    """
+    if p <= 2:
+        return math.inf
+    latency_gain = alpha * (2.0 * (p - 1) - math.ceil(math.log2(p)))
+    bandwidth_loss = beta * (p - 1) * (p - 2) / p
+    return latency_gain / bandwidth_loss
+
+
+def select_allreduce_algorithm(
+    n: float, p: int, *, alpha: float = 2.0e-6, beta: float = 3.2e-10
+) -> str:
+    """Pick ``"short"`` or ``"long"`` for an ``n``-word allreduce.
+
+    Uses the same alpha/beta constants the cost formulas charge (the
+    :class:`~repro.vmpi.machine.MachineModel` defaults), so the
+    executing layer's algorithm choice and the simulator's charges are
+    driven by one threshold: payloads at or below
+    :func:`allreduce_crossover_words` go latency-optimal, larger ones
+    bandwidth-optimal.
+    """
+    if p <= 1:
+        return "short"
+    return (
+        "short"
+        if n <= allreduce_crossover_words(p, alpha=alpha, beta=beta)
+        else "long"
+    )

@@ -2,30 +2,938 @@
 
 Everything else in :mod:`repro.vmpi` simulates; this module *executes*:
 ``run_spmd`` launches one OS process per rank and gives each a
-:class:`ProcessComm` supporting the collectives the Tucker algorithms
-need (allreduce, reduce-scatter, allgather, broadcast, gather), with
-sub-communicators for the per-mode operations.  Collectives are
-routed through a coordinator process (star topology — correct, not
-bandwidth-optimal; performance modeling stays the simulator's job).
+communicator supporting the collectives the Tucker algorithms need
+(allreduce, reduce-scatter, allgather, broadcast, gather, barrier) with
+sub-communicators for the per-mode operations.
 
-This is the closest offline stand-in for the paper's MPI layer: the
-SPMD STHOSVD of :mod:`repro.distributed.mp_sthosvd` runs on it with
-genuine process parallelism and is tested against the sequential
-algorithms.
+Two transports are available:
+
+* ``"p2p"`` (default, :class:`ProcessComm`) — a peer-to-peer
+  point-to-point layer (per-rank inbox queues carrying tagged
+  messages; NumPy payloads above a size threshold travel through
+  *pooled* ``multiprocessing.shared_memory`` segments without
+  pickling, smaller or non-array payloads fall back to pickle) with
+  *real* collective
+  algorithms on top: pairwise-exchange / recursive-halving
+  reduce-scatter, ring / recursive-doubling allgather, Bruck /
+  recursive-doubling / Rabenseifner allreduce, binomial-tree
+  bcast/gather, and a dissemination barrier.  Algorithms are selected
+  by payload size with the thresholds the alpha-beta cost formulas of
+  :mod:`repro.vmpi.collectives` imply, so the schedule executed here
+  matches what the simulator charges (``tests/test_schedule_cost.py``
+  certifies this against the per-collective
+  :class:`~repro.vmpi.trace.CollectiveRecord` counters).
+* ``"star"`` (legacy, :class:`StarComm`) — every collective routed
+  through a coordinator process.  Correct but neither
+  bandwidth-optimal nor latency-optimal; kept as a conformance
+  reference and benchmark baseline
+  (``benchmarks/bench_mp_transport.py``).
+
+Programs must be *loosely synchronous*: every member of a collective's
+group must reach that collective after the same number of prior
+communicator calls (the natural property of SPMD programs).  Divergent
+call sequences raise :class:`CollectiveTimeoutError` after
+``CommConfig.collective_timeout`` seconds instead of deadlocking.
+
+By default (``CommConfig.deterministic``) every reduction combines
+contributions in group-rank order, which makes results bit-identical
+to the sequential left-to-right sums of the executable block
+collectives — and therefore ``mp_sthosvd`` bit-identical to
+``spmd_sthosvd``.  Setting ``deterministic=False`` enables the
+tree-ordered power-of-two algorithms (recursive doubling,
+recursive-halving reduce-scatter, Rabenseifner) whose reductions are
+associativity-reordered, as real MPI implementations do.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
+import glob
+import math
+import os
 import pickle
+import queue as queue_mod
+import time
+import uuid
+from collections import deque
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+import multiprocessing as mp
 import numpy as np
 
-__all__ = ["ProcessComm", "run_spmd"]
+from repro.vmpi.collectives import select_allreduce_algorithm
+from repro.vmpi.trace import CollectiveRecord, CommTrace
+
+try:  # pragma: no cover - always present on CPython >= 3.8
+    from multiprocessing import shared_memory as _shm_mod
+except ImportError:  # pragma: no cover - platform without shm
+    _shm_mod = None
+
+__all__ = [
+    "CollectiveTimeoutError",
+    "CommConfig",
+    "ProcessComm",
+    "StarComm",
+    "run_spmd",
+]
 
 _SENTINEL = "__done__"
+
+
+class CollectiveTimeoutError(RuntimeError):
+    """A communicator wait exceeded ``CommConfig.collective_timeout``.
+
+    Raised instead of hanging when collective call sequences diverge
+    across ranks (mismatched operations, different call counts) or a
+    peer died.
+    """
+
+
+@dataclass(frozen=True)
+class CommConfig:
+    """Tunables for the process-parallel communicators.
+
+    Attributes
+    ----------
+    collective_timeout:
+        Seconds any single message/coordinator wait may block before a
+        :class:`CollectiveTimeoutError` is raised.
+    shm_min_bytes:
+        Array payloads of at least this many bytes travel through a
+        pooled ``multiprocessing.shared_memory`` segment (no pickling);
+        smaller ones are pickled through the inbox queue.  The default
+        (256 KiB) is where the two-memcpy segment path overtakes
+        pickling through a pipe in 64 KiB chunks.
+    deterministic:
+        Reduce in group-rank order (bit-identical to the sequential
+        left-to-right block collectives).  When ``False``, power-of-two
+        groups use the tree-ordered algorithms (recursive doubling /
+        recursive halving / Rabenseifner).
+    eager_max_words:
+        Override for the short/long allreduce threshold (in array
+        elements).  ``None`` derives it from the alpha-beta machine
+        constants via
+        :func:`repro.vmpi.collectives.select_allreduce_algorithm`.
+    """
+
+    collective_timeout: float = 60.0
+    shm_min_bytes: int = 1 << 18
+    deterministic: bool = True
+    eager_max_words: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# shared-memory payload packing
+# ---------------------------------------------------------------------------
+
+
+def _unregister_shm(shm) -> None:
+    """Detach ``shm`` from this process's resource tracker.
+
+    The receiving rank unlinks every segment after copying it out; the
+    creator must forget it or the (fork-shared) resource tracker would
+    warn about, and double-unlink, segments at interpreter shutdown.
+    """
+    try:  # pragma: no cover - tracker internals vary across versions
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _unlink_segment(shm) -> None:
+    """Remove a segment's backing file without touching the resource
+    tracker.
+
+    ``SharedMemory.unlink()`` also unregisters the name, but every
+    process already unregistered at create/attach time (fork shares one
+    tracker, so unmatched unregisters make it spew KeyErrors)."""
+    try:
+        os.unlink(os.path.join("/dev/shm", shm._name.lstrip("/")))
+    except OSError:  # pragma: no cover - already swept / non-Linux
+        pass
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _segment_class(nbytes: int) -> int:
+    """Pooled segments come in power-of-two size classes (>= 256 B) so
+    a freed segment can be reused for any later payload of its class."""
+    size = 256
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+# Transport-internal tag on which a receiver returns a drained segment
+# to its owner for reuse.  Credit traffic, not data traffic: it is
+# excluded from the message counters the cost formulas are checked
+# against (like the rendezvous control messages of a real MPI).
+_FREE_TAG = ("shmfree",)
+
+
+# ---------------------------------------------------------------------------
+# peer-to-peer transport
+# ---------------------------------------------------------------------------
+
+
+def _contig(a: np.ndarray) -> np.ndarray:
+    """C-contiguous view/copy that, unlike ``np.ascontiguousarray``,
+    preserves 0-d shapes."""
+    a = np.asarray(a)
+    return a if a.flags["C_CONTIGUOUS"] else np.ascontiguousarray(a)
+
+
+def _payload_arrays(payload: object) -> list[tuple[object, np.ndarray]] | None:
+    """View a payload as keyed arrays, or ``None`` if it is not one.
+
+    Collectives move either a bare ``ndarray`` or a ``dict`` mapping
+    group positions to ``ndarray`` chunks; anything else (tags, tokens,
+    user objects) takes the pickle path.
+    """
+    if isinstance(payload, np.ndarray):
+        return [(None, payload)]
+    if isinstance(payload, dict) and payload and all(
+        isinstance(v, np.ndarray) for v in payload.values()
+    ):
+        return list(payload.items())
+    return None
+
+
+class _PeerTransport:
+    """Tagged point-to-point messaging over per-rank inbox queues.
+
+    ``send`` never blocks (queue feeder threads drain in the
+    background) so the symmetric exchange patterns of the collective
+    algorithms cannot deadlock on full pipes; ``recv`` buffers
+    out-of-order arrivals by ``(source, tag)`` and raises
+    :class:`CollectiveTimeoutError` when nothing arrives in time.
+
+    Array payloads of at least ``CommConfig.shm_min_bytes`` travel
+    through *pooled* ``multiprocessing.shared_memory`` segments: the
+    receiver copies the data out, caches its mapping, and returns the
+    segment name to the owner on :data:`_FREE_TAG` so the next send
+    reuses the already-faulted-in pages.  In steady state a large
+    message is two memcpys and one tiny control message — no pickling,
+    no pipe chunking, no segment creation.  ``close`` unlinks every
+    segment the rank still owns; ``run_spmd`` sweeps the run-token
+    prefix afterwards as a crash backstop.
+    """
+
+    _POOL_CAP = 16  # free segments kept per size class before unlinking
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        inboxes: list["mp.Queue"],
+        run_token: str,
+        config: CommConfig,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self._inboxes = inboxes
+        self._inbox = inboxes[rank]
+        self._config = config
+        self._run_token = run_token
+        self._shm_seq = 0
+        self._pending: dict[tuple, deque] = {}
+        self._owned: dict[str, object] = {}  # name -> SharedMemory
+        self._seg_size: dict[str, int] = {}
+        self._free: dict[int, deque] = {}  # size class -> free names
+        self._rx_cache: dict[str, object] = {}  # attached peer segments
+        self.sent_messages = 0
+        self.sent_words = 0
+        self.sent_bytes = 0
+        self.recv_messages = 0
+        self.recv_words = 0
+        self.recv_bytes = 0
+        self.shm_messages = 0
+
+    def counters(self) -> tuple[int, ...]:
+        return (
+            self.sent_messages,
+            self.sent_words,
+            self.sent_bytes,
+            self.recv_messages,
+            self.recv_words,
+            self.recv_bytes,
+            self.shm_messages,
+        )
+
+    # -- shared-memory segment pool -----------------------------------------
+
+    def _obtain_segment(self, total: int):
+        """A segment with >= ``total`` bytes: pooled if available."""
+        self._drain_inbox()
+        cls = _segment_class(total)
+        free = self._free.get(cls)
+        if free:
+            name = free.popleft()
+            return self._owned[name], name
+        self._shm_seq += 1
+        name = f"mpx{self._run_token}r{self.rank}n{self._shm_seq}"
+        shm = _shm_mod.SharedMemory(create=True, size=cls, name=name)
+        _unregister_shm(shm)
+        self._owned[name] = shm
+        self._seg_size[name] = cls
+        return shm, name
+
+    def _release_segment(self, name: str) -> None:
+        """An ack came back: pool the segment (or unlink the excess)."""
+        cls = self._seg_size[name]
+        free = self._free.setdefault(cls, deque())
+        if len(free) < self._POOL_CAP:
+            free.append(name)
+            return
+        shm = self._owned.pop(name)
+        del self._seg_size[name]
+        shm.close()
+        _unlink_segment(shm)
+
+    def _drain_inbox(self) -> None:
+        """Move queued arrivals into the pending buffers (non-blocking),
+        processing segment-return acks as they surface."""
+        while True:
+            try:
+                got_src, got_tag, body = self._inbox.get_nowait()
+            except queue_mod.Empty:
+                return
+            self._note(got_src, got_tag, body)
+
+    def _note(self, src: int, tag: tuple, body: object) -> None:
+        if tag == _FREE_TAG:
+            self._release_segment(body)
+            return
+        self._pending.setdefault((src, tag), deque()).append(body)
+
+    def close(self) -> None:
+        """Unlink pooled segments, unmap everything this rank touched.
+
+        In-flight segments (sent, not yet acked) stay on disk for the
+        launcher's run-token sweep — a peer may not have attached yet.
+        """
+        self._drain_inbox()
+        for free in self._free.values():
+            for name in free:
+                shm = self._owned.pop(name)
+                del self._seg_size[name]
+                shm.close()
+                _unlink_segment(shm)
+        self._free.clear()
+        for shm in self._owned.values():
+            shm.close()
+        for shm in self._rx_cache.values():
+            shm.close()
+        self._rx_cache.clear()
+
+    # -- send ---------------------------------------------------------------
+
+    def send(self, dest: int, tag: tuple, payload: object) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range for size {self.size}")
+        arrays = _payload_arrays(payload)
+        body: tuple
+        if arrays is not None:
+            contig = [(k, _contig(a)) for k, a in arrays]
+            nbytes = sum(a.nbytes for _, a in contig)
+            words = sum(a.size for _, a in contig)
+            single = isinstance(payload, np.ndarray)
+            use_shm = (
+                _shm_mod is not None
+                and nbytes >= self._config.shm_min_bytes
+                and nbytes > 0
+            )
+            if use_shm:
+                total = sum(_align8(a.nbytes) for _, a in contig)
+                shm, name = self._obtain_segment(total)
+                metas: list[tuple[object, tuple, str, int]] = []
+                offset = 0
+                for key, a in contig:
+                    view = np.ndarray(
+                        a.shape, dtype=a.dtype, buffer=shm.buf, offset=offset
+                    )
+                    view[...] = a
+                    del view
+                    metas.append((key, a.shape, a.dtype.str, offset))
+                    offset += _align8(a.nbytes)
+                body = ("shm", name, metas, single)
+                self.shm_messages += 1
+            else:
+                body = ("pkl", {k: a for k, a in contig} if not single
+                        else contig[0][1])
+            self.sent_words += words
+            self.sent_bytes += nbytes
+        else:
+            body = ("pkl", payload)
+        self.sent_messages += 1
+        self._inboxes[dest].put((self.rank, tag, body))
+
+    # -- recv ---------------------------------------------------------------
+
+    def recv(self, src: int, tag: tuple, timeout: float | None = None) -> object:
+        if not 0 <= src < self.size:
+            raise ValueError(f"src {src} out of range for size {self.size}")
+        timeout = (
+            self._config.collective_timeout if timeout is None else timeout
+        )
+        key = (src, tag)
+        deadline = time.monotonic() + timeout
+        while True:
+            waiting = self._pending.get(key)
+            if waiting:
+                return self._decode(src, waiting.popleft())
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CollectiveTimeoutError(
+                    f"rank {self.rank}: no message from rank {src} with tag "
+                    f"{tag!r} after {timeout:.1f}s — collective call "
+                    f"sequences have diverged across ranks (or a peer died)"
+                )
+            try:
+                got_src, got_tag, body = self._inbox.get(
+                    timeout=min(remaining, 1.0)
+                )
+            except queue_mod.Empty:
+                continue
+            self._note(got_src, got_tag, body)
+
+    def _decode(self, src: int, body: tuple) -> object:
+        kind = body[0]
+        self.recv_messages += 1
+        if kind == "shm":
+            _, name, metas, single = body
+            shm = self._rx_cache.get(name)
+            if shm is None:
+                shm = _shm_mod.SharedMemory(name=name)
+                _unregister_shm(shm)  # attach auto-registers on 3.11
+                self._rx_cache[name] = shm
+            items: list[tuple[object, np.ndarray]] = []
+            for key, shape, dtype_str, offset in metas:
+                view = np.ndarray(
+                    shape, dtype=np.dtype(dtype_str),
+                    buffer=shm.buf, offset=offset,
+                )
+                items.append((key, view.copy()))
+                del view
+            # Hand the drained segment back to its owner for reuse.
+            self._inboxes[src].put((self.rank, _FREE_TAG, name))
+            self.recv_words += sum(a.size for _, a in items)
+            self.recv_bytes += sum(a.nbytes for _, a in items)
+            if single:
+                return items[0][1]
+            return dict(items)
+        payload = body[1]
+        arrays = _payload_arrays(payload)
+        if arrays is not None:
+            self.recv_words += sum(a.size for _, a in arrays)
+            self.recv_bytes += sum(a.nbytes for _, a in arrays)
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# the peer-to-peer communicator and its collective algorithms
+# ---------------------------------------------------------------------------
+
+
+def _ceil_log2(p: int) -> int:
+    return max(1, math.ceil(math.log2(p))) if p > 1 else 0
+
+
+def _pow2ceil(p: int) -> int:
+    return 1 << _ceil_log2(p)
+
+
+def _split_slices(extent: int, parts: int, axis: int, ndim: int) -> list[tuple]:
+    """``np.array_split`` boundaries along ``axis`` as index tuples."""
+    sizes = [extent // parts + (1 if i < extent % parts else 0)
+             for i in range(parts)]
+    out = []
+    start = 0
+    for s in sizes:
+        idx: list[slice] = [slice(None)] * ndim
+        idx[axis] = slice(start, start + s)
+        out.append(tuple(idx))
+        start += s
+    return out
+
+
+class ProcessComm:
+    """Per-rank communicator over the peer-to-peer transport.
+
+    Collectives are matched across ranks by a per-rank operation
+    counter carried in every message tag, so programs must be *loosely
+    synchronous* (see the module docstring); a diverged sequence fails
+    with :class:`CollectiveTimeoutError` rather than deadlocking.
+    """
+
+    transport = "p2p"
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        channel: _PeerTransport,
+        config: CommConfig | None = None,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self._t = channel
+        self.config = config or CommConfig()
+        self.trace = CommTrace()
+        self._op_id = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _group(self, group: Sequence[int] | None) -> tuple[int, ...]:
+        group_t = (
+            tuple(range(self.size)) if group is None else tuple(group)
+        )
+        if self.rank not in group_t:
+            raise ValueError(
+                f"rank {self.rank} not in collective group {group_t}"
+            )
+        return group_t
+
+    def _vsend(
+        self, group: tuple[int, ...], dst_v: int, phase: str, payload: object
+    ) -> None:
+        self._t.send(group[dst_v], (self._op_id, phase), payload)
+
+    def _vrecv(self, group: tuple[int, ...], src_v: int, phase: str) -> object:
+        return self._t.recv(
+            group[src_v],
+            (self._op_id, phase),
+            timeout=self.config.collective_timeout,
+        )
+
+    def _record(
+        self, op: str, algorithm: str, group_size: int, before: tuple[int, ...]
+    ) -> None:
+        after = self._t.counters()
+        delta = tuple(a - b for a, b in zip(after, before))
+        self.trace.add(
+            CollectiveRecord(op, algorithm, group_size, *delta)
+        )
+
+    # -- point-to-point -----------------------------------------------------
+
+    def send(self, dest: int, payload: object, tag: int = 0) -> None:
+        """Send ``payload`` to global rank ``dest`` (non-blocking)."""
+        self._t.send(dest, ("p2p", tag), payload)
+
+    def recv(
+        self, src: int, tag: int = 0, timeout: float | None = None
+    ) -> object:
+        """Receive the next ``tag``-ged message from global rank ``src``."""
+        return self._t.recv(src, ("p2p", tag), timeout=timeout)
+
+    # -- collectives --------------------------------------------------------
+
+    def allreduce(
+        self, block: np.ndarray, group: Sequence[int] | None = None
+    ) -> np.ndarray:
+        """Sum over the group; every member receives the total."""
+        group_t = self._group(group)
+        self._op_id += 1
+        before = self._t.counters()
+        out, algorithm = self._allreduce(np.asarray(block), group_t)
+        self._record("allreduce", algorithm, len(group_t), before)
+        return out
+
+    def reduce_scatter(
+        self,
+        block: np.ndarray,
+        axis: int = 0,
+        group: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Sum over the group, then scatter slabs along ``axis`` (the
+        ``i``-th group member receives the ``i``-th slab)."""
+        group_t = self._group(group)
+        self._op_id += 1
+        before = self._t.counters()
+        out, algorithm = self._reduce_scatter(
+            np.asarray(block), axis, group_t
+        )
+        self._record("reduce_scatter", algorithm, len(group_t), before)
+        return out
+
+    def allgather(
+        self,
+        block: np.ndarray,
+        axis: int = 0,
+        group: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Concatenate group members' blocks along ``axis``."""
+        group_t = self._group(group)
+        self._op_id += 1
+        before = self._t.counters()
+        out, algorithm = self._allgather(np.asarray(block), axis, group_t)
+        self._record("allgather", algorithm, len(group_t), before)
+        return out
+
+    def bcast(
+        self,
+        block: np.ndarray | None,
+        root: int,
+        group: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Broadcast ``root``'s block to the group (binomial tree)."""
+        group_t = self._group(group)
+        self._op_id += 1
+        before = self._t.counters()
+        out = self._bcast(block, root, group_t)
+        self._record("bcast", "binomial", len(group_t), before)
+        return out
+
+    def gather(
+        self,
+        block: np.ndarray,
+        root: int,
+        group: Sequence[int] | None = None,
+    ) -> list[np.ndarray] | None:
+        """Collect blocks at ``root`` (group order); others get None."""
+        group_t = self._group(group)
+        self._op_id += 1
+        before = self._t.counters()
+        out = self._gather(np.asarray(block), root, group_t)
+        self._record("gather", "binomial", len(group_t), before)
+        return out
+
+    def barrier(self, group: Sequence[int] | None = None) -> None:
+        """Block until every group member reaches the barrier
+        (dissemination algorithm, ``ceil(log2 p)`` rounds)."""
+        group_t = self._group(group)
+        self._op_id += 1
+        before = self._t.counters()
+        self._barrier(group_t)
+        self._record("barrier", "dissemination", len(group_t), before)
+
+    # -- algorithm building blocks -----------------------------------------
+
+    def _bruck_allgather_items(
+        self,
+        group: tuple[int, ...],
+        me: int,
+        item: np.ndarray,
+        phase: str,
+    ) -> dict[int, np.ndarray]:
+        """Recursive-doubling (Bruck) allgather of one item per rank.
+
+        Works for any group size in ``ceil(log2 p)`` rounds; every rank
+        sends exactly ``p - 1`` items in total.  Each rank's held set is
+        a contiguous (mod ``p``) window starting at its own position.
+        """
+        g = len(group)
+        have: dict[int, np.ndarray] = {me: item}
+        held = 1
+        r = 0
+        while held < g:
+            cnt = min(held, g - held)
+            dst = (me - held) % g
+            src = (me + held) % g
+            self._vsend(
+                group,
+                dst,
+                f"{phase}/bk{r}",
+                {(me + i) % g: have[(me + i) % g] for i in range(cnt)},
+            )
+            got = self._vrecv(group, src, f"{phase}/bk{r}")
+            have.update(got)
+            held += cnt
+            r += 1
+        return have
+
+    def _pairwise_reduce_parts(
+        self,
+        group: tuple[int, ...],
+        me: int,
+        parts: Sequence[np.ndarray],
+        phase: str,
+    ) -> np.ndarray:
+        """Pairwise-exchange reduce-scatter: rank ``j`` receives every
+        rank's ``j``-th part and reduces them in group-rank order
+        (bit-identical to a left-to-right sum).  ``p - 1`` messages and
+        ``n (p-1)/p`` words per rank — the ring reduce-scatter cost."""
+        g = len(group)
+        for j in range(g):
+            if j != me:
+                self._vsend(group, j, f"{phase}/pw", {me: parts[j]})
+        acc: np.ndarray | None = None
+        for j in range(g):
+            if j == me:
+                contrib = np.asarray(parts[me])
+            else:
+                contrib = self._vrecv(group, j, f"{phase}/pw")[j]
+            if acc is None:
+                acc = np.array(contrib, copy=True)
+            else:
+                acc += contrib
+        assert acc is not None
+        return acc
+
+    def _halving_reduce_scatter_parts(
+        self,
+        group: tuple[int, ...],
+        me: int,
+        parts: Sequence[np.ndarray],
+        phase: str,
+    ) -> np.ndarray:
+        """Recursive-halving reduce-scatter (power-of-two groups):
+        ``ceil(log2 p)`` rounds, ``n (p-1)/p`` words per rank, with the
+        tree-ordered reduction real MPI uses."""
+        g = len(group)
+        cur: dict[int, np.ndarray] = {
+            j: np.array(parts[j], copy=True) for j in range(g)
+        }
+        lo, hi = 0, g
+        r = 0
+        while hi - lo > 1:
+            half = (hi - lo) // 2
+            mid = lo + half
+            if me < mid:
+                partner = me + half
+                send_keys = range(mid, hi)
+            else:
+                partner = me - half
+                send_keys = range(lo, mid)
+            self._vsend(
+                group,
+                partner,
+                f"{phase}/rh{r}",
+                {k: cur[k] for k in send_keys},
+            )
+            got = self._vrecv(group, partner, f"{phase}/rh{r}")
+            for k, v in got.items():
+                cur[k] += v
+            if me < mid:
+                hi = mid
+            else:
+                lo = mid
+            cur = {k: cur[k] for k in range(lo, hi)}
+            r += 1
+        return cur[me]
+
+    def _ring_allgather_parts(
+        self,
+        group: tuple[int, ...],
+        me: int,
+        part: np.ndarray,
+        phase: str,
+    ) -> dict[int, np.ndarray]:
+        """Ring allgather: ``p - 1`` steps, each rank forwarding the
+        chunk it received last round to its right neighbour."""
+        g = len(group)
+        have: dict[int, np.ndarray] = {me: np.asarray(part)}
+        right = (me + 1) % g
+        left = (me - 1) % g
+        for s in range(g - 1):
+            send_idx = (me - s) % g
+            self._vsend(
+                group, right, f"{phase}/rg{s}", {send_idx: have[send_idx]}
+            )
+            got = self._vrecv(group, left, f"{phase}/rg{s}")
+            have.update(got)
+        return have
+
+    def _doubling_allgather_parts(
+        self,
+        group: tuple[int, ...],
+        me: int,
+        part: np.ndarray,
+        phase: str,
+    ) -> dict[int, np.ndarray]:
+        """Recursive-doubling allgather (power-of-two groups)."""
+        g = len(group)
+        have: dict[int, np.ndarray] = {me: np.asarray(part)}
+        mask = 1
+        r = 0
+        while mask < g:
+            partner = me ^ mask
+            self._vsend(group, partner, f"{phase}/dg{r}", dict(have))
+            have.update(self._vrecv(group, partner, f"{phase}/dg{r}"))
+            mask <<= 1
+            r += 1
+        return have
+
+    # -- collective implementations ----------------------------------------
+
+    def _use_short_allreduce(self, n_words: int, g: int) -> bool:
+        if self.config.eager_max_words is not None:
+            return n_words <= self.config.eager_max_words
+        return select_allreduce_algorithm(float(n_words), g) == "short"
+
+    def _allreduce(
+        self, arr: np.ndarray, group: tuple[int, ...]
+    ) -> tuple[np.ndarray, str]:
+        g = len(group)
+        if g == 1:
+            return arr.copy(), "single"
+        me = group.index(self.rank)
+        flat = np.ascontiguousarray(arr).reshape(-1)
+        n = flat.size
+        pow2 = g & (g - 1) == 0
+        short = self._use_short_allreduce(n, g)
+
+        if short and not self.config.deterministic and pow2:
+            # Recursive doubling on partial sums.
+            acc = flat.copy()
+            mask = 1
+            r = 0
+            while mask < g:
+                partner = me ^ mask
+                self._vsend(group, partner, f"ar/rd{r}", acc)
+                acc = acc + self._vrecv(group, partner, f"ar/rd{r}")
+                mask <<= 1
+                r += 1
+            return acc.reshape(arr.shape), "recursive-doubling"
+
+        if short:
+            # Bruck allgather of contributions, rank-order local sum.
+            have = self._bruck_allgather_items(group, me, flat, "ar")
+            acc = np.array(have[0], copy=True)
+            for j in range(1, g):
+                acc += have[j]
+            return acc.reshape(arr.shape), "bruck-gather"
+
+        # Long payloads: reduce-scatter the flat vector, allgather the
+        # reduced chunks.  Chunking is elementwise-disjoint, so the
+        # rank-order pairwise path reproduces the left-to-right sum.
+        bounds = _split_slices(n, g, 0, 1)
+        parts = [flat[s[0]] for s in bounds]
+        if self.config.deterministic or not pow2:
+            mine = self._pairwise_reduce_parts(group, me, parts, "ar")
+            have = self._ring_allgather_parts(group, me, mine, "ar")
+            algorithm = "pairwise-rs+ring-ag"
+        else:
+            mine = self._halving_reduce_scatter_parts(group, me, parts, "ar")
+            have = self._doubling_allgather_parts(group, me, mine, "ar")
+            algorithm = "rabenseifner"
+        out = np.concatenate([have[j] for j in range(g)])
+        return out.reshape(arr.shape), algorithm
+
+    def _reduce_scatter(
+        self, arr: np.ndarray, axis: int, group: tuple[int, ...]
+    ) -> tuple[np.ndarray, str]:
+        g = len(group)
+        if g == 1:
+            return arr.copy(), "single"
+        me = group.index(self.rank)
+        slices = _split_slices(arr.shape[axis], g, axis, arr.ndim)
+        parts = [_contig(arr[s]) for s in slices]
+        pow2 = g & (g - 1) == 0
+        if self.config.deterministic or not pow2:
+            out = self._pairwise_reduce_parts(group, me, parts, "rs")
+            algorithm = "pairwise"
+        else:
+            out = self._halving_reduce_scatter_parts(group, me, parts, "rs")
+            algorithm = "recursive-halving"
+        return np.ascontiguousarray(out), algorithm
+
+    def _allgather(
+        self, arr: np.ndarray, axis: int, group: tuple[int, ...]
+    ) -> tuple[np.ndarray, str]:
+        g = len(group)
+        if g == 1:
+            return arr.copy(), "single"
+        me = group.index(self.rank)
+        have = self._ring_allgather_parts(group, me, _contig(arr), "ag")
+        cat = np.concatenate([have[j] for j in range(g)], axis=axis)
+        return cat, "ring"
+
+    def _bcast(
+        self,
+        block: np.ndarray | None,
+        root: int,
+        group: tuple[int, ...],
+    ) -> np.ndarray:
+        g = len(group)
+        if root not in group:
+            raise ValueError(f"bcast root {root} not in group {group}")
+        me = group.index(self.rank)
+        vroot = group.index(root)
+        if g == 1:
+            return np.asarray(block).copy()
+        rel = (me - vroot) % g
+        if rel == 0:
+            data = np.asarray(block)
+            mask = _pow2ceil(g) >> 1
+        else:
+            lsb = rel & -rel
+            parent = (rel - lsb + vroot) % g
+            data = self._vrecv(group, parent, "bc")
+            mask = lsb >> 1
+        while mask >= 1:
+            child_rel = rel + mask
+            if child_rel < g:
+                self._vsend(group, (child_rel + vroot) % g, "bc", data)
+            mask >>= 1
+        return np.asarray(data)
+
+    def _gather(
+        self,
+        arr: np.ndarray,
+        root: int,
+        group: tuple[int, ...],
+    ) -> list[np.ndarray] | None:
+        g = len(group)
+        if root not in group:
+            raise ValueError(f"gather root {root} not in group {group}")
+        me = group.index(self.rank)
+        vroot = group.index(root)
+        if g == 1:
+            return [arr.copy()]
+        rel = (me - vroot) % g
+        have: dict[int, np.ndarray] = {me: _contig(arr)}
+        mask = 1
+        while mask < g:
+            if rel & mask:
+                parent_rel = rel - mask
+                self._vsend(group, (parent_rel + vroot) % g, "ga", have)
+                have = {}
+                break
+            src_rel = rel + mask
+            if src_rel < g:
+                got = self._vrecv(group, (src_rel + vroot) % g, "ga")
+                have.update(got)
+            mask <<= 1
+        if me == vroot:
+            return [have[j] for j in range(g)]
+        return None
+
+    def _barrier(self, group: tuple[int, ...]) -> None:
+        g = len(group)
+        if g == 1:
+            return
+        me = group.index(self.rank)
+        dist = 1
+        r = 0
+        while dist < g:
+            self._vsend(group, (me + dist) % g, f"br{r}", None)
+            self._vrecv(group, (me - dist) % g, f"br{r}")
+            dist <<= 1
+            r += 1
+
+
+# ---------------------------------------------------------------------------
+# legacy star transport (coordinator process)
+# ---------------------------------------------------------------------------
+
+
+def _star_payload_size(obj: object) -> tuple[int, int]:
+    """(words, bytes) of the arrays inside a star request/reply."""
+    if isinstance(obj, np.ndarray):
+        return obj.size, obj.nbytes
+    if isinstance(obj, tuple) and obj and isinstance(obj[0], np.ndarray):
+        return obj[0].size, obj[0].nbytes
+    if isinstance(obj, (list, dict)):
+        vals = obj.values() if isinstance(obj, dict) else obj
+        arrays = [v for v in vals if isinstance(v, np.ndarray)]
+        return sum(a.size for a in arrays), sum(a.nbytes for a in arrays)
+    return 0, 0
 
 
 @dataclass
@@ -38,16 +946,17 @@ class _Request:
     root: int | None = None
 
 
-class ProcessComm:
-    """Per-rank communicator handle (used inside worker processes).
+class StarComm:
+    """Legacy communicator: every collective through a coordinator.
 
-    Collectives are matched across ranks by a per-rank operation
-    counter, so programs must be *loosely synchronous*: every member of
-    a collective's group must reach that collective after the same
-    number of prior ``ProcessComm`` calls (the natural property of SPMD
-    programs where all ranks run the same code).  Divergent call
-    sequences deadlock, exactly as mismatched MPI collectives would.
+    Correct but star-shaped (the coordinator serializes and pickles
+    every block twice per collective); kept as the conformance
+    reference and the benchmark baseline for the peer-to-peer
+    transport.  Interface-compatible with :class:`ProcessComm` for the
+    collective subset (no point-to-point ``send``/``recv``).
     """
+
+    transport = "star"
 
     def __init__(
         self,
@@ -55,14 +964,15 @@ class ProcessComm:
         size: int,
         to_coord: "mp.Queue",
         from_coord: "mp.Queue",
+        config: CommConfig | None = None,
     ) -> None:
         self.rank = rank
         self.size = size
         self._to_coord = to_coord
         self._from_coord = from_coord
+        self.config = config or CommConfig()
+        self.trace = CommTrace()
         self._op_id = 0
-
-    # -- plumbing ---------------------------------------------------------
 
     def _exchange(
         self,
@@ -89,9 +999,33 @@ class ProcessComm:
                 root=root,
             )
         )
-        return self._from_coord.get()
-
-    # -- collectives --------------------------------------------------------
+        try:
+            result = self._from_coord.get(
+                timeout=self.config.collective_timeout
+            )
+        except queue_mod.Empty:
+            raise CollectiveTimeoutError(
+                f"rank {self.rank}: coordinator did not answer {op!r} "
+                f"within {self.config.collective_timeout:.1f}s — "
+                f"collective call sequences have diverged across ranks"
+            ) from None
+        sent_words, sent_bytes = _star_payload_size(payload)
+        recv_words, recv_bytes = _star_payload_size(result)
+        self.trace.add(
+            CollectiveRecord(
+                op=op,
+                algorithm="star",
+                group_size=len(group_t),
+                sent_messages=1,
+                sent_words=sent_words,
+                sent_bytes=sent_bytes,
+                recv_messages=1,
+                recv_words=recv_words,
+                recv_bytes=recv_bytes,
+                shm_messages=0,
+            )
+        )
+        return result
 
     def allreduce(
         self, block: np.ndarray, group: Sequence[int] | None = None
@@ -105,8 +1039,7 @@ class ProcessComm:
         axis: int = 0,
         group: Sequence[int] | None = None,
     ) -> np.ndarray:
-        """Sum over the group, then scatter slabs along ``axis`` (the
-        ``i``-th group member receives the ``i``-th slab)."""
+        """Sum over the group, then scatter slabs along ``axis``."""
         return self._exchange("reduce_scatter", (block, axis), group)
 
     def allgather(
@@ -198,16 +1131,22 @@ def _coordinator(
             reply_queues[rank].put(result)
 
 
-def _worker(
+# ---------------------------------------------------------------------------
+# SPMD launcher
+# ---------------------------------------------------------------------------
+
+
+def _star_worker(
     fn_bytes: bytes,
     rank: int,
     size: int,
     to_coord: "mp.Queue",
     from_coord: "mp.Queue",
     result_queue: "mp.Queue",
+    config: CommConfig,
     args: tuple,
 ) -> None:
-    comm = ProcessComm(rank, size, to_coord, from_coord)
+    comm = StarComm(rank, size, to_coord, from_coord, config)
     try:
         fn = pickle.loads(fn_bytes)
         out = fn(comm, *args)
@@ -218,44 +1157,124 @@ def _worker(
         to_coord.put(_SENTINEL)
 
 
+def _p2p_worker(
+    fn_bytes: bytes,
+    rank: int,
+    size: int,
+    inboxes: list["mp.Queue"],
+    result_queue: "mp.Queue",
+    run_token: str,
+    config: CommConfig,
+    args: tuple,
+) -> None:
+    channel = _PeerTransport(rank, size, inboxes, run_token, config)
+    comm = ProcessComm(rank, size, channel, config)
+    try:
+        fn = pickle.loads(fn_bytes)
+        out = fn(comm, *args)
+        result_queue.put((rank, "ok", out))
+    except Exception as exc:
+        result_queue.put((rank, "error", repr(exc)))
+    finally:
+        try:
+            channel.close()
+        except Exception:  # pragma: no cover - cleanup best-effort
+            pass
+
+
+def _sweep_shm(run_token: str) -> None:
+    """Unlink any shared-memory segments a crashed rank orphaned."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return
+    for path in glob.glob(os.path.join(shm_dir, f"mpx{run_token}*")):
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - raced with receiver
+            pass
+
+
 def run_spmd(
     fn: Callable[..., object],
     size: int,
     *args: object,
     timeout: float = 120.0,
+    transport: str = "p2p",
+    config: CommConfig | None = None,
+    collective_timeout: float | None = None,
 ) -> list[object]:
     """Run ``fn(comm, *args)`` on ``size`` real processes.
 
     ``fn`` must be picklable (a module-level function).  Returns each
     rank's return value in rank order; raises ``RuntimeError`` if any
     rank failed.
+
+    Parameters
+    ----------
+    transport:
+        ``"p2p"`` (default) hands every rank a :class:`ProcessComm`
+        over the shared-memory point-to-point layer; ``"star"`` hands
+        out the legacy coordinator-routed :class:`StarComm`.
+    config:
+        :class:`CommConfig` for timeouts, the shared-memory threshold,
+        algorithm determinism, and the short/long allreduce threshold.
+    collective_timeout:
+        Shorthand overriding ``config.collective_timeout``.
     """
     if size < 1:
         raise ValueError("size must be positive")
+    if transport not in ("p2p", "star"):
+        raise ValueError(f"unknown transport {transport!r}")
+    cfg = config or CommConfig()
+    if collective_timeout is not None:
+        cfg = replace(cfg, collective_timeout=collective_timeout)
     ctx = mp.get_context("spawn" if mp.get_start_method() == "spawn" else "fork")
-    to_coord: mp.Queue = ctx.Queue()
-    reply_queues = [ctx.Queue() for _ in range(size)]
     result_queue: mp.Queue = ctx.Queue()
+    run_token = uuid.uuid4().hex[:8]
+    fn_bytes = pickle.dumps(fn)
 
-    coord = ctx.Process(
-        target=_coordinator, args=(size, to_coord, reply_queues)
-    )
-    coord.start()
-    workers = [
-        ctx.Process(
-            target=_worker,
-            args=(
-                pickle.dumps(fn),
-                rank,
-                size,
-                to_coord,
-                reply_queues[rank],
-                result_queue,
-                args,
-            ),
+    coord = None
+    if transport == "star":
+        to_coord: mp.Queue = ctx.Queue()
+        reply_queues = [ctx.Queue() for _ in range(size)]
+        coord = ctx.Process(
+            target=_coordinator, args=(size, to_coord, reply_queues)
         )
-        for rank in range(size)
-    ]
+        coord.start()
+        workers = [
+            ctx.Process(
+                target=_star_worker,
+                args=(
+                    fn_bytes,
+                    rank,
+                    size,
+                    to_coord,
+                    reply_queues[rank],
+                    result_queue,
+                    cfg,
+                    args,
+                ),
+            )
+            for rank in range(size)
+        ]
+    else:
+        inboxes = [ctx.Queue() for _ in range(size)]
+        workers = [
+            ctx.Process(
+                target=_p2p_worker,
+                args=(
+                    fn_bytes,
+                    rank,
+                    size,
+                    inboxes,
+                    result_queue,
+                    run_token,
+                    cfg,
+                    args,
+                ),
+            )
+            for rank in range(size)
+        ]
     for w in workers:
         w.start()
 
@@ -263,7 +1282,13 @@ def run_spmd(
     errors: dict[int, str] = {}
     try:
         for _ in range(size):
-            rank, status, payload = result_queue.get(timeout=timeout)
+            try:
+                rank, status, payload = result_queue.get(timeout=timeout)
+            except queue_mod.Empty:
+                raise RuntimeError(
+                    f"SPMD run timed out after {timeout:.0f}s waiting for "
+                    f"{size - len(results) - len(errors)} of {size} ranks"
+                ) from None
             if status == "ok":
                 results[rank] = payload
             else:
@@ -273,9 +1298,12 @@ def run_spmd(
             w.join(timeout=10)
             if w.is_alive():  # pragma: no cover - hang safety
                 w.terminate()
-        coord.join(timeout=10)
-        if coord.is_alive():  # pragma: no cover - hang safety
-            coord.terminate()
+        if coord is not None:
+            coord.join(timeout=10)
+            if coord.is_alive():  # pragma: no cover - hang safety
+                coord.terminate()
+        if transport == "p2p":
+            _sweep_shm(run_token)
     if errors:
         raise RuntimeError(f"SPMD ranks failed: {errors}")
     return [results[r] for r in range(size)]

@@ -4,16 +4,83 @@ A :class:`TracingLedger` records every charge as an ordered event; the
 renderer turns the event list into an ASCII timeline (one lane per
 phase) so a run's structure — the Gram/EVD alternation of STHOSVD, the
 tree-shaped TTM bursts of HOSI-DT — can be inspected without plotting.
+
+This module also defines the *executed*-communication trace used by the
+real process-parallel layer: every collective a
+:class:`~repro.vmpi.mp_comm.ProcessComm` runs appends one
+:class:`CollectiveRecord` (algorithm chosen, messages and words
+actually sent/received by this rank) to a :class:`CommTrace`.  The
+schedule-vs-cost tests certify these executed counts against the
+closed-form ``*_cost`` formulas of :mod:`repro.vmpi.collectives`, so
+the simulator's charges and the executed schedules stay in agreement.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.vmpi.cost import CostKind, CostLedger
 from repro.vmpi.machine import MachineModel
 
-__all__ = ["TraceEvent", "TracingLedger", "render_timeline"]
+__all__ = [
+    "CollectiveRecord",
+    "CommTrace",
+    "TraceEvent",
+    "TracingLedger",
+    "render_timeline",
+]
+
+
+@dataclass(frozen=True)
+class CollectiveRecord:
+    """Executed-communication profile of one collective on one rank.
+
+    ``words`` count array *elements* moved (the unit the alpha-beta
+    cost formulas use); ``bytes`` count raw payload bytes.  Envelope
+    metadata (tags, shapes) is not counted — the cost formulas only
+    charge payload words, and tests compare "same beta words
+    ±rounding".
+    """
+
+    op: str
+    algorithm: str
+    group_size: int
+    sent_messages: int
+    sent_words: int
+    sent_bytes: int
+    recv_messages: int
+    recv_words: int
+    recv_bytes: int
+    shm_messages: int
+
+
+@dataclass
+class CommTrace:
+    """Ordered per-rank list of executed collective records."""
+
+    records: list[CollectiveRecord] = field(default_factory=list)
+
+    def add(self, record: CollectiveRecord) -> None:
+        self.records.append(record)
+
+    def for_op(self, op: str) -> list[CollectiveRecord]:
+        """All records of one collective kind, in execution order."""
+        return [r for r in self.records if r.op == op]
+
+    def totals(self) -> dict[str, int]:
+        """Aggregate message/word/byte counters over all records."""
+        keys = (
+            "sent_messages",
+            "sent_words",
+            "sent_bytes",
+            "recv_messages",
+            "recv_words",
+            "recv_bytes",
+            "shm_messages",
+        )
+        return {
+            k: sum(getattr(r, k) for r in self.records) for k in keys
+        }
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,300 @@
+"""Cross-layer collective conformance suite.
+
+One parametrized harness runs every collective (allreduce,
+reduce-scatter, allgather, bcast, gather, barrier) across three
+execution layers — the peer-to-peer ``mp_comm`` transport (both the
+deterministic rank-order algorithms and the tree-ordered power-of-two
+ones), the legacy coordinator-star transport, and the in-process
+executable block collectives of :mod:`repro.vmpi.collectives` — over
+group sizes {1, 2, 3, 4, 7, 8} and payload corners (float32/float64,
+integer dtypes, empty arrays, non-contiguous views, 0-d scalars,
+ragged allgather extents, extents that do not divide the group size),
+asserting *bit-identical* results against a NumPy reference.
+
+Payload values are integer-valued floats, so every summation order is
+exact and bit-identity is well-defined for all reduction algorithms.
+
+The divergence tests at the bottom certify the deadlock-safety
+guarantee: mismatched collective sequences raise
+:class:`~repro.vmpi.mp_comm.CollectiveTimeoutError` (surfaced by
+``run_spmd``) instead of hanging the test run.
+"""
+
+import time
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.vmpi.collectives import (
+    allgather_blocks,
+    allreduce_blocks,
+    bcast_block,
+    gather_blocks,
+    reduce_scatter_blocks,
+)
+from repro.vmpi.mp_comm import CommConfig, run_spmd
+
+GROUP_SIZES = (1, 2, 3, 4, 7, 8)
+TRANSPORTS = ("p2p-det", "p2p-nondet", "star", "blocks")
+
+# Thresholds chosen so one run exercises both allreduce algorithm
+# families (payloads of <= 24 words go latency-optimal, larger ones
+# bandwidth-optimal) and both transport encodings (payloads of >= 256
+# bytes ride shared memory, smaller ones pickle).
+_P2P_CONFIG = CommConfig(
+    collective_timeout=60.0, shm_min_bytes=256, eager_max_words=24
+)
+
+
+def _payloads(rank: int) -> dict[str, np.ndarray]:
+    """Deterministic integer-valued per-rank payloads."""
+    rng = np.random.default_rng(1000 + rank)
+
+    def ints(shape, dtype):
+        return rng.integers(-8, 9, size=shape).astype(dtype)
+
+    wide = ints((6, 8), np.float64)
+    return {
+        "f64": ints((3, 4), np.float64),
+        "f32": ints((4, 3), np.float32),
+        "int64": rng.integers(-8, 9, size=(2, 3)),
+        "big": ints((25, 8), np.float64),  # 200 words: long allreduce + shm
+        "empty": np.zeros((0, 3), dtype=np.float64),
+        "scalar": np.array(float(rng.integers(-8, 9))),
+        "noncontig": wide[::2, 1::2],  # 3x4 strided view
+        "uneven": ints((7, 2), np.float64),  # extent 7 never divides 2..8
+        "ragged": ints((rank + 1, 2), np.float64),  # per-rank extent
+    }
+
+
+# (name, op, payload key, kwargs) — every rank runs these in order.
+CASES = [
+    ("allreduce-f64", "allreduce", "f64", {}),
+    ("allreduce-f32", "allreduce", "f32", {}),
+    ("allreduce-int64", "allreduce", "int64", {}),
+    ("allreduce-big", "allreduce", "big", {}),
+    ("allreduce-empty", "allreduce", "empty", {}),
+    ("allreduce-scalar", "allreduce", "scalar", {}),
+    ("allreduce-noncontig", "allreduce", "noncontig", {}),
+    ("reduce_scatter-axis0", "reduce_scatter", "f64", {"axis": 0}),
+    ("reduce_scatter-axis1", "reduce_scatter", "big", {"axis": 1}),
+    ("reduce_scatter-uneven", "reduce_scatter", "uneven", {"axis": 0}),
+    ("reduce_scatter-empty", "reduce_scatter", "empty", {"axis": 1}),
+    ("reduce_scatter-noncontig", "reduce_scatter", "noncontig", {"axis": 0}),
+    ("allgather-axis0", "allgather", "f64", {"axis": 0}),
+    ("allgather-axis1", "allgather", "f32", {"axis": 1}),
+    ("allgather-ragged", "allgather", "ragged", {"axis": 0}),
+    ("allgather-empty", "allgather", "empty", {"axis": 0}),
+    ("bcast-root0", "bcast", "f64", {"root": 0}),
+    ("bcast-rootlast", "bcast", "noncontig", {"root": -1}),
+    ("bcast-big", "bcast", "big", {"root": 0}),
+    ("gather-root0", "gather", "f32", {"root": 0}),
+    ("gather-rootlast", "gather", "scalar", {"root": -1}),
+    ("barrier", "barrier", "f64", {}),
+]
+
+
+def _resolve_root(root: int, size: int) -> int:
+    return root % size
+
+
+def _conformance_program(comm) -> dict[str, object]:
+    """The SPMD program: run every case, return {case: result}."""
+    mine = _payloads(comm.rank)
+    out: dict[str, object] = {}
+    for name, op, key, kwargs in CASES:
+        block = mine[key]
+        if op == "allreduce":
+            out[name] = comm.allreduce(block)
+        elif op == "reduce_scatter":
+            out[name] = comm.reduce_scatter(block, axis=kwargs["axis"])
+        elif op == "allgather":
+            out[name] = comm.allgather(block, axis=kwargs["axis"])
+        elif op == "bcast":
+            root = _resolve_root(kwargs["root"], comm.size)
+            payload = block if comm.rank == root else None
+            out[name] = comm.bcast(payload, root=root)
+        elif op == "gather":
+            root = _resolve_root(kwargs["root"], comm.size)
+            out[name] = comm.gather(block, root=root)
+        elif op == "barrier":
+            out[name] = comm.barrier()
+    return out
+
+
+def _blocks_layer(size: int) -> list[dict[str, object]]:
+    """Run the cases through the executable block collectives."""
+    payloads = [_payloads(r) for r in range(size)]
+    outs: list[dict[str, object]] = [{} for _ in range(size)]
+    for name, op, key, kwargs in CASES:
+        blocks = [p[key] for p in payloads]
+        if op == "allreduce":
+            results = allreduce_blocks(blocks)
+        elif op == "reduce_scatter":
+            results = reduce_scatter_blocks(blocks, axis=kwargs["axis"])
+        elif op == "allgather":
+            results = allgather_blocks(blocks, axis=kwargs["axis"])
+        elif op == "bcast":
+            root = _resolve_root(kwargs["root"], size)
+            results = bcast_block(blocks[root], size)
+        elif op == "gather":
+            root = _resolve_root(kwargs["root"], size)
+            results = gather_blocks(blocks, root=root)
+        elif op == "barrier":
+            # No data moves; the block layer's barrier is a no-op.
+            results = [None] * size
+        for r in range(size):
+            outs[r][name] = results[r]
+    return outs
+
+
+@lru_cache(maxsize=None)
+def _run_layer(transport: str, size: int) -> tuple:
+    if transport == "blocks":
+        return tuple(_blocks_layer(size))
+    if transport == "star":
+        return tuple(run_spmd(_conformance_program, size, transport="star"))
+    config = _P2P_CONFIG
+    if transport == "p2p-nondet":
+        config = CommConfig(
+            collective_timeout=60.0,
+            shm_min_bytes=256,
+            eager_max_words=24,
+            deterministic=False,
+        )
+    return tuple(
+        run_spmd(_conformance_program, size, transport="p2p", config=config)
+    )
+
+
+def _reference(size: int) -> list[dict[str, object]]:
+    """Pure-NumPy expected result of every case, per rank."""
+    payloads = [_payloads(r) for r in range(size)]
+    refs: list[dict[str, object]] = [{} for _ in range(size)]
+    for name, op, key, kwargs in CASES:
+        blocks = [p[key] for p in payloads]
+        if op == "allreduce":
+            total = blocks[0].copy()
+            for b in blocks[1:]:
+                total = total + b
+            expected = [total] * size
+        elif op == "reduce_scatter":
+            total = blocks[0].copy()
+            for b in blocks[1:]:
+                total = total + b
+            expected = np.array_split(total, size, axis=kwargs["axis"])
+        elif op == "allgather":
+            cat = np.concatenate(blocks, axis=kwargs["axis"])
+            expected = [cat] * size
+        elif op == "bcast":
+            root = _resolve_root(kwargs["root"], size)
+            expected = [np.asarray(blocks[root])] * size
+        elif op == "gather":
+            root = _resolve_root(kwargs["root"], size)
+            expected = [
+                blocks if r == root else None for r in range(size)
+            ]
+        elif op == "barrier":
+            expected = [None] * size
+        for r in range(size):
+            refs[r][name] = expected[r]
+    return refs
+
+
+def _assert_bit_identical(got, expected, ctx: str) -> None:
+    if expected is None:
+        assert got is None, ctx
+        return
+    if isinstance(expected, list):
+        assert isinstance(got, list) and len(got) == len(expected), ctx
+        for g, e in zip(got, expected):
+            _assert_bit_identical(g, e, ctx)
+        return
+    got = np.asarray(got)
+    expected = np.asarray(expected)
+    assert got.dtype == expected.dtype, f"{ctx}: dtype {got.dtype}"
+    assert got.shape == expected.shape, f"{ctx}: shape {got.shape}"
+    assert np.array_equal(got, expected), ctx
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+@pytest.mark.parametrize("size", GROUP_SIZES)
+@pytest.mark.parametrize("case", [c[0] for c in CASES])
+def test_conformance(transport, size, case):
+    """Every collective, every layer, bit-identical to NumPy."""
+    outs = _run_layer(transport, size)
+    refs = _reference(size)
+    for rank in range(size):
+        _assert_bit_identical(
+            outs[rank][case],
+            refs[rank][case],
+            f"{transport} p={size} rank={rank} {case}",
+        )
+
+
+def test_deterministic_p2p_matches_star_bitwise():
+    """With rank-order reductions the new transport reproduces the
+    star coordinator's left-to-right sums bit-for-bit (exactness of
+    the integer payloads is not needed for this pairing)."""
+    for size in (3, 4):
+        p2p = _run_layer("p2p-det", size)
+        star = _run_layer("star", size)
+        for rank in range(size):
+            for name, _, _, _ in CASES:
+                _assert_bit_identical(
+                    p2p[rank][name], star[rank][name], f"p={size} {name}"
+                )
+
+
+# ---------------------------------------------------------------------------
+# deadlock safety: divergent sequences fail fast instead of hanging
+# ---------------------------------------------------------------------------
+
+
+def _prog_mismatched_ops(comm):
+    if comm.rank == 0:
+        comm.allreduce(np.ones(4))
+    else:
+        comm.barrier()
+
+
+def _prog_mismatched_counts(comm):
+    comm.allreduce(np.ones(4))
+    if comm.rank == 0:
+        comm.allreduce(np.ones(4))
+
+
+def _prog_recv_nothing(comm):
+    if comm.rank == 0:
+        comm.recv(1, tag=7, timeout=1.0)
+
+
+class TestDivergenceTimeout:
+    @pytest.mark.parametrize("transport", ["p2p", "star"])
+    def test_mismatched_ops_fail_fast(self, transport):
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="CollectiveTimeoutError"):
+            run_spmd(
+                _prog_mismatched_ops,
+                2,
+                transport=transport,
+                collective_timeout=1.5,
+                timeout=60.0,
+            )
+        assert time.monotonic() - start < 30.0
+
+    def test_mismatched_counts_fail_fast(self):
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="diverged"):
+            run_spmd(
+                _prog_mismatched_counts,
+                2,
+                collective_timeout=1.5,
+                timeout=60.0,
+            )
+        assert time.monotonic() - start < 30.0
+
+    def test_point_to_point_recv_timeout(self):
+        with pytest.raises(RuntimeError, match="CollectiveTimeoutError"):
+            run_spmd(_prog_recv_nothing, 2, timeout=60.0)

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro.core.hooi import hooi, variant_options
 from repro.core.sthosvd import sthosvd
 from repro.distributed.hooi import dist_hooi
+from repro.distributed.mp_sthosvd import mp_sthosvd
 from repro.distributed.spmd import spmd_sthosvd
 from repro.distributed.spmd_hooi import spmd_hooi
 from repro.distributed.sthosvd import dist_sthosvd
@@ -66,6 +67,39 @@ def test_hooi_three_way_parity(data, variant):
     )
     assert spmd.relative_error(x) == pytest.approx(
         e_seq, rel=1e-3, abs=1e-8
+    )
+
+
+@settings(max_examples=4, deadline=None)
+@given(data=st.data())
+def test_mp_layer_parity(data):
+    """The real-process layer agrees with the other two: bit-identical
+    to the in-process SPMD layer (same algorithm, deterministic
+    rank-order reductions over real message passing), and matching the
+    cost-simulated layer's ranks, factors (up to column sign), and
+    reconstruction error."""
+    x, ranks, grid = _random_problem(data)
+    # Cap at 4 worker processes so each example stays cheap.
+    grid = tuple(
+        g if int(np.prod(grid[:i + 1])) <= 4 else 1
+        for i, g in enumerate(grid)
+    )
+    spmd = spmd_sthosvd(x, grid, ranks=ranks)
+    mp = mp_sthosvd(x, grid, ranks=ranks)
+
+    assert mp.core.dtype == spmd.core.dtype
+    assert np.array_equal(mp.core, spmd.core)
+    for u_mp, u_spmd in zip(mp.factors, spmd.factors):
+        assert np.array_equal(u_mp, u_spmd)
+
+    sim, _ = dist_sthosvd(x, grid, ranks=ranks)
+    assert mp.core.shape == sim.core.shape  # identical ranks
+    for u_mp, u_sim in zip(mp.factors, sim.factors):
+        assert u_mp.shape == u_sim.shape
+        signs = np.sign(np.sum(u_mp * u_sim, axis=0))
+        np.testing.assert_allclose(u_mp * signs, u_sim, atol=1e-6)
+    assert mp.relative_error(x) == pytest.approx(
+        sim.relative_error(x), rel=1e-6, abs=1e-10
     )
 
 
