@@ -16,6 +16,7 @@ from collections.abc import Sequence
 __all__ = [
     "sthosvd_flops",
     "hooi_iteration_flops",
+    "hooi_ttm_count",
     "ra_hosi_dt_flops",
     "sthosvd_words",
     "hooi_iteration_words",
@@ -69,6 +70,34 @@ def hooi_iteration_flops(
         out["llsv_seq"] = d * float(n) ** 3  # EVD, sequential
     out["core_analysis"] = d * float(r) ** d
     return out
+
+
+def hooi_ttm_count(
+    d: int,
+    *,
+    dimension_tree: bool = True,
+    rule: str = "half",
+    include_core: bool = True,
+) -> int:
+    """Exact per-iteration multi-TTM count behind Table 1's ttm rows.
+
+    The flop formulas above keep only the two dominant root-adjacent
+    TTMs (``4 r n^d / P``); this is the exact count those formulas
+    summarize — the number the executed mp layer's per-phase
+    :class:`~repro.vmpi.trace.CollectiveRecord` traces are certified
+    against.  Direct: ``d (d-1)`` plus the core TTM.  Memoized: the
+    Alg. 4 recurrence ``T(1) = 0, T(k) = k + T(ceil/floor halves)``
+    plus the core TTM (``"single"`` gives the caterpillar ablation's
+    ``d (d+1)/2 - 1``).
+    """
+    from repro.core.dimension_tree import (
+        direct_ttm_count,
+        memoized_ttm_count,
+    )
+
+    if dimension_tree:
+        return memoized_ttm_count(d, rule, include_core=include_core)
+    return direct_ttm_count(d, include_core=include_core)
 
 
 def ra_hosi_dt_flops(

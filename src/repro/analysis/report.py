@@ -44,6 +44,7 @@ SECTIONS: tuple[tuple[str, str], ...] = (
     ("decompression", "Extension — region decompression"),
     ("crossover", "Analysis — §3.1 n/r crossover"),
     ("mp_transport", "Infrastructure — mp transport shoot-out"),
+    ("mp_dimension_tree", "Infrastructure — memoized vs direct mp HOOI"),
 )
 
 

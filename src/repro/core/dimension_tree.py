@@ -43,6 +43,9 @@ __all__ = [
     "tree_nodes",
     "leaf_order",
     "contraction_schedule",
+    "tree_applicable",
+    "memoized_ttm_count",
+    "direct_ttm_count",
     "TreeEngine",
     "SequentialTreeEngine",
     "hooi_iteration_dt",
@@ -128,8 +131,71 @@ def contraction_schedule(d: int, rule: str = "half") -> list[int]:
     return ttms
 
 
+def tree_applicable(d: int) -> bool:
+    """Whether the dimension tree can memoize anything for order ``d``.
+
+    With fewer than three modes the tree degenerates: consecutive
+    subiterations share no TTMs, so the memoized traversal performs
+    exactly as many TTMs as the direct sweep.  Drivers use this guard
+    to fall back to the direct subiteration for 1-D/2-D inputs (the
+    traversal itself also handles them, but engines that pay a setup
+    cost per tree node have nothing to gain).
+    """
+    return d >= 3
+
+
+def memoized_ttm_count(
+    d: int, rule: str = "half", *, include_core: bool = True
+) -> int:
+    """Per-iteration TTM count of the memoized traversal (closed form).
+
+    Solves the recurrence ``T(1) = 0``,
+    ``T(k) = k + T(|eta|) + T(|mu|)`` implied by Alg. 4 — every
+    internal node contracts all of one child's complement (``|mu|``
+    then ``|eta|`` TTMs, i.e. ``k`` total) before recursing into both
+    children.  With ``include_core`` the final core-forming TTM at the
+    last leaf is counted too; the result then equals
+    ``len(contraction_schedule(d, rule)) + 1``, the quantity the
+    executed-schedule tests certify against mp traces (Table 1).
+    """
+    if d < 1:
+        raise ValueError("d must be positive")
+
+    def t(k: int) -> int:
+        if k == 1:
+            return 0
+        half = k // 2 if rule == "half" else 1
+        if rule not in SPLIT_RULES:
+            raise ValueError(
+                f"unknown split rule {rule!r}; pick from {SPLIT_RULES}"
+            )
+        return k + t(half) + t(k - half)
+
+    return t(d) + (1 if include_core else 0)
+
+
+def direct_ttm_count(d: int, *, include_core: bool = True) -> int:
+    """Per-iteration TTM count of the direct sweep (Alg. 2).
+
+    ``d`` subiterations of ``d - 1`` TTMs each, plus (optionally) the
+    single core-forming TTM after the last factor update.
+    """
+    if d < 1:
+        raise ValueError("d must be positive")
+    return d * (d - 1) + (1 if include_core else 0)
+
+
 class TreeEngine(Protocol):
-    """Operations the tree traversal needs; see module docstring."""
+    """Operations the tree traversal needs; see module docstring.
+
+    The ``tensor`` argument is opaque to the traversal: engines choose
+    their own state representation (a dense array, a
+    ``(blocks, layout)`` pair, a ``(block, layout, signature)`` triple
+    for engines that memoize partial contractions across calls).  The
+    traversal only threads states from ``contract`` into the
+    recursion, so whatever ``contract`` returns is what the leaf
+    operations receive.
+    """
 
     last_mode: int
 

@@ -23,7 +23,14 @@ from repro.distributed.rank_adaptive import (
     DistRankAdaptiveStats,
     dist_rank_adaptive_hooi,
 )
-from repro.distributed.mp_hooi import mp_hosi
+from repro.distributed.mp_hooi import (
+    MPHooiStats,
+    MPRankAdaptiveStats,
+    MPTreeEngine,
+    mp_hooi_dt,
+    mp_hosi,
+    mp_rahosi_dt,
+)
 from repro.distributed.mp_sthosvd import mp_sthosvd
 from repro.distributed.spmd import (
     gather_tensor,
@@ -37,7 +44,9 @@ from repro.distributed.sthosvd import DistSTHOSVDStats, dist_sthosvd
 
 __all__ = [
     "gather_tensor",
+    "mp_hooi_dt",
     "mp_hosi",
+    "mp_rahosi_dt",
     "mp_sthosvd",
     "scatter_tensor",
     "spmd_gram",
@@ -50,6 +59,9 @@ __all__ = [
     "DistSTHOSVDStats",
     "DistTensor",
     "DistributedTreeEngine",
+    "MPHooiStats",
+    "MPRankAdaptiveStats",
+    "MPTreeEngine",
     "SymbolicArray",
     "dist_hooi",
     "dist_rank_adaptive_hooi",

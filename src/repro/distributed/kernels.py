@@ -17,6 +17,16 @@ Ledger phase names::
     subspace / subspace_comm  Alg. 5 lines 2-3 (+ the Z reduce/bcast)
     qrcp                      sequential QR with column pivoting
     core_analysis / core_comm eq. (3) analysis + core gather
+
+The second half of this module holds the *executed* counterparts: the
+same parallel schedules run on the mini-MPI of
+:mod:`repro.vmpi.mp_comm`, one block per OS process, each kernel
+phase-tagging its collectives (the ``phase`` field of
+:class:`~repro.vmpi.trace.CollectiveRecord`) so traced per-phase
+collective counts can be certified against the closed-form schedules.
+Their numerics are copied verbatim from the in-process SPMD layer
+(:mod:`repro.distributed.spmd_hooi`), so with the deterministic
+transport the mp drivers are bit-identical to it.
 """
 
 from __future__ import annotations
@@ -31,14 +41,19 @@ from repro.distributed.arrays import (
     is_concrete,
 )
 from repro.distributed.dist_tensor import DistTensor
+from repro.distributed.layout import BlockLayout
 from repro.linalg.evd import gram_evd, rank_from_spectrum
+from repro.linalg.qrcp import qrcp
 from repro.linalg.subspace import subspace_iteration_llsv
+from repro.tensor.dense import unfold
+from repro.tensor.ops import contract_all_but_mode, ttm
 from repro.vmpi.collectives import (
     allreduce_cost,
     alltoall_cost,
     bcast_cost,
     reduce_scatter_cost,
 )
+from repro.vmpi.mp_comm import ProcessComm
 
 __all__ = [
     "dist_ttm",
@@ -47,6 +62,11 @@ __all__ = [
     "dist_gram_evd_llsv",
     "dist_subspace_llsv",
     "dist_core_analysis_cost",
+    "mp_ttm",
+    "mp_gram",
+    "mp_subspace_llsv",
+    "mp_gram_evd_llsv",
+    "mp_gather_core",
 ]
 
 
@@ -253,3 +273,170 @@ def dist_core_analysis_cost(core: DistTensor) -> None:
     core.ledger.sequential(
         "core_analysis", float((2 * d + 3)) * core.size
     )
+
+
+# ---------------------------------------------------------------------------
+# executed kernels on the mini-MPI (one block per OS process)
+# ---------------------------------------------------------------------------
+
+
+class _comm_phase:
+    """Tag collectives issued in this block with an algorithm phase."""
+
+    def __init__(self, comm: ProcessComm, phase: str) -> None:
+        self._comm = comm
+        self._phase = phase
+        self._prev = ""
+
+    def __enter__(self) -> None:
+        self._prev = self._comm.phase
+        self._comm.phase = self._phase
+
+    def __exit__(self, *exc: object) -> None:
+        self._comm.phase = self._prev
+
+
+def mp_ttm(
+    comm: ProcessComm,
+    block: np.ndarray,
+    layout: BlockLayout,
+    coords: tuple[int, ...],
+    u: np.ndarray,
+    mode: int,
+    *,
+    phase: str = "ttm",
+) -> tuple[np.ndarray, BlockLayout]:
+    """Block-parallel truncating TTM (transpose direction).
+
+    The local GEMM uses the factor rows matching this rank's slab; the
+    partial result (full output-mode extent) is reduce-scattered over
+    the mode sub-communicator — the same schedule :func:`dist_ttm`
+    charges.  Identical numerics to
+    :func:`repro.distributed.spmd.spmd_ttm`.
+    """
+    grid = layout.grid
+    group = tuple(grid.mode_comm_ranks(mode, coords))
+    a, b = layout.bounds[mode][coords[mode]]
+    partial = ttm(block, u.T[:, a:b], mode)
+    with _comm_phase(comm, phase):
+        out = comm.reduce_scatter(partial, axis=mode, group=group)
+    new_shape = list(layout.shape)
+    new_shape[mode] = u.shape[1]
+    return out, BlockLayout(new_shape, grid)
+
+
+def mp_gram(
+    comm: ProcessComm,
+    block: np.ndarray,
+    layout: BlockLayout,
+    coords: tuple[int, ...],
+    mode: int,
+    *,
+    phase: str = "gram",
+) -> np.ndarray:
+    """Parallel Gram of the mode unfolding, replicated to every rank.
+
+    Allgather the mode slabs inside the mode sub-communicator, local
+    Gram at the coordinate-0 member (zeros elsewhere), global
+    allreduce, then symmetrize — exactly the schedule of
+    :func:`repro.distributed.spmd.spmd_gram`.
+    """
+    grid = layout.grid
+    group = tuple(grid.mode_comm_ranks(mode, coords))
+    n = layout.shape[mode]
+    with _comm_phase(comm, phase):
+        full_mode = comm.allgather(block, axis=mode, group=group)
+        if coords[mode] == 0:
+            mat = unfold(full_mode, mode)
+            local_gram = mat @ mat.T
+        else:
+            local_gram = np.zeros((n, n), dtype=block.dtype)
+        g = comm.allreduce(local_gram)
+    return (g + g.T) * 0.5
+
+
+def mp_subspace_llsv(
+    comm: ProcessComm,
+    block: np.ndarray,
+    layout: BlockLayout,
+    coords: tuple[int, ...],
+    mode: int,
+    u_prev: np.ndarray,
+    rank: int,
+    *,
+    n_iters: int = 1,
+    phase: str = "llsv",
+) -> np.ndarray:
+    """Subspace-iteration LLSV on real blocks (Alg. 5, §3.4).
+
+    Per sweep: ``G = U^T Y`` as a block-parallel TTM, both operands
+    redistributed to full-mode layout within the mode sub-communicator,
+    the nonsymmetric contraction ``Z = Y_(j) G_(j)^T`` at the
+    coordinate-0 member, a global allreduce, and a replicated QRCP.
+    Mirrors :func:`repro.distributed.spmd_hooi.spmd_subspace_llsv`
+    operation for operation (bit-identical with the deterministic
+    transport).  All collectives — including the ``G``-forming
+    reduce-scatter — are tagged ``phase``, so TTM-phase traces count
+    only the sweep/tree TTMs.
+    """
+    grid = layout.grid
+    group = tuple(grid.mode_comm_ranks(mode, coords))
+    n = layout.shape[mode]
+    width = u_prev.shape[1]
+    if rank > width:
+        raise ValueError(f"rank {rank} exceeds subspace width {width}")
+
+    q = u_prev
+    for _ in range(n_iters):
+        g_block, _ = mp_ttm(
+            comm, block, layout, coords, q, mode, phase=phase
+        )
+        with _comm_phase(comm, phase):
+            y_full = comm.allgather(block, axis=mode, group=group)
+            g_full = comm.allgather(g_block, axis=mode, group=group)
+            if coords[mode] == 0:
+                z_local = contract_all_but_mode(y_full, g_full, mode)
+            else:
+                z_local = np.zeros((n, width), dtype=block.dtype)
+            z = comm.allreduce(z_local)
+        q, _, _ = qrcp(z)
+    return np.ascontiguousarray(q[:, :rank])
+
+
+def mp_gram_evd_llsv(
+    comm: ProcessComm,
+    block: np.ndarray,
+    layout: BlockLayout,
+    coords: tuple[int, ...],
+    mode: int,
+    rank: int,
+    *,
+    phase: str = "llsv",
+) -> np.ndarray:
+    """Rank-specified Gram+EVD LLSV on real blocks (replicated EVD)."""
+    g = mp_gram(comm, block, layout, coords, mode, phase=phase)
+    _, vecs = gram_evd(g)
+    return np.ascontiguousarray(vecs[:, :rank])
+
+
+def mp_gather_core(
+    comm: ProcessComm,
+    block: np.ndarray,
+    layout: BlockLayout,
+    *,
+    root: int = 0,
+    phase: str = "core_comm",
+) -> np.ndarray | None:
+    """Gather the core blocks and assemble the full core at ``root``.
+
+    Non-root ranks return ``None``.
+    """
+    grid = layout.grid
+    with _comm_phase(comm, phase):
+        gathered = comm.gather(block, root=root)
+    if comm.rank != root:
+        return None
+    core = np.empty(layout.shape, dtype=block.dtype)
+    for rank_id, piece in enumerate(gathered):
+        core[layout.local_slices(grid.coords(rank_id))] = piece
+    return core

@@ -3,9 +3,11 @@
 Runs TuckerMPI's STHOSVD algorithm on the mini-MPI of
 :mod:`repro.vmpi.mp_comm`: every rank is an OS process holding only its
 block; Grams, truncating TTMs, and the final core assembly move data
-exclusively through the communicator.  Functionally equivalent to the
-sequential algorithm (tested) — this is the closest thing to the
-paper's MPI execution an offline single machine can offer.
+exclusively through the communicator, via the shared executed kernels
+of :mod:`repro.distributed.kernels` (which phase-tag each collective).
+Functionally equivalent to the sequential algorithm (tested) — this is
+the closest thing to the paper's MPI execution an offline single
+machine can offer.
 """
 
 from __future__ import annotations
@@ -15,10 +17,9 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.tucker import TuckerTensor
+from repro.distributed.kernels import mp_gather_core, mp_gram, mp_ttm
 from repro.distributed.layout import BlockLayout
 from repro.linalg.evd import gram_evd, rank_from_spectrum
-from repro.tensor.dense import unfold
-from repro.tensor.ops import ttm
 from repro.tensor.validation import check_ranks
 from repro.vmpi.grid import ProcessorGrid
 from repro.vmpi.mp_comm import CommConfig, ProcessComm, run_spmd
@@ -41,22 +42,9 @@ def _rank_program(
     factors: list[np.ndarray] = []
 
     for mode in range(len(shape)):
-        group = tuple(grid.mode_comm_ranks(mode, coords))
-
-        # --- parallel Gram: allgather the mode slabs inside the mode
-        # sub-communicator, local Gram at the coordinate-0 member, then
-        # a global allreduce.
-        full_mode = comm.allgather(block, axis=mode, group=group)
-        n = layout.shape[mode]
-        if coords[mode] == 0:
-            mat = unfold(full_mode, mode)
-            local_gram = mat @ mat.T
-        else:
-            local_gram = np.zeros((n, n), dtype=block.dtype)
-        g = comm.allreduce(local_gram)
-        g = (g + g.T) * 0.5
-
-        # --- replicated EVD and rank choice (every rank identical).
+        # --- parallel Gram (allgather + coord-0 local Gram + allreduce)
+        # and replicated EVD + rank choice (every rank identical).
+        g = mp_gram(comm, block, layout, coords, mode, phase="gram")
         sq_vals, vecs = gram_evd(g)
         if ranks is not None:
             r = ranks[mode]
@@ -67,21 +55,14 @@ def _rank_program(
 
         # --- parallel truncating TTM: local partial with the factor
         # rows of this rank's slab, reduce-scatter over the mode comm.
-        a, b = layout.bounds[mode][coords[mode]]
-        partial = ttm(block, u.T[:, a:b], mode)
-        block = comm.reduce_scatter(partial, axis=mode, group=group)
-
-        new_shape = list(layout.shape)
-        new_shape[mode] = r
-        layout = BlockLayout(new_shape, grid)
+        block, layout = mp_ttm(
+            comm, block, layout, coords, u, mode, phase="ttm"
+        )
 
     # --- gather the core blocks at rank 0.
-    gathered = comm.gather(block, root=0)
+    core = mp_gather_core(comm, block, layout)
     if comm.rank != 0:
         return None, None
-    core = np.empty(layout.shape, dtype=block.dtype)
-    for rank_id, piece in enumerate(gathered):
-        core[layout.local_slices(grid.coords(rank_id))] = piece
     return core, factors
 
 
@@ -94,6 +75,7 @@ def mp_sthosvd(
     timeout: float = 120.0,
     transport: str = "p2p",
     comm_config: CommConfig | None = None,
+    collective_timeout: float | None = None,
 ) -> TuckerTensor:
     """Run STHOSVD on real processes (one per grid cell).
 
@@ -101,7 +83,9 @@ def mp_sthosvd(
     difference is execution: ``prod(grid_dims)`` OS processes, data
     moving only through the mini-MPI collectives.  ``transport`` and
     ``comm_config`` select and tune the communication layer (see
-    :func:`repro.vmpi.mp_comm.run_spmd`); the default deterministic
+    :func:`repro.vmpi.mp_comm.run_spmd`); ``collective_timeout`` is a
+    shorthand for the per-collective deadline of
+    :class:`~repro.vmpi.mp_comm.CommConfig`.  The default deterministic
     peer-to-peer transport reduces in rank order, so the result is
     bit-identical to :func:`~repro.distributed.spmd.spmd_sthosvd`.
     """
@@ -120,7 +104,6 @@ def mp_sthosvd(
 
     layout = BlockLayout(x.shape, grid)
     # Scatter: per-rank blocks are passed as each worker's argument.
-    results = []
     blocks = [
         np.ascontiguousarray(x[layout.local_slices(coords)])
         for _, coords in grid.iter_ranks()
@@ -139,9 +122,9 @@ def mp_sthosvd(
         timeout=timeout,
         transport=transport,
         config=comm_config,
+        collective_timeout=collective_timeout,
     )
-    results = outs
-    core, factors = results[0]
+    core, factors = outs[0]
     assert core is not None and factors is not None
     return TuckerTensor(core=core, factors=factors)
 

@@ -40,6 +40,7 @@ __all__ = [
     "reduce_scatter_halving_cost",
     "allreduce_crossover_words",
     "select_allreduce_algorithm",
+    "hooi_collective_counts",
 ]
 
 
@@ -261,3 +262,41 @@ def select_allreduce_algorithm(
         if n <= allreduce_crossover_words(p, alpha=alpha, beta=beta)
         else "long"
     )
+
+
+def hooi_collective_counts(
+    d: int,
+    n_ttms: int,
+    *,
+    subspace: bool = True,
+    n_subspace_iters: int = 1,
+) -> dict[str, int]:
+    """Per-iteration collective-call counts of the executed HOOI layer.
+
+    The process-parallel engines issue a fixed collective schedule per
+    iteration: every multi-TTM step (including the core-forming TTM) is
+    one ``reduce_scatter`` over its mode sub-communicator, and each of
+    the ``d`` factor updates runs either the subspace LLSV (per sweep:
+    one ``reduce_scatter`` for ``G = U^T Y``, two ``allgather``
+    redistributions, one global ``allreduce`` for ``Z``) or the
+    Gram-EVD LLSV (one ``allgather``, one ``allreduce``).  ``n_ttms``
+    is the multi-TTM count of the variant — see
+    :func:`repro.analysis.costs.hooi_ttm_count` — so this function
+    stays free of a dependency on the tree layer.  The schedule-cost
+    tests assert real mp traces match these counts exactly.
+    """
+    if d < 1 or n_ttms < 0:
+        raise ValueError("d must be positive and n_ttms non-negative")
+    if subspace:
+        if n_subspace_iters < 1:
+            raise ValueError("n_subspace_iters must be at least 1")
+        return {
+            "reduce_scatter": n_ttms + d * n_subspace_iters,
+            "allgather": 2 * d * n_subspace_iters,
+            "allreduce": d * n_subspace_iters,
+        }
+    return {
+        "reduce_scatter": n_ttms,
+        "allgather": d,
+        "allreduce": d,
+    }

@@ -330,6 +330,27 @@ class _PeerTransport:
             shm.close()
         self._rx_cache.clear()
 
+    def purge(self) -> None:
+        """Unlink *every* segment this rank owns, pooled and in-flight.
+
+        The exception path of a timed-out collective: the peers this
+        rank was exchanging with are not coming back for the in-flight
+        segments, so leaving them on disk would leak ``/dev/shm`` for
+        any embedder that drives the transport without ``run_spmd``'s
+        run-token sweep.  Unlinking is safe even if a straggler is
+        still attached — the mapping stays valid until it closes.
+        """
+        self._drain_inbox()
+        for name, shm in list(self._owned.items()):
+            shm.close()
+            _unlink_segment(shm)
+        self._owned.clear()
+        self._seg_size.clear()
+        self._free.clear()
+        for shm in self._rx_cache.values():
+            shm.close()
+        self._rx_cache.clear()
+
     # -- send ---------------------------------------------------------------
 
     def send(self, dest: int, tag: tuple, payload: object) -> None:
@@ -484,6 +505,9 @@ class ProcessComm:
         self._t = channel
         self.config = config or CommConfig()
         self.trace = CommTrace()
+        #: caller-set phase label stamped on every CollectiveRecord
+        #: (same vocabulary as the simulator's ledger phases).
+        self.phase = ""
         self._op_id = 0
 
     # -- plumbing -----------------------------------------------------------
@@ -504,11 +528,18 @@ class ProcessComm:
         self._t.send(group[dst_v], (self._op_id, phase), payload)
 
     def _vrecv(self, group: tuple[int, ...], src_v: int, phase: str) -> object:
-        return self._t.recv(
-            group[src_v],
-            (self._op_id, phase),
-            timeout=self.config.collective_timeout,
-        )
+        try:
+            return self._t.recv(
+                group[src_v],
+                (self._op_id, phase),
+                timeout=self.config.collective_timeout,
+            )
+        except CollectiveTimeoutError:
+            # The collective is dead; peers will not come back for the
+            # in-flight segments, so release everything now rather than
+            # relying on the launcher's sweep.
+            self._t.purge()
+            raise
 
     def _record(
         self, op: str, algorithm: str, group_size: int, before: tuple[int, ...]
@@ -516,7 +547,7 @@ class ProcessComm:
         after = self._t.counters()
         delta = tuple(a - b for a, b in zip(after, before))
         self.trace.add(
-            CollectiveRecord(op, algorithm, group_size, *delta)
+            CollectiveRecord(op, algorithm, group_size, *delta, self.phase)
         )
 
     # -- point-to-point -----------------------------------------------------
@@ -529,7 +560,11 @@ class ProcessComm:
         self, src: int, tag: int = 0, timeout: float | None = None
     ) -> object:
         """Receive the next ``tag``-ged message from global rank ``src``."""
-        return self._t.recv(src, ("p2p", tag), timeout=timeout)
+        try:
+            return self._t.recv(src, ("p2p", tag), timeout=timeout)
+        except CollectiveTimeoutError:
+            self._t.purge()
+            raise
 
     # -- collectives --------------------------------------------------------
 
@@ -972,6 +1007,8 @@ class StarComm:
         self._from_coord = from_coord
         self.config = config or CommConfig()
         self.trace = CommTrace()
+        #: caller-set phase label (interface parity with ProcessComm).
+        self.phase = ""
         self._op_id = 0
 
     def _exchange(
@@ -1023,6 +1060,7 @@ class StarComm:
                 recv_words=recv_words,
                 recv_bytes=recv_bytes,
                 shm_messages=0,
+                phase=self.phase,
             )
         )
         return result

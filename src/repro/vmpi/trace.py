@@ -40,6 +40,14 @@ class CollectiveRecord:
     metadata (tags, shapes) is not counted — the cost formulas only
     charge payload words, and tests compare "same beta words
     ±rounding".
+
+    ``phase`` carries the algorithm phase the caller attributed the
+    collective to (``"ttm"``, ``"llsv"``, ``"core"``, ...), using the
+    same vocabulary as the simulator's :class:`~repro.vmpi.cost`
+    ledger phases — this is how the executed mp layer's per-phase
+    collective counts are certified against the closed-form schedules
+    (e.g. the memoized TTM count of Table 1).  Empty when the caller
+    set no phase.
     """
 
     op: str
@@ -52,6 +60,7 @@ class CollectiveRecord:
     recv_words: int
     recv_bytes: int
     shm_messages: int
+    phase: str = ""
 
 
 @dataclass
@@ -66,6 +75,18 @@ class CommTrace:
     def for_op(self, op: str) -> list[CollectiveRecord]:
         """All records of one collective kind, in execution order."""
         return [r for r in self.records if r.op == op]
+
+    def for_phase(self, *phases: str) -> list[CollectiveRecord]:
+        """All records attributed to any of the given phases."""
+        return [r for r in self.records if r.phase in phases]
+
+    def count(self, op: str, *phases: str) -> int:
+        """Number of ``op`` collectives, optionally restricted to phases."""
+        return sum(
+            1
+            for r in self.records
+            if r.op == op and (not phases or r.phase in phases)
+        )
 
     def totals(self) -> dict[str, int]:
         """Aggregate message/word/byte counters over all records."""

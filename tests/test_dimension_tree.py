@@ -6,10 +6,13 @@ import pytest
 from repro.core.dimension_tree import (
     SequentialTreeEngine,
     contraction_schedule,
+    direct_ttm_count,
     hooi_iteration_direct,
     hooi_iteration_dt,
     leaf_order,
+    memoized_ttm_count,
     split_modes,
+    tree_applicable,
     tree_nodes,
 )
 from repro.linalg.llsv import LLSVMethod
@@ -74,6 +77,89 @@ class TestTreeStructure:
         sched = contraction_schedule(4)
         assert len(sched) == 8
         assert sched[:2] == [3, 2]
+
+
+class _RecordingEngine:
+    """Engine stub that logs traversal events without numerics."""
+
+    def __init__(self, d: int) -> None:
+        self.last_mode = d - 1
+        self.events: list[tuple[str, int]] = []
+        self.n_ttms = 0
+
+    def contract(self, tensor, modes):
+        for m in modes:
+            self.events.append(("ttm", m))
+            self.n_ttms += 1
+        return tensor
+
+    def update_factor(self, tensor, mode):
+        self.events.append(("update", mode))
+
+    def form_core(self, tensor, mode):
+        self.events.append(("core", mode))
+
+
+class TestTraversalInvariants:
+    """§3.3 invariants over d = 3..6 for both split rules."""
+
+    @pytest.mark.parametrize("d", [3, 4, 5, 6])
+    @pytest.mark.parametrize("rule", ["half", "single"])
+    def test_leaves_increasing_both_rules(self, d, rule):
+        assert leaf_order(d, rule) == list(range(d))
+
+    @pytest.mark.parametrize("d", [3, 4, 5, 6])
+    @pytest.mark.parametrize("rule", ["half", "single"])
+    def test_core_one_ttm_after_last_update(self, d, rule):
+        """The core is formed exactly one TTM after the final factor
+        update: the traversal's last events are ``update(d-1)`` then
+        ``core(d-1)``, with no TTM in between (the core TTM is the
+        ``form_core`` call itself)."""
+        engine = _RecordingEngine(d)
+        hooi_iteration_dt(object(), engine, rule=rule)
+        assert engine.events[-2:] == [("update", d - 1), ("core", d - 1)]
+        updates = [e for e in engine.events if e[0] == "update"]
+        assert [m for _, m in updates] == list(range(d))
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5, 6])
+    @pytest.mark.parametrize("rule", ["half", "single"])
+    def test_count_formula_matches_schedule(self, d, rule):
+        """The closed-form recurrence equals the executed schedule
+        length plus the core TTM."""
+        if d >= 2:
+            expected = len(contraction_schedule(d, rule)) + 1
+            assert memoized_ttm_count(d, rule) == expected
+        assert (
+            memoized_ttm_count(d, rule, include_core=False)
+            == memoized_ttm_count(d, rule) - 1
+        )
+
+    @pytest.mark.parametrize(
+        ("d", "expected"), [(3, 6), (4, 9), (5, 13), (6, 17)]
+    )
+    def test_half_rule_closed_values(self, d, expected):
+        assert memoized_ttm_count(d, "half") == expected
+
+    @pytest.mark.parametrize("d", [3, 4, 5, 6])
+    def test_single_rule_closed_form(self, d):
+        """Caterpillar tree: d(d+1)/2 - 1 TTMs plus the core."""
+        assert memoized_ttm_count(d, "single") == d * (d + 1) // 2
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5, 6])
+    def test_direct_count(self, d):
+        assert direct_ttm_count(d) == d * (d - 1) + 1
+
+    @pytest.mark.parametrize("d", [3, 4, 5, 6])
+    @pytest.mark.parametrize("rule", ["half", "single"])
+    def test_tree_beats_direct_from_3(self, d, rule):
+        assert memoized_ttm_count(d, rule) < direct_ttm_count(d)
+
+    def test_applicability_boundary(self):
+        assert not tree_applicable(1)
+        assert not tree_applicable(2)
+        assert tree_applicable(3)
+        # At d = 2 the tree saves nothing over the direct sweep.
+        assert memoized_ttm_count(2) == direct_ttm_count(2)
 
 
 class TestEngineEquivalence:

@@ -77,6 +77,76 @@ class TestMatrixCase:
         )
 
 
+class TestTreeEnabledLowOrder:
+    """``use_dimension_tree=True`` on 1-D/2-D inputs must not trip the
+    ``split_modes`` two-mode minimum anywhere in the stack — sequential
+    HOOI handles these directly, and the mp layer falls back to the
+    direct subiteration (``tree_applicable``)."""
+
+    def test_sequential_hooi_tree_2d(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((14, 11))
+        opts = HOOIOptions(max_iters=3, seed=8, use_dimension_tree=True)
+        tucker, _ = hooi(a, (3, 3), opts)
+        assert tucker.ranks == (3, 3)
+
+    def test_rank_adaptive_tree_2d(self):
+        x = tucker_plus_noise((16, 12), (3, 3), noise=1e-4, seed=9)
+        from repro.core.rank_adaptive import RankAdaptiveOptions
+
+        tucker, stats = rank_adaptive_hooi(
+            x,
+            1e-2,
+            (2, 2),
+            RankAdaptiveOptions(use_dimension_tree=True, max_iters=4),
+        )
+        assert stats.converged
+
+    def test_mp_hooi_dt_2d_falls_back_to_direct(self):
+        from repro.distributed.mp_hooi import mp_hooi_dt
+        from repro.distributed.spmd_hooi import spmd_hooi
+
+        x = tucker_plus_noise((12, 10), (3, 2), noise=1e-4, seed=10)
+        opts = HOOIOptions(max_iters=2, seed=11, use_dimension_tree=True)
+        par, stats = mp_hooi_dt(x, (3, 2), (2, 2), opts)
+        assert not stats.used_tree  # tree memoizes nothing at d = 2
+        ref = spmd_hooi(
+            x,
+            (3, 2),
+            (2, 2),
+            HOOIOptions(max_iters=2, seed=11, use_dimension_tree=False),
+        )
+        assert np.array_equal(par.core, ref.core)
+
+    def test_mp_hooi_dt_1d(self):
+        from repro.distributed.mp_hooi import mp_hooi_dt
+
+        rng = np.random.default_rng(12)
+        x = rng.standard_normal(17)
+        opts = HOOIOptions(max_iters=2, seed=13, use_dimension_tree=True)
+        tucker, stats = mp_hooi_dt(x, (3,), (2,), opts)
+        assert not stats.used_tree
+        assert tucker.ranks == (3,)
+        assert tucker.core.shape == (3,)
+
+    def test_mp_rahosi_dt_2d(self):
+        from repro.core.rank_adaptive import RankAdaptiveOptions
+        from repro.distributed.mp_hooi import mp_rahosi_dt
+
+        x = tucker_plus_noise((14, 12), (3, 3), noise=1e-4, seed=14)
+        tucker, stats = mp_rahosi_dt(
+            x,
+            1e-2,
+            (2, 2),
+            (2, 1),
+            RankAdaptiveOptions(max_iters=4, seed=15),
+        )
+        assert not stats.used_tree
+        assert stats.converged
+        rec = np.linalg.norm(tucker.reconstruct() - x) / np.linalg.norm(x)
+        assert rec <= 1e-2
+
+
 class TestFullRank:
     def test_full_ranks_lossless(self, small3):
         tucker, _ = sthosvd(small3, ranks=small3.shape)

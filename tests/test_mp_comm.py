@@ -1,5 +1,7 @@
 """Real process-parallel mini-MPI and process-parallel STHOSVD."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -53,6 +55,46 @@ def _prog_fail(comm: ProcessComm) -> None:
         raise ValueError("boom")
 
 
+def _prog_config_timeout(comm: ProcessComm) -> float:
+    return float(comm.config.collective_timeout)
+
+
+def _prog_timeout_purge(comm: ProcessComm) -> dict:
+    """Rank 0 parks shm segments (pooled + in-flight) and then times
+    out on a recv that never comes; the exception path must unlink all
+    of them."""
+    import glob
+
+    from repro.vmpi.mp_comm import CollectiveTimeoutError
+
+    big = np.full(80_000, float(comm.rank))  # 640 KB -> shm path
+    if comm.rank == 0:
+        # One segment that completes the round trip (lands in the free
+        # pool once the ack returns) and one that stays in flight.
+        comm.send(1, big, tag=0)
+        comm.send(1, big, tag=1)
+        comm.recv(1, tag=0)  # ack for tag 0 definitely processed
+        owned_before = len(comm._t._owned)
+        timed_out = False
+        try:
+            comm.recv(1, tag=99)  # never sent
+        except CollectiveTimeoutError:
+            timed_out = True
+        leftover = glob.glob(f"/dev/shm/mpx{comm._t._run_token}r0*")
+        return {
+            "timed_out": timed_out,
+            "owned_before": owned_before,
+            "owned_after": len(comm._t._owned),
+            "leftover": leftover,
+        }
+    got0 = comm.recv(0, tag=0)
+    got1 = comm.recv(0, tag=1)
+    comm.send(0, np.array([1.0]), tag=0)
+    # Stay alive past rank 0's timeout so queues do not tear down early.
+    time.sleep(2.5)
+    return {"sum": float(got0[0] + got1[0])}
+
+
 class TestRunSPMD:
     def test_allreduce(self):
         out = run_spmd(_prog_allreduce, 3)
@@ -91,6 +133,43 @@ class TestRunSPMD:
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             run_spmd(_prog_allreduce, 0)
+
+
+class TestTimeoutHygiene:
+    def test_collective_timeout_configurable(self):
+        out = run_spmd(_prog_config_timeout, 2, collective_timeout=7.5)
+        assert out == [7.5, 7.5]
+
+    def test_config_object_timeout(self):
+        from repro.vmpi.mp_comm import CommConfig
+
+        out = run_spmd(
+            _prog_config_timeout, 2, config=CommConfig(collective_timeout=9.0)
+        )
+        assert out == [9.0, 9.0]
+
+    def test_shorthand_overrides_config(self):
+        from repro.vmpi.mp_comm import CommConfig
+
+        out = run_spmd(
+            _prog_config_timeout,
+            2,
+            config=CommConfig(collective_timeout=9.0),
+            collective_timeout=3.0,
+        )
+        assert out == [3.0, 3.0]
+
+    def test_timeout_releases_shm_segments(self):
+        """A timed-out rank unlinks every pooled and in-flight segment
+        it owns — no ``/dev/shm`` leak for embedders that drive the
+        transport without ``run_spmd``'s run-token sweep."""
+        out = run_spmd(_prog_timeout_purge, 2, collective_timeout=1.0)
+        report = out[0]
+        assert report["timed_out"]
+        assert report["owned_before"] >= 1  # segments were actually parked
+        assert report["owned_after"] == 0
+        assert report["leftover"] == []
+        assert out[1]["sum"] == 0.0  # rank 1 received both payloads
 
 
 class TestMPSTHOSVD:

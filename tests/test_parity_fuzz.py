@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro.core.hooi import hooi, variant_options
 from repro.core.sthosvd import sthosvd
 from repro.distributed.hooi import dist_hooi
+from repro.distributed.mp_hooi import mp_hooi_dt
 from repro.distributed.mp_sthosvd import mp_sthosvd
 from repro.distributed.spmd import spmd_sthosvd
 from repro.distributed.spmd_hooi import spmd_hooi
@@ -101,6 +102,31 @@ def test_mp_layer_parity(data):
     assert mp.relative_error(x) == pytest.approx(
         sim.relative_error(x), rel=1e-6, abs=1e-10
     )
+
+
+@settings(max_examples=3, deadline=None)
+@given(data=st.data(), use_tree=st.booleans())
+def test_mp_hooi_dt_parity(data, use_tree):
+    """The mp tree engine (and its direct fallback) is bit-identical to
+    the in-process SPMD HOOI on fuzzed problems."""
+    x, ranks, grid = _random_problem(data)
+    grid = tuple(
+        g if int(np.prod(grid[:i + 1])) <= 4 else 1
+        for i, g in enumerate(grid)
+    )
+    opts = variant_options(
+        "hosi-dt" if use_tree else "hosi",
+        max_iters=2,
+        seed=data.draw(st.integers(0, 100)),
+    )
+    spmd = spmd_hooi(x, ranks, grid, opts)
+    mp, stats = mp_hooi_dt(x, ranks, grid, opts)
+
+    assert stats.used_tree == use_tree
+    assert mp.core.dtype == spmd.core.dtype
+    assert np.array_equal(mp.core, spmd.core)
+    for u_mp, u_spmd in zip(mp.factors, spmd.factors):
+        assert np.array_equal(u_mp, u_spmd)
 
 
 @settings(max_examples=10, deadline=None)
