@@ -6,6 +6,20 @@ parameter-file keys, generate the synthetic tensor the drivers would
 (``Global dims`` + construction ranks + ``Noise``), run the requested
 algorithm on the simulated machine, and print progress/timings to
 stdout the way the artifact's output stream does.
+
+Both drivers accept ``--checkpoint-dir DIR`` (or the parameter-file
+key ``Checkpoint dir``), which switches execution to the real
+process-parallel layer and makes rank 0 overwrite a sweep checkpoint
+(see :mod:`repro.distributed.checkpoint`) after every non-final
+iteration/mode, with the parameter file snapshotted alongside.  An
+interrupted run is then continued with::
+
+    repro resume DIR/checkpoint.npz
+
+which regenerates the tensor from the snapshotted parameters, verifies
+the checkpoint's input digest, and replays the remaining sweeps —
+bit-identically to an uninterrupted run.  ``repro`` is the umbrella
+entry point (``repro sthosvd|hooi|resume ...``).
 """
 
 from __future__ import annotations
@@ -13,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -22,16 +37,23 @@ from repro.config import ParameterFile
 from repro.core.errors import ConfigError
 from repro.core.hooi import HOOIOptions
 from repro.core.rank_adaptive import RankAdaptiveOptions
+from repro.distributed.checkpoint import SweepCheckpoint
 from repro.distributed.hooi import dist_hooi
 from repro.distributed.rank_adaptive import dist_rank_adaptive_hooi
 from repro.distributed.sthosvd import dist_sthosvd
 from repro.linalg.llsv import LLSVMethod
 from repro.tensor.random import tucker_plus_noise
 
-__all__ = ["sthosvd_main", "hooi_main"]
+__all__ = ["sthosvd_main", "hooi_main", "resume_main", "main"]
+
+#: File names inside a ``--checkpoint-dir``.
+CHECKPOINT_NAME = "checkpoint.npz"
+PARAMS_SNAPSHOT = "parameters.cfg"
 
 
-def _parse_args(argv: Sequence[str] | None, prog: str) -> ParameterFile:
+def _parse_args(
+    argv: Sequence[str] | None, prog: str
+) -> tuple[ParameterFile, argparse.Namespace]:
     parser = argparse.ArgumentParser(
         prog=prog,
         description=f"{prog}: TuckerMPI-style driver on the simulated machine",
@@ -41,8 +63,39 @@ def _parse_args(argv: Sequence[str] | None, prog: str) -> ParameterFile:
         required=True,
         help="TuckerMPI-style 'Key = value' parameter file",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "run on the process-parallel layer and write a sweep "
+            "checkpoint (resumable with 'repro resume') into this "
+            "directory after every non-final iteration"
+        ),
+    )
     args = parser.parse_args(argv)
-    return ParameterFile.from_path(args.parameter_file)
+    return ParameterFile.from_path(args.parameter_file), args
+
+
+def _checkpoint_path(
+    params: ParameterFile, args: argparse.Namespace
+) -> str | None:
+    """Resolve ``--checkpoint-dir`` / ``Checkpoint dir``; snapshot the
+    parameter file next to the checkpoint so ``repro resume`` can
+    regenerate the same tensor."""
+    ckdir = (
+        Path(args.checkpoint_dir)
+        if args.checkpoint_dir
+        else params.get_path("checkpoint dir")
+    )
+    if ckdir is None:
+        return None
+    ckdir.mkdir(parents=True, exist_ok=True)
+    (ckdir / PARAMS_SNAPSHOT).write_text(
+        Path(args.parameter_file).read_text()
+    )
+    path = ckdir / CHECKPOINT_NAME
+    print(f"Checkpointing to {path} after every sweep")
+    return str(path)
 
 
 def _print_options(params: ParameterFile) -> None:
@@ -91,7 +144,7 @@ def _resolve_grid(
 
 def sthosvd_main(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``repro-sthosvd``."""
-    params = _parse_args(argv, "repro-sthosvd")
+    params, args = _parse_args(argv, "repro-sthosvd")
     if params.get_bool("print options", True):
         _print_options(params)
 
@@ -101,9 +154,28 @@ def sthosvd_main(argv: Sequence[str] | None = None) -> int:
     eps = params.get_float("sv threshold", 0.0)
     seed = params.get_int("seed", 0)
     grid = _resolve_grid(params, dims, ranks, "sthosvd")
+    ck_path = _checkpoint_path(params, args)
 
     print(f"Generating synthetic tensor {dims} with ranks {ranks}")
     x = tucker_plus_noise(dims, ranks, noise=noise, seed=seed)
+
+    if ck_path is not None:
+        # Checkpointing implies the real process-parallel layer.
+        from repro.distributed.mp_sthosvd import mp_sthosvd
+
+        print(
+            f"Running STHOSVD on {int(np.prod(grid))} processes "
+            f"({'x'.join(map(str, grid))} grid)"
+        )
+        tucker_mp = mp_sthosvd(
+            x,
+            grid,
+            eps=eps if eps > 0 else None,
+            ranks=None if eps > 0 else ranks,
+            checkpoint_path=ck_path,
+        )
+        _print_mp_result(tucker_mp, x)
+        return 0
 
     # "Mode order = auto" applies the exchange-optimal processing order.
     mode_order = None
@@ -135,9 +207,18 @@ def sthosvd_main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+def _print_mp_result(tucker, x: np.ndarray) -> None:
+    print(f"Final ranks: {tucker.ranks}")
+    print(f"Final relative error: {tucker.relative_error(x):.6e}")
+    print(
+        "Compression ratio: "
+        f"{compression_ratio(x.shape, tucker.ranks):.3f}x"
+    )
+
+
 def hooi_main(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``repro-hooi``."""
-    params = _parse_args(argv, "repro-hooi")
+    params, args = _parse_args(argv, "repro-hooi")
     if params.get_bool("print options", True):
         _print_options(params)
 
@@ -177,11 +258,55 @@ def hooi_main(argv: Sequence[str] | None = None) -> int:
         decomposition = params.get_ints("decomposition ranks", construction)
 
     grid = _resolve_grid(params, dims, decomposition, variant.lower())
+    ck_path = _checkpoint_path(params, args)
     print(
         f"Running {'rank-adaptive ' if adapt > 0 else ''}{variant} on a "
         f"{'x'.join(map(str, grid))} grid "
         f"(SVD method: {method.value}, dimension tree: {use_dt})"
     )
+
+    if ck_path is not None:
+        # Checkpointing implies the real process-parallel layer.
+        from repro.distributed.mp_hooi import mp_hooi_dt, mp_rahosi_dt
+
+        if adapt > 0:
+            ra_options = RankAdaptiveOptions(
+                max_iters=max_iters,
+                use_dimension_tree=use_dt,
+                llsv_method=method,
+                stop_at_threshold=True,
+                seed=seed,
+            )
+            tucker_mp, mp_ra_stats = mp_rahosi_dt(
+                x,
+                adapt,
+                decomposition,
+                grid,
+                ra_options,
+                checkpoint_path=ck_path,
+            )
+            for rec in mp_ra_stats.history:
+                print(
+                    f"iteration {rec.iteration}: ranks {rec.ranks_used} "
+                    f"error {rec.error:.6e}"
+                )
+            print(f"Converged: {mp_ra_stats.converged}")
+        else:
+            h_options = HOOIOptions(
+                use_dimension_tree=use_dt,
+                llsv_method=method,
+                max_iters=max_iters,
+                seed=seed,
+            )
+            tucker_mp, _ = mp_hooi_dt(
+                x,
+                decomposition,
+                grid,
+                h_options,
+                checkpoint_path=ck_path,
+            )
+        _print_mp_result(tucker_mp, x)
+        return 0
 
     if adapt > 0:
         options = RankAdaptiveOptions(
@@ -235,5 +360,159 @@ def hooi_main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+def resume_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro resume <checkpoint>``.
+
+    Loads a sweep checkpoint, regenerates the input tensor from the
+    parameter-file snapshot written next to it (or ``--parameter-file``),
+    and replays the remaining iterations on the process-parallel
+    layer — bit-identically to an uninterrupted run (the drivers verify
+    the checkpoint's input-tensor digest before continuing).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro resume",
+        description="continue an interrupted checkpointed run",
+    )
+    parser.add_argument(
+        "checkpoint", help="path to the sweep checkpoint (.npz)"
+    )
+    parser.add_argument(
+        "--parameter-file",
+        default=None,
+        help=(
+            "parameter file describing the original run (default: "
+            f"{PARAMS_SNAPSHOT} next to the checkpoint)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    ck = SweepCheckpoint.load(args.checkpoint)
+    pfile = Path(
+        args.parameter_file
+        or Path(args.checkpoint).parent / PARAMS_SNAPSHOT
+    )
+    if not pfile.exists():
+        raise ConfigError(
+            f"no parameter file at {pfile} — pass --parameter-file to "
+            "point at the original run's parameters"
+        )
+    params = ParameterFile.from_path(pfile)
+
+    dims = params.get_ints("global dims")
+    noise = params.get_float("noise", 1e-4)
+    seed = params.get_int("seed", 0)
+    grid = ck.grid_dims
+    print(
+        f"Resuming {ck.algorithm} from {args.checkpoint} "
+        f"({ck.iteration} completed "
+        f"{'modes' if ck.algorithm == 'mp_sthosvd' else 'iterations'}) "
+        f"on a {'x'.join(map(str, grid))} grid"
+    )
+
+    if ck.algorithm == "mp_sthosvd":
+        from repro.distributed.mp_sthosvd import mp_sthosvd
+
+        ranks = params.get_ints("ranks")
+        eps = params.get_float("sv threshold", 0.0)
+        print(f"Regenerating synthetic tensor {dims} with ranks {ranks}")
+        x = tucker_plus_noise(dims, ranks, noise=noise, seed=seed)
+        tucker = mp_sthosvd(
+            x,
+            grid,
+            eps=eps if eps > 0 else None,
+            ranks=None if eps > 0 else ranks,
+            resume_from=ck,
+            checkpoint_path=args.checkpoint,
+        )
+    elif ck.algorithm in ("mp_hooi_dt", "mp_rahosi_dt"):
+        from repro.distributed.mp_hooi import mp_hooi_dt, mp_rahosi_dt
+
+        construction = params.get_ints("construction ranks")
+        decomposition = params.get_ints(
+            "decomposition ranks", construction
+        )
+        use_dt = params.get_bool("dimension tree memoization", False)
+        method = _svd_method(params.get_int("svd method", 0))
+        max_iters = params.get_int("hooi max iters", 2)
+        adapt = params.get_float("hooi-adapt threshold", 0.0)
+        print(
+            f"Regenerating synthetic tensor {dims} with ranks "
+            f"{construction}"
+        )
+        x = tucker_plus_noise(dims, construction, noise=noise, seed=seed)
+        if ck.algorithm == "mp_rahosi_dt":
+            if adapt <= 0:
+                raise ConfigError(
+                    "checkpoint is from a rank-adaptive run but the "
+                    "parameter file sets no HOOI-Adapt Threshold"
+                )
+            tucker, _ = mp_rahosi_dt(
+                x,
+                adapt,
+                decomposition,
+                grid,
+                RankAdaptiveOptions(
+                    max_iters=max_iters,
+                    use_dimension_tree=use_dt,
+                    llsv_method=method,
+                    stop_at_threshold=True,
+                    seed=seed,
+                ),
+                resume_from=ck,
+                checkpoint_path=args.checkpoint,
+            )
+        else:
+            tucker, _ = mp_hooi_dt(
+                x,
+                decomposition,
+                grid,
+                HOOIOptions(
+                    use_dimension_tree=use_dt,
+                    llsv_method=method,
+                    max_iters=max_iters,
+                    seed=seed,
+                ),
+                resume_from=ck,
+                checkpoint_path=args.checkpoint,
+            )
+    else:
+        raise ConfigError(
+            f"checkpoint algorithm {ck.algorithm!r} has no CLI driver"
+        )
+
+    _print_mp_result(tucker, x)
+    return 0
+
+
+_SUBCOMMANDS = {
+    "sthosvd": sthosvd_main,
+    "hooi": hooi_main,
+    "resume": resume_main,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Umbrella entry point: ``repro sthosvd|hooi|resume ...``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(
+            "usage: repro {sthosvd,hooi,resume} ...\n"
+            "  sthosvd  run STHOSVD from a parameter file\n"
+            "  hooi     run HOOI/HOSI (optionally rank-adaptive)\n"
+            "  resume   continue an interrupted checkpointed run",
+            file=sys.stderr,
+        )
+        return 0 if argv else 2
+    cmd = argv.pop(0)
+    if cmd not in _SUBCOMMANDS:
+        print(
+            f"repro: unknown command {cmd!r} "
+            f"(expected one of {sorted(_SUBCOMMANDS)})",
+            file=sys.stderr,
+        )
+        return 2
+    return _SUBCOMMANDS[cmd](argv)
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(sthosvd_main())
+    sys.exit(main())

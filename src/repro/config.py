@@ -110,6 +110,18 @@ class ParameterFile:
                 f"parameter {key!r}: cannot parse float from {raw!r}"
             ) from exc
 
+    def get_path(self, key: str, default: str | None = None) -> Path | None:
+        """Filesystem path value of ``key`` (``None`` when unset).
+
+        Unlike the scalar accessors this never raises on a missing
+        key — path-valued parameters (``Checkpoint dir``) are always
+        optional.
+        """
+        raw = self.values.get(key.lower(), default)
+        if raw is None or not str(raw).strip():
+            return None
+        return Path(raw)
+
     def get_ints(
         self, key: str, default: Sequence[int] | None = None
     ) -> tuple[int, ...]:

@@ -1,6 +1,12 @@
 """Exception hierarchy for the library."""
 
-__all__ = ["ReproError", "ConvergenceError", "ConfigError"]
+__all__ = [
+    "ReproError",
+    "ConvergenceError",
+    "ConfigError",
+    "CheckpointError",
+    "NumericalFaultError",
+]
 
 
 class ReproError(Exception):
@@ -13,3 +19,38 @@ class ConvergenceError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid driver/parameter-file configuration."""
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint could not be written, read, or validated.
+
+    Raised on integrity-digest mismatches, format/version skew, and
+    resume requests whose tensor, grid, or algorithm do not match the
+    run that wrote the checkpoint.
+    """
+
+
+class NumericalFaultError(ReproError):
+    """A numerical guard rail tripped at a collective or factor boundary.
+
+    Identifies *where* corrupted data was first observed: the global
+    ``rank`` that detected it, the algorithm ``phase`` the collective
+    was attributed to, the collective ``op`` (when the NaN/Inf screen
+    fired), and the tensor ``mode`` (when the factor-orthogonality
+    drift check fired).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int | None = None,
+        phase: str = "",
+        mode: int | None = None,
+        op: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.phase = phase
+        self.mode = mode
+        self.op = op

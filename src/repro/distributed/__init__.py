@@ -12,6 +12,10 @@ paper's full tensor dimensions (3750^3, 560^4) without allocating them.
 """
 
 from repro.distributed.arrays import SymbolicArray, is_concrete
+from repro.distributed.checkpoint import (
+    SweepCheckpoint,
+    tensor_digest,
+)
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.hooi import (
     DistHOOIStats,
@@ -62,9 +66,11 @@ __all__ = [
     "MPHooiStats",
     "MPRankAdaptiveStats",
     "MPTreeEngine",
+    "SweepCheckpoint",
     "SymbolicArray",
     "dist_hooi",
     "dist_rank_adaptive_hooi",
     "dist_sthosvd",
     "is_concrete",
+    "tensor_digest",
 ]

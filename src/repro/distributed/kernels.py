@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.errors import NumericalFaultError
 from repro.distributed.arrays import (
     SymbolicArray,
     any_contract,
@@ -56,6 +57,7 @@ from repro.vmpi.collectives import (
 from repro.vmpi.mp_comm import ProcessComm
 
 __all__ = [
+    "check_factor_orthogonality",
     "dist_ttm",
     "dist_multi_ttm",
     "dist_gram",
@@ -68,6 +70,40 @@ __all__ = [
     "mp_gram_evd_llsv",
     "mp_gather_core",
 ]
+
+
+def check_factor_orthogonality(
+    u: np.ndarray,
+    *,
+    mode: int,
+    rank: int | None = None,
+    tol: float = 1e-8,
+    phase: str = "",
+) -> float:
+    """Guard rail: ``max |UᵀU − I|`` must stay below ``tol``.
+
+    Factor columns leaving every LLSV kernel are orthonormal by
+    construction; drift beyond ``tol`` means the factor was corrupted
+    in flight (bit-flips, a broken reduction) and every later TTM
+    would silently amplify the damage.  Raises
+    :class:`~repro.core.errors.NumericalFaultError` naming the
+    detecting rank, the algorithm phase, and the tensor mode; returns
+    the measured drift otherwise.
+    """
+    r = u.shape[1]
+    gram = u.conj().T @ u
+    drift = float(np.max(np.abs(gram - np.eye(r, dtype=gram.dtype))))
+    if not np.isfinite(drift) or drift > tol:
+        where = f"rank {rank}: " if rank is not None else ""
+        raise NumericalFaultError(
+            f"{where}mode-{mode} factor lost orthogonality "
+            f"(drift {drift:.3e} > tol {tol:.1e}"
+            + (f", phase {phase!r})" if phase else ")"),
+            rank=rank,
+            phase=phase,
+            mode=mode,
+        )
+    return drift
 
 
 def dist_ttm(

@@ -50,7 +50,7 @@ from repro.core.core_analysis import (
     solve_rank_truncation,
 )
 from repro.core.dimension_tree import hooi_iteration_dt, tree_applicable
-from repro.core.errors import ConfigError
+from repro.core.errors import CheckpointError, ConfigError
 from repro.core.hooi import HOOIOptions
 from repro.core.rank_adaptive import (
     IterationRecord,
@@ -59,7 +59,14 @@ from repro.core.rank_adaptive import (
     expand_factor,
 )
 from repro.core.tucker import TuckerTensor
+from repro.distributed.checkpoint import (
+    SweepCheckpoint,
+    decode_history,
+    encode_history,
+    tensor_digest,
+)
 from repro.distributed.kernels import (
+    check_factor_orthogonality,
     mp_gather_core,
     mp_gram_evd_llsv,
     mp_subspace_llsv,
@@ -122,6 +129,7 @@ SPMDTreeEngine`, but each state carries a *signature* identifying the
         subspace: bool = True,
         n_subspace_iters: int = 1,
         memoize: bool = True,
+        orthogonality_tol: float | None = None,
     ) -> None:
         self.comm = comm
         self.coords = coords
@@ -130,6 +138,11 @@ SPMDTreeEngine`, but each state carries a *signature* identifying the
         self.subspace = subspace
         self.n_subspace_iters = n_subspace_iters
         self.memoize = memoize
+        #: optional guard rail: after every factor update, verify the
+        #: replicated factor is still orthonormal to this tolerance
+        #: (raises NumericalFaultError on drift — e.g. a wire bit-flip
+        #: that survived the reduction).
+        self.orthogonality_tol = orthogonality_tol
         self.last_mode = len(factors) - 1
         self.versions = [0] * len(factors)
         self._cache: dict[
@@ -197,6 +210,14 @@ SPMDTreeEngine`, but each state carries a *signature* identifying the
                 self.coords,
                 mode,
                 self.ranks[mode],
+                phase="llsv",
+            )
+        if self.orthogonality_tol is not None:
+            check_factor_orthogonality(
+                self.factors[mode],
+                mode=mode,
+                rank=self.comm.rank,
+                tol=self.orthogonality_tol,
                 phase="llsv",
             )
         self.versions[mode] += 1
@@ -302,6 +323,10 @@ def _hooi_rank_program(
     n_subspace_iters: int,
     max_iters: int,
     seed: int | None,
+    x_digest: str,
+    checkpoint_path: str | None,
+    resume: SweepCheckpoint | None,
+    orthogonality_tol: float | None,
 ) -> tuple[np.ndarray | None, list[np.ndarray] | None, dict]:
     grid = ProcessorGrid(grid_dims)
     coords = grid.coords(comm.rank)
@@ -310,12 +335,17 @@ def _hooi_rank_program(
     d = len(shape)
     use_tree = use_tree and tree_applicable(d)
 
-    # Identical seeded init on every rank (replicated factors).
-    rng = np.random.default_rng(seed)
-    factors = [
-        random_orthonormal(n, r, seed=rng, dtype=x_block.dtype)
-        for n, r in zip(shape, ranks)
-    ]
+    if resume is not None:
+        # Factors are replicated, so the checkpoint *is* the complete
+        # inter-sweep state; the seeded init is skipped entirely.
+        factors = [np.ascontiguousarray(u) for u in resume.factors]
+    else:
+        # Identical seeded init on every rank (replicated factors).
+        rng = np.random.default_rng(seed)
+        factors = [
+            random_orthonormal(n, r, seed=rng, dtype=x_block.dtype)
+            for n, r in zip(shape, ranks)
+        ]
 
     engine = MPTreeEngine(
         comm,
@@ -325,10 +355,24 @@ def _hooi_rank_program(
         subspace=subspace,
         n_subspace_iters=n_subspace_iters,
         memoize=use_tree,
+        orthogonality_tol=orthogonality_tol,
     )
     per_iter: list[int] = []
+    start_it = 0
+    if resume is not None:
+        # Restore the factor-version counters so contraction
+        # signatures continue exactly where the interrupted run's
+        # would be (the memo cache itself is provably empty at every
+        # iteration boundary — each factor updates each iteration and
+        # every update evicts that mode's nodes).
+        engine.versions = list(resume.versions)
+        start_it = resume.iteration
+        per_iter = list(resume.extra.get("per_iteration_ttms", []))
+        engine.ttm_count = int(resume.extra.get("ttm_count", 0))
+        engine.cache_hits = int(resume.extra.get("cache_hits", 0))
+        engine.cache_misses = int(resume.extra.get("cache_misses", 0))
     state: MPState = (x_block, x_layout, ())
-    for it in range(max_iters):
+    for it in range(start_it, max_iters):
         # The core feeds nothing until the run ends, so the trailing
         # TTM runs exactly once, after the final sweep.
         engine.form_core_enabled = it == max_iters - 1
@@ -338,6 +382,27 @@ def _hooi_rank_program(
         else:
             _direct_sweep(engine, state, d)
         per_iter.append(engine.ttm_count - before)
+        if (
+            checkpoint_path is not None
+            and comm.rank == 0
+            and it + 1 < max_iters
+        ):
+            SweepCheckpoint(
+                algorithm="mp_hooi_dt",
+                iteration=it + 1,
+                shape=shape,
+                grid_dims=grid_dims,
+                ranks=engine.ranks,
+                factors=engine.factors,
+                versions=list(engine.versions),
+                x_digest=x_digest,
+                extra={
+                    "per_iteration_ttms": per_iter,
+                    "ttm_count": engine.ttm_count,
+                    "cache_hits": engine.cache_hits,
+                    "cache_misses": engine.cache_misses,
+                },
+            ).save(checkpoint_path)
 
     assert engine.core_state is not None
     core = mp_gather_core(comm, *engine.core_state)
@@ -366,6 +431,44 @@ def _llsv_is_subspace(method: LLSVMethod) -> bool:
     return method is LLSVMethod.SUBSPACE
 
 
+def _prepare_resume(
+    algorithm: str,
+    x: np.ndarray,
+    grid: ProcessorGrid,
+    resume_from: str | SweepCheckpoint | None,
+    checkpoint_path: str | None,
+    *,
+    max_iters: int,
+) -> tuple[SweepCheckpoint | None, str]:
+    """Load/validate a resume checkpoint; digest ``x`` when needed.
+
+    The digest is only computed when checkpointing or resuming is
+    requested — plain runs must not pay a full pass over ``x``.
+    """
+    if resume_from is None and checkpoint_path is None:
+        return None, ""
+    x_dig = tensor_digest(x)
+    if resume_from is None:
+        return None, x_dig
+    resume = (
+        resume_from
+        if isinstance(resume_from, SweepCheckpoint)
+        else SweepCheckpoint.load(resume_from)
+    )
+    resume.validate_resume(
+        algorithm=algorithm,
+        shape=tuple(x.shape),
+        grid_dims=tuple(grid.dims),
+        x_digest=x_dig,
+    )
+    if resume.iteration >= max_iters:
+        raise CheckpointError(
+            f"checkpoint already covers {resume.iteration} iterations; "
+            f"max_iters={max_iters} leaves nothing to resume"
+        )
+    return resume, x_dig
+
+
 def _scatter_blocks(
     x: np.ndarray, grid: ProcessorGrid
 ) -> list[np.ndarray]:
@@ -387,6 +490,9 @@ def mp_hooi_dt(
     transport: str = "p2p",
     comm_config: CommConfig | None = None,
     collective_timeout: float | None = None,
+    checkpoint_path: str | None = None,
+    resume_from: str | SweepCheckpoint | None = None,
+    orthogonality_tol: float | None = None,
 ) -> tuple[TuckerTensor, MPHooiStats]:
     """Rank-specified HOOI on real processes (one per grid cell).
 
@@ -400,6 +506,12 @@ def mp_hooi_dt(
     deterministic transport the result is bit-identical to the
     in-process :func:`repro.distributed.spmd_hooi.spmd_hooi` with the
     same options.
+
+    ``checkpoint_path`` makes rank 0 overwrite a
+    :class:`~repro.distributed.checkpoint.SweepCheckpoint` after every
+    non-final iteration; ``resume_from`` (a path or loaded checkpoint)
+    restarts from one, bit-identically to an uninterrupted run.
+    ``orthogonality_tol`` enables the per-update factor drift guard.
     """
     options = options or HOOIOptions()
     ranks = check_ranks(x.shape, ranks)
@@ -407,6 +519,20 @@ def mp_hooi_dt(
     if grid.ndim != x.ndim:
         raise ValueError(f"{x.ndim}-way tensor needs a {x.ndim}-way grid")
     subspace = _llsv_is_subspace(options.llsv_method)
+
+    resume, x_dig = _prepare_resume(
+        "mp_hooi_dt",
+        x,
+        grid,
+        resume_from,
+        checkpoint_path,
+        max_iters=options.max_iters,
+    )
+    if resume is not None and resume.ranks != tuple(ranks):
+        raise CheckpointError(
+            f"checkpoint ranks {resume.ranks} do not match requested "
+            f"ranks {tuple(ranks)}"
+        )
 
     outs = run_spmd(
         _hooi_dispatch,
@@ -421,6 +547,10 @@ def mp_hooi_dt(
         options.n_subspace_iters,
         options.max_iters,
         options.seed,
+        x_dig,
+        checkpoint_path,
+        resume,
+        orthogonality_tol,
         timeout=timeout,
         transport=transport,
         config=comm_config,
@@ -449,6 +579,10 @@ def _rahosi_rank_program(
     x_norm: float,
     opts: RankAdaptiveOptions,
     rule: str,
+    x_digest: str,
+    checkpoint_path: str | None,
+    resume: SweepCheckpoint | None,
+    orthogonality_tol: float | None,
 ) -> tuple[np.ndarray | None, list[np.ndarray] | None, dict]:
     grid = ProcessorGrid(grid_dims)
     coords = grid.coords(comm.rank)
@@ -459,11 +593,22 @@ def _rahosi_rank_program(
     subspace = opts.llsv_method is LLSVMethod.SUBSPACE
 
     rng = np.random.default_rng(opts.seed)
-    ranks = tuple(init_ranks)
-    factors = [
-        random_orthonormal(n, r, seed=rng, dtype=x_block.dtype)
-        for n, r in zip(shape, ranks)
-    ]
+    if resume is not None:
+        # Replicated factors + generator state are the complete
+        # inter-sweep state: restoring them (and the factor versions,
+        # below) makes the remaining iterations — including the next
+        # ``expand_factor`` draws — bit-identical to an uninterrupted
+        # run.
+        ranks = resume.ranks
+        factors = [np.ascontiguousarray(u) for u in resume.factors]
+        assert resume.rng_state is not None
+        rng.bit_generator.state = resume.rng_state
+    else:
+        ranks = tuple(init_ranks)
+        factors = [
+            random_orthonormal(n, r, seed=rng, dtype=x_block.dtype)
+            for n, r in zip(shape, ranks)
+        ]
 
     x_norm_sq = x_norm**2
     target_sq = (1.0 - eps * eps) * x_norm_sq
@@ -476,6 +621,7 @@ def _rahosi_rank_program(
         subspace=subspace,
         n_subspace_iters=opts.n_subspace_iters,
         memoize=use_tree,
+        orthogonality_tol=orthogonality_tol,
     )
     per_iter: list[int] = []
     history: list[IterationRecord] = []
@@ -485,8 +631,20 @@ def _rahosi_rank_program(
     result_factors: list[np.ndarray] | None = None
     core: np.ndarray | None = None
 
+    start_it = 0
+    if resume is not None:
+        engine.versions = list(resume.versions)
+        start_it = resume.iteration
+        per_iter = list(resume.extra.get("per_iteration_ttms", []))
+        history = decode_history(resume.extra.get("history", []))
+        converged = bool(resume.extra.get("converged", False))
+        first_satisfied = resume.extra.get("first_satisfied")
+        engine.ttm_count = int(resume.extra.get("ttm_count", 0))
+        engine.cache_hits = int(resume.extra.get("cache_hits", 0))
+        engine.cache_misses = int(resume.extra.get("cache_misses", 0))
+
     state: MPState = (x_block, x_layout, ())
-    for it in range(1, opts.max_iters + 1):
+    for it in range(start_it + 1, opts.max_iters + 1):
         t0 = time.perf_counter()
         before = engine.ttm_count
         # Alg. 3 consumes the core every iteration (norm-identity error
@@ -589,6 +747,30 @@ def _rahosi_rank_program(
                 ]
                 ranks = new_ranks
                 engine.reset_factors(factors, ranks)
+                if checkpoint_path is not None and comm.rank == 0:
+                    # Post-growth snapshot: the expanded factors, the
+                    # grown ranks, the bumped factor versions, and the
+                    # generator state *after* the expand_factor draws.
+                    SweepCheckpoint(
+                        algorithm="mp_rahosi_dt",
+                        iteration=it,
+                        shape=shape,
+                        grid_dims=grid_dims,
+                        ranks=ranks,
+                        factors=factors,
+                        versions=list(engine.versions),
+                        rng_state=rng.bit_generator.state,
+                        x_digest=x_digest,
+                        extra={
+                            "per_iteration_ttms": per_iter,
+                            "history": encode_history(history),
+                            "converged": converged,
+                            "first_satisfied": first_satisfied,
+                            "ttm_count": engine.ttm_count,
+                            "cache_hits": engine.cache_hits,
+                            "cache_misses": engine.cache_misses,
+                        },
+                    ).save(checkpoint_path)
 
     if result_core is None and comm.rank == 0:
         # Budget never met within max_iters; return the last iterate.
@@ -629,6 +811,9 @@ def mp_rahosi_dt(
     transport: str = "p2p",
     comm_config: CommConfig | None = None,
     collective_timeout: float | None = None,
+    checkpoint_path: str | None = None,
+    resume_from: str | SweepCheckpoint | None = None,
+    orthogonality_tol: float | None = None,
 ) -> tuple[TuckerTensor, MPRankAdaptiveStats]:
     """Error-specified rank-adaptive HOSI on real processes (Alg. 3).
 
@@ -639,6 +824,13 @@ def mp_rahosi_dt(
     :class:`MPTreeEngine`.  Rank adaptation invalidates the engine's
     memoized tree nodes through factor-version bumps
     (:meth:`MPTreeEngine.reset_factors`).
+
+    ``checkpoint_path`` makes rank 0 overwrite a
+    :class:`~repro.distributed.checkpoint.SweepCheckpoint` after every
+    growth iteration (factors, ranks, rng state, history);
+    ``resume_from`` restarts from one, bit-identically to an
+    uninterrupted run.  ``orthogonality_tol`` enables the per-update
+    factor drift guard.
     """
     options = options or RankAdaptiveOptions()
     if eps <= 0 or eps >= 1:
@@ -648,6 +840,15 @@ def mp_rahosi_dt(
     if grid.ndim != x.ndim:
         raise ValueError(f"{x.ndim}-way tensor needs a {x.ndim}-way grid")
     _llsv_is_subspace(options.llsv_method)
+
+    resume, x_dig = _prepare_resume(
+        "mp_rahosi_dt",
+        x,
+        grid,
+        resume_from,
+        checkpoint_path,
+        max_iters=options.max_iters,
+    )
 
     outs = run_spmd(
         _rahosi_dispatch,
@@ -660,6 +861,10 @@ def mp_rahosi_dt(
         tensor_norm(x),
         options,
         rule,
+        x_dig,
+        checkpoint_path,
+        resume,
+        orthogonality_tol,
         timeout=timeout,
         transport=transport,
         config=comm_config,

@@ -16,8 +16,15 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.errors import CheckpointError
 from repro.core.tucker import TuckerTensor
-from repro.distributed.kernels import mp_gather_core, mp_gram, mp_ttm
+from repro.distributed.checkpoint import SweepCheckpoint, tensor_digest
+from repro.distributed.kernels import (
+    check_factor_orthogonality,
+    mp_gather_core,
+    mp_gram,
+    mp_ttm,
+)
 from repro.distributed.layout import BlockLayout
 from repro.linalg.evd import gram_evd, rank_from_spectrum
 from repro.tensor.validation import check_ranks
@@ -34,14 +41,32 @@ def _rank_program(
     shape: tuple[int, ...],
     ranks: tuple[int, ...] | None,
     threshold_sq: float | None,
+    x_digest: str,
+    checkpoint_path: str | None,
+    resume: SweepCheckpoint | None,
+    orthogonality_tol: float | None,
 ) -> tuple[np.ndarray | None, list[np.ndarray] | None]:
     """The per-rank SPMD program (runs inside a worker process)."""
     grid = ProcessorGrid(grid_dims)
     coords = grid.coords(comm.rank)
     layout = BlockLayout(shape, grid)
     factors: list[np.ndarray] = []
+    start_mode = 0
 
-    for mode in range(len(shape)):
+    if resume is not None:
+        # The checkpoint stores the already-chosen factors; replaying
+        # their (deterministic) truncating TTMs from the input block
+        # rebuilds this rank's partially-truncated block exactly —
+        # the Grams and EVDs of the completed modes are skipped.
+        start_mode = resume.iteration
+        for mode, u in enumerate(resume.factors):
+            u = np.ascontiguousarray(u)
+            factors.append(u)
+            block, layout = mp_ttm(
+                comm, block, layout, coords, u, mode, phase="ttm"
+            )
+
+    for mode in range(start_mode, len(shape)):
         # --- parallel Gram (allgather + coord-0 local Gram + allreduce)
         # and replicated EVD + rank choice (every rank identical).
         g = mp_gram(comm, block, layout, coords, mode, phase="gram")
@@ -51,6 +76,14 @@ def _rank_program(
         else:
             r = rank_from_spectrum(sq_vals, threshold_sq)
         u = np.ascontiguousarray(vecs[:, :r])
+        if orthogonality_tol is not None:
+            check_factor_orthogonality(
+                u,
+                mode=mode,
+                rank=comm.rank,
+                tol=orthogonality_tol,
+                phase="gram",
+            )
         factors.append(u)
 
         # --- parallel truncating TTM: local partial with the factor
@@ -58,6 +91,21 @@ def _rank_program(
         block, layout = mp_ttm(
             comm, block, layout, coords, u, mode, phase="ttm"
         )
+
+        if (
+            checkpoint_path is not None
+            and comm.rank == 0
+            and mode + 1 < len(shape)
+        ):
+            SweepCheckpoint(
+                algorithm="mp_sthosvd",
+                iteration=mode + 1,
+                shape=shape,
+                grid_dims=grid_dims,
+                ranks=tuple(f.shape[1] for f in factors),
+                factors=factors,
+                x_digest=x_digest,
+            ).save(checkpoint_path)
 
     # --- gather the core blocks at rank 0.
     core = mp_gather_core(comm, block, layout)
@@ -76,6 +124,9 @@ def mp_sthosvd(
     transport: str = "p2p",
     comm_config: CommConfig | None = None,
     collective_timeout: float | None = None,
+    checkpoint_path: str | None = None,
+    resume_from: str | SweepCheckpoint | None = None,
+    orthogonality_tol: float | None = None,
 ) -> TuckerTensor:
     """Run STHOSVD on real processes (one per grid cell).
 
@@ -88,6 +139,12 @@ def mp_sthosvd(
     :class:`~repro.vmpi.mp_comm.CommConfig`.  The default deterministic
     peer-to-peer transport reduces in rank order, so the result is
     bit-identical to :func:`~repro.distributed.spmd.spmd_sthosvd`.
+
+    ``checkpoint_path`` makes rank 0 overwrite a
+    :class:`~repro.distributed.checkpoint.SweepCheckpoint` after every
+    non-final mode; ``resume_from`` restarts from one, bit-identically
+    to an uninterrupted run.  ``orthogonality_tol`` enables the
+    per-mode factor drift guard.
     """
     if ranks is None and eps is None:
         raise ValueError("mp_sthosvd needs ranks or eps")
@@ -101,6 +158,28 @@ def mp_sthosvd(
         if eps is None
         else (eps * float(np.linalg.norm(x.ravel()))) ** 2 / x.ndim
     )
+
+    resume: SweepCheckpoint | None = None
+    x_dig = ""
+    if resume_from is not None or checkpoint_path is not None:
+        x_dig = tensor_digest(x)
+    if resume_from is not None:
+        resume = (
+            resume_from
+            if isinstance(resume_from, SweepCheckpoint)
+            else SweepCheckpoint.load(resume_from)
+        )
+        resume.validate_resume(
+            algorithm="mp_sthosvd",
+            shape=tuple(x.shape),
+            grid_dims=tuple(grid.dims),
+            x_digest=x_dig,
+        )
+        if resume.iteration >= x.ndim:
+            raise CheckpointError(
+                f"checkpoint already covers all {resume.iteration} "
+                "modes; nothing to resume"
+            )
 
     layout = BlockLayout(x.shape, grid)
     # Scatter: per-rank blocks are passed as each worker's argument.
@@ -119,6 +198,10 @@ def mp_sthosvd(
         tuple(x.shape),
         None if ranks is None else tuple(ranks),
         threshold_sq,
+        x_dig,
+        checkpoint_path,
+        resume,
+        orthogonality_tol,
         timeout=timeout,
         transport=transport,
         config=comm_config,
@@ -136,7 +219,20 @@ def _dispatch(
     shape: tuple[int, ...],
     ranks: tuple[int, ...] | None,
     threshold_sq: float | None,
+    x_digest: str,
+    checkpoint_path: str | None,
+    resume: SweepCheckpoint | None,
+    orthogonality_tol: float | None,
 ) -> tuple[np.ndarray | None, list[np.ndarray] | None]:
     return _rank_program(
-        comm, blocks[comm.rank], grid_dims, shape, ranks, threshold_sq
+        comm,
+        blocks[comm.rank],
+        grid_dims,
+        shape,
+        ranks,
+        threshold_sq,
+        x_digest,
+        checkpoint_path,
+        resume,
+        orthogonality_tol,
     )

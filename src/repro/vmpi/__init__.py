@@ -22,12 +22,20 @@ from repro.vmpi.collectives import (
     select_allreduce_algorithm,
 )
 from repro.vmpi.cost import CostKind, CostLedger, PhaseCost
+from repro.vmpi.faults import (
+    EXIT_INJECTED_CRASH,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedRankCrash,
+)
 from repro.vmpi.grid import ProcessorGrid, candidate_grids, suggested_grids
 from repro.vmpi.machine import MachineModel, perlmutter_like
 from repro.vmpi.mp_comm import (
     CollectiveTimeoutError,
     CommConfig,
     ProcessComm,
+    RankFailureError,
     StarComm,
     run_spmd,
 )
@@ -40,10 +48,16 @@ __all__ = [
     "CommTrace",
     "CostKind",
     "CostLedger",
+    "EXIT_INJECTED_CRASH",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedRankCrash",
     "MachineModel",
     "PhaseCost",
     "ProcessComm",
     "ProcessorGrid",
+    "RankFailureError",
     "StarComm",
     "allgather_blocks",
     "allreduce_blocks",

@@ -53,6 +53,7 @@ import os
 import pickle
 import queue as queue_mod
 import time
+import traceback as traceback_mod
 import uuid
 from collections import deque
 from collections.abc import Callable, Sequence
@@ -61,7 +62,14 @@ from dataclasses import dataclass, replace
 import multiprocessing as mp
 import numpy as np
 
+from repro.core.errors import NumericalFaultError
 from repro.vmpi.collectives import select_allreduce_algorithm
+from repro.vmpi.faults import (
+    EXIT_INJECTED_CRASH,
+    FaultInjector,
+    FaultPlan,
+    InjectedRankCrash,
+)
 from repro.vmpi.trace import CollectiveRecord, CommTrace
 
 try:  # pragma: no cover - always present on CPython >= 3.8
@@ -73,11 +81,21 @@ __all__ = [
     "CollectiveTimeoutError",
     "CommConfig",
     "ProcessComm",
+    "RankFailureError",
     "StarComm",
     "run_spmd",
 ]
 
 _SENTINEL = "__done__"
+
+#: Liveness poll cadence of the launcher while awaiting results.
+_LIVENESS_POLL = 0.25
+
+#: Once a failure is observed (error result or dead process), how long
+#: the launcher keeps draining in-flight results before aborting the
+#: survivors.  Detection latency is bounded by poll + grace + teardown,
+#: a few seconds — not the full run timeout.
+_ABORT_GRACE = 2.0
 
 
 class CollectiveTimeoutError(RuntimeError):
@@ -87,6 +105,41 @@ class CollectiveTimeoutError(RuntimeError):
     across ranks (mismatched operations, different call counts) or a
     peer died.
     """
+
+
+class RankFailureError(RuntimeError):
+    """One or more SPMD ranks failed (raised by :func:`run_spmd`).
+
+    The message carries, per failed rank, the remote traceback and the
+    tail of its executed-collective trace; the attributes give the
+    structured view:
+
+    ``failed_ranks``
+        Ranks that raised, crashed, or died without posting a result.
+    ``succeeded_ranks``
+        Ranks whose results arrived before the abort.
+    ``aborted_ranks``
+        Healthy ranks the launcher terminated once the failure was
+        detected (their collectives could never complete).
+    ``exitcodes``
+        ``rank -> exitcode`` for ranks whose *process* died (crashes
+        and kills; absent for ordinary raised exceptions).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failed: Sequence[int] = (),
+        succeeded: Sequence[int] = (),
+        aborted: Sequence[int] = (),
+        exitcodes: dict[int, int] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.failed_ranks = tuple(failed)
+        self.succeeded_ranks = tuple(succeeded)
+        self.aborted_ranks = tuple(aborted)
+        self.exitcodes = dict(exitcodes or {})
 
 
 @dataclass(frozen=True)
@@ -114,12 +167,33 @@ class CommConfig:
         elements).  ``None`` derives it from the alpha-beta machine
         constants via
         :func:`repro.vmpi.collectives.select_allreduce_algorithm`.
+    fault_plan:
+        Seeded :class:`~repro.vmpi.faults.FaultPlan` of injection
+        points (delays, drops, bit-flips, crashes).  ``None`` (the
+        default) constructs no injector — the hot paths pay a single
+        ``is None`` test.
+    check_numerics:
+        Screen every collective result for NaN/Inf and raise a typed
+        :class:`~repro.core.errors.NumericalFaultError` naming the
+        rank, phase, and collective when corruption is observed.
+    transient_retries:
+        How many times a blocked collective wait is re-armed after a
+        :class:`CollectiveTimeoutError`, each wait scaled by
+        ``retry_backoff`` — rides out transient transport stalls
+        (e.g. injected delays) without declaring the collective dead.
+        ``0`` (default) keeps the fail-fast behavior.
+    retry_backoff:
+        Multiplicative wait growth per retry.
     """
 
     collective_timeout: float = 60.0
     shm_min_bytes: int = 1 << 18
     deterministic: bool = True
     eager_max_words: int | None = None
+    fault_plan: FaultPlan | None = None
+    check_numerics: bool = False
+    transient_retries: int = 0
+    retry_backoff: float = 2.0
 
 
 # ---------------------------------------------------------------------------
@@ -239,6 +313,8 @@ class _PeerTransport:
         self._inbox = inboxes[rank]
         self._config = config
         self._run_token = run_token
+        #: set by ProcessComm when a FaultPlan targets this rank.
+        self.injector: FaultInjector | None = None
         self._shm_seq = 0
         self._pending: dict[tuple, deque] = {}
         self._owned: dict[str, object] = {}  # name -> SharedMemory
@@ -356,6 +432,18 @@ class _PeerTransport:
     def send(self, dest: int, tag: tuple, payload: object) -> None:
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range for size {self.size}")
+        dropped = False
+        if self.injector is not None:
+            payload, dropped = self.injector.on_send(payload)
+            if dropped:
+                # Lost on the wire: the sender did its part (counters
+                # advance) but nothing reaches the peer's inbox.
+                arrays = _payload_arrays(payload)
+                if arrays is not None:
+                    self.sent_words += sum(a.size for _, a in arrays)
+                    self.sent_bytes += sum(a.nbytes for _, a in arrays)
+                self.sent_messages += 1
+                return
         arrays = _payload_arrays(payload)
         body: tuple
         if arrays is not None:
@@ -509,8 +597,42 @@ class ProcessComm:
         #: (same vocabulary as the simulator's ledger phases).
         self.phase = ""
         self._op_id = 0
+        plan = self.config.fault_plan
+        self._inj = (
+            FaultInjector(plan, rank)
+            if plan is not None and plan.for_rank(rank)
+            else None
+        )
+        channel.injector = self._inj
 
     # -- plumbing -----------------------------------------------------------
+
+    def _begin_collective(self) -> None:
+        """Advance the operation counter; fire boundary faults."""
+        self._op_id += 1
+        if self._inj is not None:
+            self._inj.at_collective(self._op_id, self.phase)
+
+    def _guard_numerics(self, op: str, result: object) -> None:
+        """Optional NaN/Inf screen on a collective's result."""
+        if not self.config.check_numerics:
+            return
+        arrays: list[np.ndarray]
+        if isinstance(result, np.ndarray):
+            arrays = [result]
+        elif isinstance(result, (list, tuple)):
+            arrays = [a for a in result if isinstance(a, np.ndarray)]
+        else:
+            return
+        for a in arrays:
+            if a.dtype.kind in "fc" and not np.all(np.isfinite(a)):
+                raise NumericalFaultError(
+                    f"rank {self.rank}: non-finite values in {op} result "
+                    f"(collective #{self._op_id}, phase {self.phase!r})",
+                    rank=self.rank,
+                    phase=self.phase,
+                    op=op,
+                )
 
     def _group(self, group: Sequence[int] | None) -> tuple[int, ...]:
         group_t = (
@@ -528,18 +650,25 @@ class ProcessComm:
         self._t.send(group[dst_v], (self._op_id, phase), payload)
 
     def _vrecv(self, group: tuple[int, ...], src_v: int, phase: str) -> object:
-        try:
-            return self._t.recv(
-                group[src_v],
-                (self._op_id, phase),
-                timeout=self.config.collective_timeout,
-            )
-        except CollectiveTimeoutError:
-            # The collective is dead; peers will not come back for the
-            # in-flight segments, so release everything now rather than
-            # relying on the launcher's sweep.
-            self._t.purge()
-            raise
+        wait = self.config.collective_timeout
+        retries = self.config.transient_retries
+        while True:
+            try:
+                return self._t.recv(
+                    group[src_v], (self._op_id, phase), timeout=wait
+                )
+            except CollectiveTimeoutError:
+                if retries > 0:
+                    # Transient-stall tolerance: re-arm the wait with
+                    # backoff before declaring the collective dead.
+                    retries -= 1
+                    wait *= self.config.retry_backoff
+                    continue
+                # The collective is dead; peers will not come back for
+                # the in-flight segments, so release everything now
+                # rather than relying on the launcher's sweep.
+                self._t.purge()
+                raise
 
     def _record(
         self, op: str, algorithm: str, group_size: int, before: tuple[int, ...]
@@ -573,10 +702,11 @@ class ProcessComm:
     ) -> np.ndarray:
         """Sum over the group; every member receives the total."""
         group_t = self._group(group)
-        self._op_id += 1
+        self._begin_collective()
         before = self._t.counters()
         out, algorithm = self._allreduce(np.asarray(block), group_t)
         self._record("allreduce", algorithm, len(group_t), before)
+        self._guard_numerics("allreduce", out)
         return out
 
     def reduce_scatter(
@@ -588,12 +718,13 @@ class ProcessComm:
         """Sum over the group, then scatter slabs along ``axis`` (the
         ``i``-th group member receives the ``i``-th slab)."""
         group_t = self._group(group)
-        self._op_id += 1
+        self._begin_collective()
         before = self._t.counters()
         out, algorithm = self._reduce_scatter(
             np.asarray(block), axis, group_t
         )
         self._record("reduce_scatter", algorithm, len(group_t), before)
+        self._guard_numerics("reduce_scatter", out)
         return out
 
     def allgather(
@@ -604,10 +735,11 @@ class ProcessComm:
     ) -> np.ndarray:
         """Concatenate group members' blocks along ``axis``."""
         group_t = self._group(group)
-        self._op_id += 1
+        self._begin_collective()
         before = self._t.counters()
         out, algorithm = self._allgather(np.asarray(block), axis, group_t)
         self._record("allgather", algorithm, len(group_t), before)
+        self._guard_numerics("allgather", out)
         return out
 
     def bcast(
@@ -618,10 +750,11 @@ class ProcessComm:
     ) -> np.ndarray:
         """Broadcast ``root``'s block to the group (binomial tree)."""
         group_t = self._group(group)
-        self._op_id += 1
+        self._begin_collective()
         before = self._t.counters()
         out = self._bcast(block, root, group_t)
         self._record("bcast", "binomial", len(group_t), before)
+        self._guard_numerics("bcast", out)
         return out
 
     def gather(
@@ -632,17 +765,18 @@ class ProcessComm:
     ) -> list[np.ndarray] | None:
         """Collect blocks at ``root`` (group order); others get None."""
         group_t = self._group(group)
-        self._op_id += 1
+        self._begin_collective()
         before = self._t.counters()
         out = self._gather(np.asarray(block), root, group_t)
         self._record("gather", "binomial", len(group_t), before)
+        self._guard_numerics("gather", out)
         return out
 
     def barrier(self, group: Sequence[int] | None = None) -> None:
         """Block until every group member reaches the barrier
         (dissemination algorithm, ``ceil(log2 p)`` rounds)."""
         group_t = self._group(group)
-        self._op_id += 1
+        self._begin_collective()
         before = self._t.counters()
         self._barrier(group_t)
         self._record("barrier", "dissemination", len(group_t), before)
@@ -1010,6 +1144,12 @@ class StarComm:
         #: caller-set phase label (interface parity with ProcessComm).
         self.phase = ""
         self._op_id = 0
+        plan = self.config.fault_plan
+        self._inj: FaultInjector | None = (
+            FaultInjector(plan, rank)
+            if plan is not None and plan.for_rank(rank)
+            else None
+        )
 
     def _exchange(
         self,
@@ -1026,26 +1166,37 @@ class StarComm:
                 f"rank {self.rank} not in collective group {group_t}"
             )
         self._op_id += 1
-        self._to_coord.put(
-            _Request(
-                op=op,
-                op_id=self._op_id,
-                group=group_t,
-                rank=self.rank,
-                payload=payload,
-                root=root,
+        dropped = False
+        if self._inj is not None:
+            self._inj.at_collective(self._op_id, self.phase)
+            payload, dropped = self._inj.on_send(payload)
+        if not dropped:
+            self._to_coord.put(
+                _Request(
+                    op=op,
+                    op_id=self._op_id,
+                    group=group_t,
+                    rank=self.rank,
+                    payload=payload,
+                    root=root,
+                )
             )
-        )
-        try:
-            result = self._from_coord.get(
-                timeout=self.config.collective_timeout
-            )
-        except queue_mod.Empty:
-            raise CollectiveTimeoutError(
-                f"rank {self.rank}: coordinator did not answer {op!r} "
-                f"within {self.config.collective_timeout:.1f}s — "
-                f"collective call sequences have diverged across ranks"
-            ) from None
+        wait = self.config.collective_timeout
+        retries = self.config.transient_retries
+        while True:
+            try:
+                result = self._from_coord.get(timeout=wait)
+                break
+            except queue_mod.Empty:
+                if retries > 0:
+                    retries -= 1
+                    wait *= self.config.retry_backoff
+                    continue
+                raise CollectiveTimeoutError(
+                    f"rank {self.rank}: coordinator did not answer {op!r} "
+                    f"within {wait:.1f}s — "
+                    f"collective call sequences have diverged across ranks"
+                ) from None
         sent_words, sent_bytes = _star_payload_size(payload)
         recv_words, recv_bytes = _star_payload_size(result)
         self.trace.add(
@@ -1063,7 +1214,12 @@ class StarComm:
                 phase=self.phase,
             )
         )
+        self._guard_numerics(op, result)
         return result
+
+    # Same screen as the p2p communicator (reads only config/rank/
+    # _op_id/phase, all of which StarComm shares).
+    _guard_numerics = ProcessComm._guard_numerics
 
     def allreduce(
         self, block: np.ndarray, group: Sequence[int] | None = None
@@ -1174,6 +1330,15 @@ def _coordinator(
 # ---------------------------------------------------------------------------
 
 
+def _failure_report(exc: BaseException, comm) -> dict:
+    """What a dying rank ships home: error, traceback, trace tail."""
+    return {
+        "error": repr(exc),
+        "traceback": traceback_mod.format_exc(),
+        "trace_tail": comm.trace.tail(),
+    }
+
+
 def _star_worker(
     fn_bytes: bytes,
     rank: int,
@@ -1189,8 +1354,16 @@ def _star_worker(
         fn = pickle.loads(fn_bytes)
         out = fn(comm, *args)
         result_queue.put((rank, "ok", out))
-    except Exception as exc:  # pragma: no cover - surfaced by run_spmd
-        result_queue.put((rank, "error", repr(exc)))
+    except InjectedRankCrash as exc:
+        result_queue.put((rank, "crashed", _failure_report(exc, comm)))
+        if exc.hard:
+            # Simulated node loss: give the queue feeder a moment to
+            # flush the crash report, then die without cleanup — no
+            # coordinator sentinel, exactly like a killed node.
+            time.sleep(0.2)
+            os._exit(EXIT_INJECTED_CRASH)
+    except Exception as exc:
+        result_queue.put((rank, "error", _failure_report(exc, comm)))
     finally:
         to_coord.put(_SENTINEL)
 
@@ -1211,8 +1384,16 @@ def _p2p_worker(
         fn = pickle.loads(fn_bytes)
         out = fn(comm, *args)
         result_queue.put((rank, "ok", out))
+    except InjectedRankCrash as exc:
+        result_queue.put((rank, "crashed", _failure_report(exc, comm)))
+        if exc.hard:
+            # Simulated node loss: skip channel.close() so any pooled
+            # shm segments are orphaned — the launcher's sweep must
+            # reclaim them.
+            time.sleep(0.2)
+            os._exit(EXIT_INJECTED_CRASH)
     except Exception as exc:
-        result_queue.put((rank, "error", repr(exc)))
+        result_queue.put((rank, "error", _failure_report(exc, comm)))
     finally:
         try:
             channel.close()
@@ -1244,8 +1425,18 @@ def run_spmd(
     """Run ``fn(comm, *args)`` on ``size`` real processes.
 
     ``fn`` must be picklable (a module-level function).  Returns each
-    rank's return value in rank order; raises ``RuntimeError`` if any
-    rank failed.
+    rank's return value in rank order; raises
+    :class:`RankFailureError` (a ``RuntimeError``) if any rank failed,
+    carrying each failed rank's remote traceback and collective-trace
+    tail plus the succeeded/aborted rank sets.
+
+    Failure detection does not wait out ``timeout``: the launcher
+    polls worker liveness every ``_LIVENESS_POLL`` seconds, so a rank
+    that dies without posting a result (a hard crash, an ``os._exit``,
+    a kill) aborts the job within poll + ``_ABORT_GRACE`` + teardown —
+    a few seconds.  Shared-memory segments are swept on every exit
+    path, and the star coordinator is drained (stand-in sentinels for
+    ranks that never posted theirs) so it cannot linger.
 
     Parameters
     ----------
@@ -1255,7 +1446,9 @@ def run_spmd(
         out the legacy coordinator-routed :class:`StarComm`.
     config:
         :class:`CommConfig` for timeouts, the shared-memory threshold,
-        algorithm determinism, and the short/long allreduce threshold.
+        algorithm determinism, the short/long allreduce threshold,
+        fault injection (``fault_plan``), numerics guards, and
+        transient-stall retries.
     collective_timeout:
         Shorthand overriding ``config.collective_timeout``.
     """
@@ -1317,31 +1510,124 @@ def run_spmd(
         w.start()
 
     results: dict[int, object] = {}
-    errors: dict[int, str] = {}
+    errors: dict[int, dict] = {}
+    dead: dict[int, int] = {}  # rank -> exitcode, no result posted
+    timed_out = False
+    abort_deadline: float | None = None
     try:
-        for _ in range(size):
+        deadline = time.monotonic() + timeout
+        while len(results) + len(errors) < size:
+            now = time.monotonic()
+            if now >= deadline:
+                timed_out = True
+                break
+            if abort_deadline is not None and now >= abort_deadline:
+                break
             try:
-                rank, status, payload = result_queue.get(timeout=timeout)
+                rank, status, payload = result_queue.get(
+                    timeout=min(_LIVENESS_POLL, deadline - now)
+                )
             except queue_mod.Empty:
-                raise RuntimeError(
-                    f"SPMD run timed out after {timeout:.0f}s waiting for "
-                    f"{size - len(results) - len(errors)} of {size} ranks"
-                ) from None
+                # Liveness check: a rank that died without posting a
+                # result will never answer — don't wait out `timeout`.
+                dead = {
+                    r: workers[r].exitcode
+                    for r in range(size)
+                    if r not in results
+                    and r not in errors
+                    and workers[r].exitcode is not None
+                }
+                if (dead or errors) and abort_deadline is None:
+                    # Brief drain window before aborting: in-flight
+                    # results (a clean exit racing the poll, peers
+                    # blocked on the failed rank posting their own
+                    # failures) are still collected.
+                    abort_deadline = time.monotonic() + _ABORT_GRACE
+                elif not dead and not errors:
+                    abort_deadline = None
+                continue
             if status == "ok":
                 results[rank] = payload
-            else:
+            else:  # "error" or "crashed"
                 errors[rank] = payload
+                if abort_deadline is None:
+                    abort_deadline = time.monotonic() + _ABORT_GRACE
+            dead.pop(rank, None)
     finally:
+        failure = bool(errors) or bool(dead) or timed_out
+        if failure:
+            for w in workers:
+                if w.is_alive():
+                    w.terminate()
+        if coord is not None and failure:
+            # Ranks that died before posting their _SENTINEL leave the
+            # coordinator waiting forever; post stand-ins so it can
+            # drain and exit instead of being terminated mid-reply.
+            # A rank that posted a *result* may still have skipped its
+            # sentinel (a hard crash os._exits between the two), so
+            # post a full set: every worker is already terminated, and
+            # the coordinator stops at `size`, ignoring extras.
+            for _ in range(size):
+                try:
+                    to_coord.put(_SENTINEL)
+                except Exception:  # pragma: no cover - queue torn down
+                    break
         for w in workers:
             w.join(timeout=10)
             if w.is_alive():  # pragma: no cover - hang safety
                 w.terminate()
+                w.join(timeout=10)
         if coord is not None:
             coord.join(timeout=10)
             if coord.is_alive():  # pragma: no cover - hang safety
                 coord.terminate()
+                coord.join(timeout=10)
         if transport == "p2p":
             _sweep_shm(run_token)
-    if errors:
-        raise RuntimeError(f"SPMD ranks failed: {errors}")
+    if errors or dead or timed_out:
+        failed = sorted(set(errors) | set(dead))
+        succeeded = sorted(results)
+        aborted = sorted(
+            r
+            for r in range(size)
+            if r not in results and r not in errors and r not in dead
+        )
+        lines = []
+        for r in failed:
+            if r in errors:
+                rep = errors[r]
+                lines.append(f"rank {r} failed: {rep['error']}")
+                tail = rep.get("trace_tail") or []
+                if tail:
+                    lines.append(f"rank {r} last collectives:")
+                    lines.extend(f"  {t}" for t in tail)
+                tb = rep.get("traceback", "")
+                if tb:
+                    lines.append(f"rank {r} remote traceback:")
+                    lines.extend(
+                        f"  {t}" for t in tb.rstrip().splitlines()
+                    )
+            else:
+                lines.append(
+                    f"rank {r} died without posting a result "
+                    f"(exitcode {dead[r]})"
+                )
+        if timed_out and not failed:
+            head = (
+                f"SPMD run timed out after {timeout:.0f}s waiting for "
+                f"{size - len(results)} of {size} ranks"
+            )
+        else:
+            head = (
+                f"SPMD run failed: ranks {failed} failed, "
+                f"{succeeded} succeeded"
+                + (f", {aborted} aborted" if aborted else "")
+            )
+        raise RankFailureError(
+            "\n".join([head] + lines),
+            failed=failed,
+            succeeded=succeeded,
+            aborted=aborted,
+            exitcodes=dead,
+        )
     return [results[r] for r in range(size)]

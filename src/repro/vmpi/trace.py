@@ -88,6 +88,24 @@ class CommTrace:
             if r.op == op and (not phases or r.phase in phases)
         )
 
+    def tail(self, n: int = 6) -> list[str]:
+        """Compact one-line summaries of the last ``n`` records.
+
+        The failure path of ``run_spmd`` embeds this in its error so a
+        crashed rank's last collectives — the context a post-mortem
+        needs — survive the process boundary as plain strings.
+        """
+        out = []
+        total = len(self.records)
+        for i, r in enumerate(self.records[-n:], start=max(total - n, 0)):
+            phase = f" phase={r.phase}" if r.phase else ""
+            out.append(
+                f"#{i + 1}/{total} {r.op}[{r.algorithm}] p={r.group_size}"
+                f"{phase} sent={r.sent_messages}msg/{r.sent_words}w "
+                f"recv={r.recv_messages}msg/{r.recv_words}w"
+            )
+        return out
+
     def totals(self) -> dict[str, int]:
         """Aggregate message/word/byte counters over all records."""
         keys = (

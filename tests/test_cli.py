@@ -1,8 +1,10 @@
 """End-to-end CLI driver tests (artifact-style parameter files)."""
 
+import re
+
 import pytest
 
-from repro.cli import hooi_main, sthosvd_main
+from repro.cli import hooi_main, main, sthosvd_main
 from repro.core.errors import ConfigError
 
 STHOSVD_CFG = """
@@ -102,3 +104,112 @@ class TestHOOIDriver:
             hooi_main(
                 ["--parameter-file", _write(tmp_path, "Noise = 0.1\n")]
             )
+
+
+# Small fixed-rank configs for the (real multi-process) checkpoint path.
+MP_HOOI_CFG = """
+Print options = false
+Print timings = false
+Dimension Tree Memoization = true
+Noise = 0.0001
+HOOI-Adapt Threshold = 0.0
+HOOI max iters = 2
+SVD Method = 0
+Processor grid dims = 2 1 1
+Global dims = 10 9 8
+Construction Ranks = 3 3 2
+Decomposition Ranks = 3 3 2
+"""
+
+MP_STHOSVD_CFG = """
+Print options = false
+Print timings = false
+Noise = 0.0001
+SV Threshold = 0.0
+Processor grid dims = 2 1 1
+Global dims = 10 9 8
+Ranks = 3 3 2
+"""
+
+
+def _final_error(out: str) -> str:
+    m = re.search(r"Final relative error: (\S+)", out)
+    assert m, out
+    return m.group(1)
+
+
+class TestCheckpointResumeCLI:
+    def test_hooi_checkpoint_then_resume(self, tmp_path, capsys):
+        pfile = _write(tmp_path, MP_HOOI_CFG)
+        ckdir = tmp_path / "ck"
+        rc = main(
+            ["hooi", "--parameter-file", pfile, "--checkpoint-dir", str(ckdir)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Checkpointing to" in out
+        assert (ckdir / "checkpoint.npz").exists()
+        assert (ckdir / "parameters.cfg").read_text() == MP_HOOI_CFG
+        err_run = _final_error(out)
+
+        rc = main(["resume", str(ckdir / "checkpoint.npz")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Resuming mp_hooi_dt" in out
+        assert _final_error(out) == err_run
+
+    def test_sthosvd_checkpoint_then_resume(self, tmp_path, capsys):
+        pfile = _write(tmp_path, MP_STHOSVD_CFG)
+        ckdir = tmp_path / "ck"
+        rc = main(
+            [
+                "sthosvd",
+                "--parameter-file",
+                pfile,
+                "--checkpoint-dir",
+                str(ckdir),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Running STHOSVD on 2 processes" in out
+        err_run = _final_error(out)
+
+        rc = main(["resume", str(ckdir / "checkpoint.npz")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Resuming mp_sthosvd" in out
+        assert _final_error(out) == err_run
+
+    def test_checkpoint_dir_parameter_key(self, tmp_path, capsys):
+        ckdir = tmp_path / "from-params"
+        cfg = MP_HOOI_CFG + f"Checkpoint dir = {ckdir}\n"
+        rc = hooi_main(["--parameter-file", _write(tmp_path, cfg)])
+        assert rc == 0
+        assert (ckdir / "checkpoint.npz").exists()
+        capsys.readouterr()
+
+    def test_resume_without_parameter_snapshot(self, tmp_path, capsys):
+        pfile = _write(tmp_path, MP_HOOI_CFG)
+        ckdir = tmp_path / "ck"
+        main(
+            ["hooi", "--parameter-file", pfile, "--checkpoint-dir", str(ckdir)]
+        )
+        capsys.readouterr()
+        (ckdir / "parameters.cfg").unlink()
+        with pytest.raises(ConfigError, match="no parameter file"):
+            main(["resume", str(ckdir / "checkpoint.npz")])
+
+
+class TestUmbrellaDispatcher:
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_no_command(self, capsys):
+        assert main([]) == 2
+        assert "usage: repro" in capsys.readouterr().err
+
+    def test_help(self, capsys):
+        assert main(["-h"]) == 0
+        assert "usage: repro" in capsys.readouterr().err

@@ -130,6 +130,22 @@ class TestRunSPMD:
         with pytest.raises(RuntimeError, match="boom"):
             run_spmd(_prog_fail, 2)
 
+    def test_failure_carries_remote_traceback_and_rank_sets(self):
+        from repro.vmpi.mp_comm import RankFailureError
+
+        with pytest.raises(RankFailureError) as ei:
+            run_spmd(_prog_fail, 2)
+        err = ei.value
+        assert err.failed_ranks == (1,)
+        assert 1 not in err.succeeded_ranks
+        msg = str(err)
+        assert "rank 1 failed" in msg
+        assert "ValueError('boom')" in msg
+        # the *remote* frame, not the launcher's
+        assert "rank 1 remote traceback" in msg
+        assert "_prog_fail" in msg
+        assert 'raise ValueError("boom")' in msg
+
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             run_spmd(_prog_allreduce, 0)
