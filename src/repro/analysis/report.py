@@ -45,6 +45,7 @@ SECTIONS: tuple[tuple[str, str], ...] = (
     ("crossover", "Analysis — §3.1 n/r crossover"),
     ("mp_transport", "Infrastructure — mp transport shoot-out"),
     ("mp_dimension_tree", "Infrastructure — memoized vs direct mp HOOI"),
+    ("verify_overhead", "Infrastructure — SPMD verifier overhead"),
 )
 
 

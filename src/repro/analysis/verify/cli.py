@@ -1,0 +1,137 @@
+"""``repro lint`` — command-line front end for :mod:`spmdlint`.
+
+Exit codes: 0 clean (or warnings only, without ``--strict``),
+1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.verify.rules import RULES, Baseline
+from repro.analysis.verify.spmdlint import lint_paths
+
+__all__ = ["lint_main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Static SPMD correctness lint: flags collective calls under "
+            "rank-dependent control flow, root/op drift, unmatched p2p "
+            "pairs, unseeded RNG, and escaping shm handles."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro/distributed"],
+        help="files or directories to lint (default: src/repro/distributed)",
+    )
+    p.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule IDs to enable exclusively",
+    )
+    p.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule IDs to suppress",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of accepted finding fingerprints",
+    )
+    p.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings as the new baseline and exit 0",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors for the exit code",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (both tiers) and exit",
+    )
+    return p
+
+
+def _parse_ids(raw: str | None) -> set[str] | None:
+    if raw is None:
+        return None
+    ids = {s.strip() for s in raw.split(",") if s.strip()}
+    unknown = ids - set(RULES)
+    if unknown:
+        raise SystemExit(
+            f"repro lint: unknown rule id(s): {', '.join(sorted(unknown))}"
+        )
+    return ids
+
+
+def lint_main(argv: list[str] | None = None) -> int:
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on usage errors
+        return int(exc.code or 0)
+
+    if args.list_rules:
+        for r in RULES.values():
+            print(f"{r.id}  {r.tier:7s} {r.severity:7s} {r.summary}")
+        return 0
+
+    try:
+        select = _parse_ids(args.select)
+        ignore = _parse_ids(args.ignore)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"repro lint: no such path: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline: Baseline | None = None
+    if args.baseline and Path(args.baseline).exists():
+        baseline = Baseline.load(args.baseline)
+
+    findings = lint_paths(
+        args.paths, select=select, ignore=ignore, baseline=baseline
+    )
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(
+            f"wrote baseline with {len(findings)} fingerprint(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    for f in findings:
+        print(f.render())
+
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    if findings:
+        print(
+            f"found {errors} error(s), {warnings} warning(s) "
+            f"in {len(args.paths)} path(s)"
+        )
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(lint_main())

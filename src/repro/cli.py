@@ -484,22 +484,35 @@ def resume_main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+def lint_main(argv: Sequence[str] | None = None) -> int:
+    """``repro lint``: static SPMD correctness lint (spmdlint).
+
+    Imported lazily — the analyzer package pulls in the full analysis
+    stack, which the numeric subcommands never need.
+    """
+    from repro.analysis.verify.cli import lint_main as _lint_main
+
+    return _lint_main(list(argv) if argv is not None else None)
+
+
 _SUBCOMMANDS = {
     "sthosvd": sthosvd_main,
     "hooi": hooi_main,
     "resume": resume_main,
+    "lint": lint_main,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Umbrella entry point: ``repro sthosvd|hooi|resume ...``."""
+    """Umbrella entry point: ``repro sthosvd|hooi|resume|lint ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(
-            "usage: repro {sthosvd,hooi,resume} ...\n"
+            "usage: repro {sthosvd,hooi,resume,lint} ...\n"
             "  sthosvd  run STHOSVD from a parameter file\n"
             "  hooi     run HOOI/HOSI (optionally rank-adaptive)\n"
-            "  resume   continue an interrupted checkpointed run",
+            "  resume   continue an interrupted checkpointed run\n"
+            "  lint     static SPMD correctness lint (spmdlint)",
             file=sys.stderr,
         )
         return 0 if argv else 2

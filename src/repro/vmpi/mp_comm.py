@@ -52,6 +52,7 @@ import math
 import os
 import pickle
 import queue as queue_mod
+import sys
 import time
 import traceback as traceback_mod
 import uuid
@@ -184,6 +185,22 @@ class CommConfig:
         ``0`` (default) keeps the fail-fast behavior.
     retry_backoff:
         Multiplicative wait growth per retry.
+    verify:
+        Run the tier-2 SPMD correctness verifier
+        (:mod:`repro.analysis.verify.runtime`): every collective is
+        stamped with a per-communicator sequence number and signature
+        (kind, op, root, axis, dtype, shape contract) cross-checked at
+        the group head before the payload moves, so a mismatched
+        schedule raises a named ``CollectiveMismatchError`` (which
+        ranks, which call sites, both signatures) instead of timing
+        out; blocked receives publish to a shared wait-for board so
+        actual deadlock *cycles* are reported (``DeadlockError``)
+        within ~2 s; and an shm-lifecycle sanitizer checks every
+        pooled segment for use-after-release, double-release, and
+        leak-at-exit.  Control traffic is counter-neutral (like the
+        ``shmfree`` credits), so traces and reductions stay
+        bit-identical to a non-verify run.  Requires the ``"p2p"``
+        transport.
     """
 
     collective_timeout: float = 60.0
@@ -194,6 +211,7 @@ class CommConfig:
     check_numerics: bool = False
     transient_retries: int = 0
     retry_backoff: float = 2.0
+    verify: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -315,6 +333,21 @@ class _PeerTransport:
         self._run_token = run_token
         #: set by ProcessComm when a FaultPlan targets this rank.
         self.injector: FaultInjector | None = None
+        #: verify mode only: shm lifecycle state machine and wait-for
+        #: board (both from repro.analysis.verify.runtime, installed
+        #: lazily by ProcessComm so the import stays one-directional).
+        self.sanitizer = None
+        self.monitor = None
+        #: verify mode only: dedicated per-pair duplex pipes for the
+        #: signature/verdict control rounds (installed by run_spmd).
+        #: ``mp.Queue.put`` hands every message to a feeder thread, so
+        #: a control round over the inbox queues pays two thread
+        #: wake-ups per hop; ``Connection.send`` is a synchronous
+        #: ``os.write``, which roughly halves the verifier's fixed
+        #: per-collective latency.  ``None`` entries fall back to the
+        #: queue channel (embedders driving the transport directly).
+        self.ctrl_conns: dict[int, object] | None = None
+        self._ctrl_pending: dict[int, deque] = {}
         self._shm_seq = 0
         self._pending: dict[tuple, deque] = {}
         self._owned: dict[str, object] = {}  # name -> SharedMemory
@@ -349,17 +382,24 @@ class _PeerTransport:
         free = self._free.get(cls)
         if free:
             name = free.popleft()
+            if self.sanitizer is not None:
+                self.sanitizer.on_obtain(name)
             return self._owned[name], name
         self._shm_seq += 1
         name = f"mpx{self._run_token}r{self.rank}n{self._shm_seq}"
         shm = _shm_mod.SharedMemory(create=True, size=cls, name=name)
         _unregister_shm(shm)
-        self._owned[name] = shm
+        # Sanctioned escape: the pool owns the handle; close()/purge()
+        # and the launcher's run-token sweep end its lifecycle, and in
+        # verify mode the ShmSanitizer audits every transition.
+        self._owned[name] = shm  # spmdlint: ignore[SPMD105]
         self._seg_size[name] = cls
         return shm, name
 
     def _release_segment(self, name: str) -> None:
         """An ack came back: pool the segment (or unlink the excess)."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_release(name)
         cls = self._seg_size[name]
         free = self._free.setdefault(cls, deque())
         if len(free) < self._POOL_CAP:
@@ -369,6 +409,8 @@ class _PeerTransport:
         del self._seg_size[name]
         shm.close()
         _unlink_segment(shm)
+        if self.sanitizer is not None:
+            self.sanitizer.on_unlink(name)
 
     def _drain_inbox(self) -> None:
         """Move queued arrivals into the pending buffers (non-blocking),
@@ -405,6 +447,12 @@ class _PeerTransport:
         for shm in self._rx_cache.values():
             shm.close()
         self._rx_cache.clear()
+        if self.ctrl_conns is not None:
+            for conn in self.ctrl_conns.values():
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
 
     def purge(self) -> None:
         """Unlink *every* segment this rank owns, pooled and in-flight.
@@ -426,6 +474,8 @@ class _PeerTransport:
         for shm in self._rx_cache.values():
             shm.close()
         self._rx_cache.clear()
+        if self.sanitizer is not None:
+            self.sanitizer.clear()
 
     # -- send ---------------------------------------------------------------
 
@@ -471,6 +521,8 @@ class _PeerTransport:
                     offset += _align8(a.nbytes)
                 body = ("shm", name, metas, single)
                 self.shm_messages += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.on_send(name)
             else:
                 body = ("pkl", {k: a for k, a in contig} if not single
                         else contig[0][1])
@@ -483,32 +535,138 @@ class _PeerTransport:
 
     # -- recv ---------------------------------------------------------------
 
+    #: A blocked recv registers on the wait-for board immediately but
+    #: only starts probing for cycles after this long — transient
+    #: cycles of correct send-then-recv patterns (ring allgather,
+    #: dissemination barrier) resolve within a message latency and
+    #: never survive until the probe phase, let alone two stable
+    #: probes.
+    _PROBE_AFTER = 1.0
+    #: Poll slice while a deadlock monitor is watching (the monitor
+    #: needs wake-ups to probe; without one the inbox wait can park a
+    #: full second per slice).
+    _PROBE_SLICE = 0.25
+
     def recv(self, src: int, tag: tuple, timeout: float | None = None) -> object:
+        return self._decode(src, self._recv_body(src, tag, timeout))
+
+    def _recv_body(
+        self, src: int, tag: tuple, timeout: float | None
+    ) -> object:
+        """The shared blocking wait: next body for ``(src, tag)``."""
         if not 0 <= src < self.size:
             raise ValueError(f"src {src} out of range for size {self.size}")
         timeout = (
             self._config.collective_timeout if timeout is None else timeout
         )
         key = (src, tag)
+        start = time.monotonic()
+        deadline = start + timeout
+        mon = self.monitor
+        registered = False
+        try:
+            while True:
+                waiting = self._pending.get(key)
+                if waiting:
+                    return waiting.popleft()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise CollectiveTimeoutError(
+                        f"rank {self.rank}: no message from rank {src} "
+                        f"with tag {tag!r} after {timeout:.1f}s — "
+                        f"collective call sequences have diverged across "
+                        f"ranks (or a peer died)"
+                    )
+                poll = min(remaining, 1.0)
+                if mon is not None:
+                    if not registered:
+                        op_id = tag[0] if isinstance(tag[0], int) else 0
+                        mon.begin_wait(src, op_id)
+                        registered = True
+                    if time.monotonic() - start >= self._PROBE_AFTER:
+                        mon.probe()  # raises DeadlockError when stable
+                    poll = min(poll, self._PROBE_SLICE)
+                try:
+                    got_src, got_tag, body = self._inbox.get(timeout=poll)
+                except queue_mod.Empty:
+                    continue
+                self._note(got_src, got_tag, body)
+        finally:
+            if registered:
+                mon.end_wait()
+
+    # -- verify-mode control channel ----------------------------------------
+    #
+    # Signature/verdict traffic of the tier-2 verifier.  Deliberately
+    # counter-neutral (like the _FREE_TAG credits): it must not perturb
+    # the CollectiveRecord counters the alpha-beta cost formulas are
+    # certified against, so a verify run stays trace-identical to a
+    # plain one.
+
+    def ctrl_send(self, dest: int, tag: tuple, payload: object) -> None:
+        conns = self.ctrl_conns
+        if conns is not None and dest in conns:
+            conns[dest].send((tuple(tag), payload))
+            return
+        self._inboxes[dest].put(
+            (self.rank, ("ctl",) + tuple(tag), ("ctl", payload))
+        )
+
+    def ctrl_recv(
+        self, src: int, tag: tuple, timeout: float | None = None
+    ) -> object:
+        conns = self.ctrl_conns
+        if conns is None or src not in conns:
+            body = self._recv_body(src, ("ctl",) + tuple(tag), timeout)
+            return body[1]
+        want = tuple(tag)
+        timeout = (
+            self._config.collective_timeout if timeout is None else timeout
+        )
+        # Out-of-round messages on the same pipe (a diverged peer, or
+        # two groups sharing this pair) park here, exactly like the
+        # queue channel's tag-keyed pending map.
+        pending = self._ctrl_pending.setdefault(src, deque())
+        for i, (got, payload) in enumerate(pending):
+            if got == want:
+                del pending[i]
+                return payload
+        conn = conns[src]
         deadline = time.monotonic() + timeout
         while True:
-            waiting = self._pending.get(key)
-            if waiting:
-                return self._decode(src, waiting.popleft())
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise CollectiveTimeoutError(
-                    f"rank {self.rank}: no message from rank {src} with tag "
-                    f"{tag!r} after {timeout:.1f}s — collective call "
-                    f"sequences have diverged across ranks (or a peer died)"
+                    f"rank {self.rank}: no control message from rank "
+                    f"{src} with tag {want!r} after {timeout:.1f}s — "
+                    f"collective call sequences have diverged across "
+                    f"ranks (or a peer died)"
                 )
-            try:
-                got_src, got_tag, body = self._inbox.get(
-                    timeout=min(remaining, 1.0)
-                )
-            except queue_mod.Empty:
+            if not conn.poll(min(remaining, 1.0)):
                 continue
-            self._note(got_src, got_tag, body)
+            try:
+                got, payload = conn.recv()
+            except EOFError:
+                raise CollectiveTimeoutError(
+                    f"rank {self.rank}: control channel to rank {src} "
+                    f"closed mid-round (peer died)"
+                ) from None
+            if got == want:
+                return payload
+            pending.append((got, payload))
+
+    def verify_shutdown(self, grace: float = 0.5) -> None:
+        """End-of-rank sanitizer check: every segment this rank sent
+        must have been credited back.  Late credits from peers that
+        finished marginally after us get a bounded grace drain before
+        a leak is declared (SPMD213)."""
+        if self.sanitizer is None:
+            return
+        deadline = time.monotonic() + grace
+        while self.sanitizer.leaked() and time.monotonic() < deadline:
+            self._drain_inbox()
+            time.sleep(0.01)
+        self.sanitizer.check_exit()
 
     def _decode(self, src: int, body: tuple) -> object:
         kind = body[0]
@@ -519,7 +677,9 @@ class _PeerTransport:
             if shm is None:
                 shm = _shm_mod.SharedMemory(name=name)
                 _unregister_shm(shm)  # attach auto-registers on 3.11
-                self._rx_cache[name] = shm
+                # Sanctioned escape: the receive cache keeps peer
+                # mappings warm across messages; close() unmaps them.
+                self._rx_cache[name] = shm  # spmdlint: ignore[SPMD105]
             items: list[tuple[object, np.ndarray]] = []
             for key, shape, dtype_str, offset in metas:
                 view = np.ndarray(
@@ -587,6 +747,7 @@ class ProcessComm:
         size: int,
         channel: _PeerTransport,
         config: CommConfig | None = None,
+        board: object | None = None,
     ) -> None:
         self.rank = rank
         self.size = size
@@ -604,6 +765,20 @@ class ProcessComm:
             else None
         )
         channel.injector = self._inj
+        #: tier-2 verifier (repro.analysis.verify.runtime), imported
+        #: lazily: that package's parent imports the distributed
+        #: drivers, which import this module — a module-scope import
+        #: here would be circular.  At verify-activation time both
+        #: sides are fully initialized.
+        self._vrt = None
+        self._vseq: dict[tuple[int, ...], int] = {}
+        if self.config.verify:
+            from repro.analysis.verify import runtime as _vrt
+
+            self._vrt = _vrt
+            channel.sanitizer = _vrt.ShmSanitizer(rank)
+            if board is not None and size > 1:
+                channel.monitor = _vrt.WaitMonitor(board, rank, size)
 
     # -- plumbing -----------------------------------------------------------
 
@@ -670,6 +845,104 @@ class ProcessComm:
                 self._t.purge()
                 raise
 
+    # -- tier-2 verification -------------------------------------------------
+
+    def _call_site(self) -> str:
+        """The first stack frame outside this module — where the user
+        program issued the collective."""
+        here = __file__
+        frame = sys._getframe(1)
+        while frame is not None and frame.f_code.co_filename == here:
+            frame = frame.f_back
+        if frame is None:  # pragma: no cover - always has a caller
+            return ""
+        code = frame.f_code
+        return f"{code.co_filename}:{frame.f_lineno} in {code.co_name}"
+
+    def _verify_collective(
+        self,
+        kind: str,
+        group: tuple[int, ...],
+        *,
+        op: str = "",
+        root: int = -1,
+        axis: int = -1,
+        block: object = None,
+    ) -> None:
+        """One matching round of the tier-2 verifier.
+
+        Every group member submits its signature for this communicator
+        sequence number to the group head over the counter-neutral
+        control channel; the head cross-checks the round and replies a
+        verdict.  Runs *before* the payload collective, so a
+        mismatched schedule (wrong root, diverged kind, incompatible
+        shapes) raises :class:`CollectiveMismatchError` on every
+        member instead of corrupting data or stalling to the timeout.
+        """
+        vrt = self._vrt
+        if vrt is None or len(group) < 2:
+            return
+        vseq = self._vseq.get(group, 0) + 1
+        self._vseq[group] = vseq
+        dtype, shape = "", ()
+        if isinstance(block, np.ndarray):
+            dtype, shape = str(block.dtype), tuple(block.shape)
+        sig = vrt.CollectiveSignature(
+            kind=kind,
+            seq=vseq,
+            op=op,
+            root=root,
+            axis=axis,
+            dtype=dtype,
+            shape=shape,
+            call_site=self._call_site(),
+        )
+        head = group[0]
+        sig_tag = ("vfy", group, vseq)
+        verdict_tag = ("vok", group, vseq)
+        timeout = self.config.collective_timeout
+        if self.rank != head:
+            self._t.ctrl_send(head, sig_tag, (self.rank, sig))
+            try:
+                verdict = self._t.ctrl_recv(
+                    head, verdict_tag, timeout=timeout
+                )
+            except CollectiveTimeoutError:
+                # The head died or diverged mid-round; it is not
+                # coming back for in-flight segments either.
+                self._t.purge()
+                raise
+        else:
+            sigs = {self.rank: sig}
+            missing: list[int] = []
+            for r in group[1:]:
+                try:
+                    peer_rank, peer_sig = self._t.ctrl_recv(
+                        r, sig_tag, timeout=timeout
+                    )
+                    sigs[peer_rank] = peer_sig
+                except CollectiveTimeoutError:
+                    missing.append(r)
+            if missing:
+                verdict = (
+                    "SPMD202",
+                    vrt.summarize_mismatch(group, sigs, missing, timeout),
+                )
+            else:
+                verdict = vrt.match_signatures(sigs)
+            for r in group[1:]:
+                if r not in missing:
+                    self._t.ctrl_send(r, verdict_tag, verdict)
+        if verdict is not None:
+            rule_id, message = verdict
+            # Peers are not coming back for in-flight segments.
+            self._t.purge()
+            raise vrt.CollectiveMismatchError(message, rule_id=rule_id)
+
+    def verify_shutdown(self) -> None:
+        """End-of-rank verify checks (no-op unless ``verify=True``)."""
+        self._t.verify_shutdown()
+
     def _record(
         self, op: str, algorithm: str, group_size: int, before: tuple[int, ...]
     ) -> None:
@@ -703,8 +976,10 @@ class ProcessComm:
         """Sum over the group; every member receives the total."""
         group_t = self._group(group)
         self._begin_collective()
+        block = np.asarray(block)
+        self._verify_collective("allreduce", group_t, op="sum", block=block)
         before = self._t.counters()
-        out, algorithm = self._allreduce(np.asarray(block), group_t)
+        out, algorithm = self._allreduce(block, group_t)
         self._record("allreduce", algorithm, len(group_t), before)
         self._guard_numerics("allreduce", out)
         return out
@@ -719,10 +994,12 @@ class ProcessComm:
         ``i``-th group member receives the ``i``-th slab)."""
         group_t = self._group(group)
         self._begin_collective()
-        before = self._t.counters()
-        out, algorithm = self._reduce_scatter(
-            np.asarray(block), axis, group_t
+        block = np.asarray(block)
+        self._verify_collective(
+            "reduce_scatter", group_t, op="sum", axis=axis, block=block
         )
+        before = self._t.counters()
+        out, algorithm = self._reduce_scatter(block, axis, group_t)
         self._record("reduce_scatter", algorithm, len(group_t), before)
         self._guard_numerics("reduce_scatter", out)
         return out
@@ -736,8 +1013,10 @@ class ProcessComm:
         """Concatenate group members' blocks along ``axis``."""
         group_t = self._group(group)
         self._begin_collective()
+        block = np.asarray(block)
+        self._verify_collective("allgather", group_t, axis=axis, block=block)
         before = self._t.counters()
-        out, algorithm = self._allgather(np.asarray(block), axis, group_t)
+        out, algorithm = self._allgather(block, axis, group_t)
         self._record("allgather", algorithm, len(group_t), before)
         self._guard_numerics("allgather", out)
         return out
@@ -751,6 +1030,7 @@ class ProcessComm:
         """Broadcast ``root``'s block to the group (binomial tree)."""
         group_t = self._group(group)
         self._begin_collective()
+        self._verify_collective("bcast", group_t, root=root, block=block)
         before = self._t.counters()
         out = self._bcast(block, root, group_t)
         self._record("bcast", "binomial", len(group_t), before)
@@ -766,8 +1046,10 @@ class ProcessComm:
         """Collect blocks at ``root`` (group order); others get None."""
         group_t = self._group(group)
         self._begin_collective()
+        block = np.asarray(block)
+        self._verify_collective("gather", group_t, root=root, block=block)
         before = self._t.counters()
-        out = self._gather(np.asarray(block), root, group_t)
+        out = self._gather(block, root, group_t)
         self._record("gather", "binomial", len(group_t), before)
         self._guard_numerics("gather", out)
         return out
@@ -777,6 +1059,7 @@ class ProcessComm:
         (dissemination algorithm, ``ceil(log2 p)`` rounds)."""
         group_t = self._group(group)
         self._begin_collective()
+        self._verify_collective("barrier", group_t)
         before = self._t.counters()
         self._barrier(group_t)
         self._record("barrier", "dissemination", len(group_t), before)
@@ -1140,6 +1423,12 @@ class StarComm:
         self._to_coord = to_coord
         self._from_coord = from_coord
         self.config = config or CommConfig()
+        if self.config.verify:
+            raise ValueError(
+                "verify mode requires the p2p transport (StarComm routes "
+                "every collective through the coordinator, which already "
+                "serializes matching)"
+            )
         self.trace = CommTrace()
         #: caller-set phase label (interface parity with ProcessComm).
         self.phase = ""
@@ -1377,12 +1666,18 @@ def _p2p_worker(
     run_token: str,
     config: CommConfig,
     args: tuple,
+    board: object | None = None,
+    ctrl_conns: dict[int, object] | None = None,
 ) -> None:
     channel = _PeerTransport(rank, size, inboxes, run_token, config)
-    comm = ProcessComm(rank, size, channel, config)
+    channel.ctrl_conns = ctrl_conns
+    comm = ProcessComm(rank, size, channel, config, board=board)
     try:
         fn = pickle.loads(fn_bytes)
         out = fn(comm, *args)
+        # Verify mode: a leaked shm segment turns the rank's result
+        # into an error *before* it is posted (SPMD213).
+        comm.verify_shutdown()
         result_queue.put((rank, "ok", out))
     except InjectedRankCrash as exc:
         result_queue.put((rank, "crashed", _failure_report(exc, comm)))
@@ -1459,6 +1754,8 @@ def run_spmd(
     cfg = config or CommConfig()
     if collective_timeout is not None:
         cfg = replace(cfg, collective_timeout=collective_timeout)
+    if cfg.verify and transport != "p2p":
+        raise ValueError("verify mode requires the p2p transport")
     ctx = mp.get_context("spawn" if mp.get_start_method() == "spawn" else "fork")
     result_queue: mp.Queue = ctx.Queue()
     run_token = uuid.uuid4().hex[:8]
@@ -1490,6 +1787,29 @@ def run_spmd(
         ]
     else:
         inboxes = [ctx.Queue() for _ in range(size)]
+        # Verify mode: a lock-free shared board of (waiting_on, op_id,
+        # stamp) triples, one per rank, feeding the wait-for-graph
+        # deadlock detector.  Each rank writes only its own slots.
+        board = (
+            ctx.Array("q", 3 * size, lock=False)
+            if cfg.verify and size > 1
+            else None
+        )
+        if board is not None:
+            for r in range(size):
+                board[3 * r] = -1  # idle, not "waiting on rank 0"
+        # Verify mode: a dedicated duplex pipe per rank pair carries
+        # the control rounds — Connection.send is a synchronous write
+        # with no feeder thread, so the verifier's fixed latency stays
+        # small even with every rank contending for CPU.
+        ctrl_mesh: list[dict[int, object]] | None = None
+        if cfg.verify and size > 1:
+            ctrl_mesh = [{} for _ in range(size)]
+            for i in range(size):
+                for j in range(i + 1, size):
+                    end_i, end_j = ctx.Pipe(duplex=True)
+                    ctrl_mesh[i][j] = end_i
+                    ctrl_mesh[j][i] = end_j
         workers = [
             ctx.Process(
                 target=_p2p_worker,
@@ -1502,12 +1822,20 @@ def run_spmd(
                     run_token,
                     cfg,
                     args,
+                    board,
+                    ctrl_mesh[rank] if ctrl_mesh is not None else None,
                 ),
             )
             for rank in range(size)
         ]
     for w in workers:
         w.start()
+    if transport == "p2p" and cfg.verify and size > 1:
+        # The launcher keeps no ctrl endpoints: workers own them now
+        # (dup'd into each child), so drop the parent's copies.
+        for conns in ctrl_mesh or []:
+            for conn in conns.values():
+                conn.close()
 
     results: dict[int, object] = {}
     errors: dict[int, dict] = {}

@@ -93,3 +93,98 @@ class TestRenderTimeline:
         out = render_timeline(events, width=30)
         blip_line = [l for l in out.splitlines() if l.startswith("blip")][0]
         assert "#" in blip_line
+
+
+class TestCommTracePhases:
+    """Phase tagging on the executed-collective trace (CommTrace)."""
+
+    @staticmethod
+    def record(op, phase):
+        from repro.vmpi.trace import CollectiveRecord
+
+        return CollectiveRecord(op, "ring", 4, 1, 8, 64, 1, 8, 64, 0, phase)
+
+    @staticmethod
+    def dummy_comm():
+        """The minimum _comm_phase needs: a mutable ``phase`` slot."""
+
+        class _Dummy:
+            phase = ""
+
+        return _Dummy()
+
+    def test_for_phase_exact_match_only(self):
+        # Overlapping names: "ttm" must not swallow "ttm_comm".
+        from repro.vmpi.trace import CommTrace
+
+        t = CommTrace()
+        t.add(self.record("allreduce", "ttm"))
+        t.add(self.record("allreduce", "ttm_comm"))
+        t.add(self.record("bcast", "ttm"))
+        assert [r.phase for r in t.for_phase("ttm")] == ["ttm", "ttm"]
+        assert [r.phase for r in t.for_phase("ttm_comm")] == ["ttm_comm"]
+
+    def test_for_phase_multiple_names(self):
+        from repro.vmpi.trace import CommTrace
+
+        t = CommTrace()
+        t.add(self.record("allreduce", "gram"))
+        t.add(self.record("allreduce", "evd"))
+        t.add(self.record("allreduce", "gram_evd"))
+        got = t.for_phase("gram", "evd")
+        assert [r.phase for r in got] == ["gram", "evd"]
+
+    def test_count_restricted_to_phases(self):
+        from repro.vmpi.trace import CommTrace
+
+        t = CommTrace()
+        t.add(self.record("allreduce", "ttm"))
+        t.add(self.record("allreduce", "ttm_comm"))
+        t.add(self.record("barrier", "ttm"))
+        assert t.count("allreduce") == 2
+        assert t.count("allreduce", "ttm") == 1
+        assert t.count("allreduce", "ttm", "ttm_comm") == 2
+        assert t.count("barrier", "ttm_comm") == 0
+
+    def test_nested_comm_phase_restores_outer(self):
+        from repro.distributed.kernels import _comm_phase
+
+        comm = self.dummy_comm()
+        with _comm_phase(comm, "outer"):
+            assert comm.phase == "outer"
+            with _comm_phase(comm, "inner"):
+                assert comm.phase == "inner"
+            assert comm.phase == "outer"
+        assert comm.phase == ""
+
+    def test_nested_comm_phase_tags_records(self):
+        from repro.distributed.kernels import _comm_phase
+        from repro.vmpi.trace import CommTrace
+
+        comm = self.dummy_comm()
+        trace = CommTrace()
+        with _comm_phase(comm, "sweep"):
+            trace.add(self.record("allreduce", comm.phase))
+            with _comm_phase(comm, "sweep_ttm"):
+                trace.add(self.record("reduce_scatter", comm.phase))
+            trace.add(self.record("allgather", comm.phase))
+        assert [r.phase for r in trace.records] == [
+            "sweep",
+            "sweep_ttm",
+            "sweep",
+        ]
+        # Overlapping prefixes stay distinct on lookup.
+        assert len(trace.for_phase("sweep")) == 2
+        assert len(trace.for_phase("sweep_ttm")) == 1
+
+    def test_comm_phase_restores_on_exception(self):
+        from repro.distributed.kernels import _comm_phase
+
+        comm = self.dummy_comm()
+        comm.phase = "base"
+        try:
+            with _comm_phase(comm, "risky"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert comm.phase == "base"
