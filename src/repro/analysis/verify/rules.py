@@ -81,6 +81,12 @@ _RULE_TABLE: tuple[Rule, ...] = (
         "warning",
         "shared-memory handle escapes its pool scope without close/unlink",
     ),
+    Rule(
+        "SPMD106",
+        STATIC,
+        "warning",
+        "phase tag literal outside the shared PHASES vocabulary",
+    ),
     # -- tier 2: runtime verifier ------------------------------------------
     Rule(
         "SPMD201",

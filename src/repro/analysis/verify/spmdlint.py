@@ -30,6 +30,15 @@ synchronous programs (the code shape of the TuckerMPI-style drivers in
     ``close()``/``unlink()`` in the same scope — the lifecycle can no
     longer be audited locally.  Sanctioned pool code annotates the
     site with ``# spmdlint: ignore[SPMD105]``.
+``SPMD106``
+    A phase-tag string literal outside the shared vocabulary
+    (``repro.vmpi.trace.PHASES``): a ``phase=`` argument or default, a
+    ``<x>.phase = "..."`` assignment, or the first argument of a
+    cost-ledger charge (``.compute/.sequential/.comm/.gather``).  The
+    trace lanes, the span profiler, and the measured-vs-modeled
+    attribution all join on these names, so a drifted literal silently
+    drops time from every report.  The empty string (untagged) is
+    allowed; non-literal tags (f-strings, variables) are not checked.
 
 The linter is heuristic by design: it tracks rank taint through simple
 assignments (``me = comm.rank``, ``coords = grid.coords(comm.rank)``)
@@ -47,6 +56,7 @@ Inline suppression: ``# spmdlint: ignore[SPMD101,SPMD105]`` (or a bare
 from __future__ import annotations
 
 import ast
+import importlib
 import re
 from pathlib import Path
 
@@ -64,6 +74,29 @@ P2P_OPS = frozenset({"send", "recv"})
 
 #: Rooted collectives whose ``root`` argument SPMD102 compares.
 _ROOTED = frozenset({"bcast", "gather"})
+
+#: Cost-ledger charge methods whose first argument is a phase tag
+#: (``ledger.comm("gram_comm", ...)``; ``comm.gather(payload, root)``
+#: never passes a string literal first, so the overlap is harmless).
+_LEDGER_CHARGES = frozenset({"compute", "sequential", "comm", "gather"})
+
+_PHASES_CACHE: frozenset[str] | None = None
+
+
+def _phase_vocabulary() -> frozenset[str]:
+    """The shared phase vocabulary, ``repro.vmpi.trace.PHASES``.
+
+    Imported dynamically: the verify package is a strict-typing island
+    (``mypy --strict`` in CI) and must not pull the numeric stack into
+    its build just to read one frozenset of strings.
+    """
+    global _PHASES_CACHE
+    if _PHASES_CACHE is None:
+        mod = importlib.import_module("repro.vmpi.trace")
+        phases = mod.PHASES
+        assert isinstance(phases, frozenset)
+        _PHASES_CACHE = frozenset(str(p) for p in phases)
+    return _PHASES_CACHE
 
 #: Names a communicator object may travel under.
 _COMM_NAMES = frozenset({"comm"})
@@ -525,6 +558,87 @@ class _ModuleLinter:
                 "'# spmdlint: ignore[SPMD105]')",
             )
 
+    # -- phase vocabulary (SPMD106) -----------------------------------------
+
+    def _check_phase(self, value: str, node: ast.expr, where: str) -> None:
+        if value == "":  # untagged is always allowed
+            return
+        if value in _phase_vocabulary():
+            return
+        self.add(
+            "SPMD106",
+            node,
+            f"phase tag {value!r} ({where}) is not in the shared "
+            "vocabulary repro.vmpi.trace.PHASES — trace lanes, the span "
+            "profiler, and the measured-vs-modeled attribution join on "
+            "these names, so a drifted literal silently drops time from "
+            "every report; add it to PHASES or fix the spelling",
+        )
+
+    def lint_phases(self) -> None:
+        """Flag phase-tag string literals outside the PHASES vocabulary."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "phase"
+                        and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)
+                    ):
+                        self._check_phase(
+                            kw.value.value, kw.value, "phase= argument"
+                        )
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr in _LEDGER_CHARGES
+                    and node.args
+                ):
+                    first = node.args[0]
+                    if isinstance(first, ast.Constant) and isinstance(
+                        first.value, str
+                    ):
+                        self._check_phase(
+                            first.value, first, f"{fn.attr}() charge"
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                a = node.args
+                pos = list(a.posonlyargs) + list(a.args)
+                for arg, default in zip(
+                    pos[len(pos) - len(a.defaults) :], a.defaults
+                ):
+                    if (
+                        arg.arg == "phase"
+                        and isinstance(default, ast.Constant)
+                        and isinstance(default.value, str)
+                    ):
+                        self._check_phase(
+                            default.value, default, "phase default"
+                        )
+                for arg, default in zip(a.kwonlyargs, a.kw_defaults):
+                    if (
+                        default is not None
+                        and arg.arg == "phase"
+                        and isinstance(default, ast.Constant)
+                        and isinstance(default.value, str)
+                    ):
+                        self._check_phase(
+                            default.value, default, "phase default"
+                        )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "phase"
+                        and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, str)
+                    ):
+                        self._check_phase(
+                            node.value.value,
+                            node.value,
+                            "phase attribute assignment",
+                        )
+
     # -- driving ------------------------------------------------------------
 
     @staticmethod
@@ -565,6 +679,7 @@ class _ModuleLinter:
 
         _scan(self.tree.body)
         self.finish_p2p()
+        self.lint_phases()
         self.findings.sort(key=lambda f: (f.line, f.rule_id))
         return self.findings
 

@@ -495,24 +495,37 @@ def lint_main(argv: Sequence[str] | None = None) -> int:
     return _lint_main(list(argv) if argv is not None else None)
 
 
+def prof_main(argv: Sequence[str] | None = None) -> int:
+    """``repro prof``: run an mp driver under the span profiler.
+
+    Imported lazily, like ``lint`` — the renderers pull in the
+    analysis stack.
+    """
+    from repro.observability.cli import prof_main as _prof_main
+
+    return _prof_main(list(argv) if argv is not None else None)
+
+
 _SUBCOMMANDS = {
     "sthosvd": sthosvd_main,
     "hooi": hooi_main,
     "resume": resume_main,
     "lint": lint_main,
+    "prof": prof_main,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Umbrella entry point: ``repro sthosvd|hooi|resume|lint ...``."""
+    """Umbrella entry point: ``repro sthosvd|hooi|resume|lint|prof ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(
-            "usage: repro {sthosvd,hooi,resume,lint} ...\n"
+            "usage: repro {sthosvd,hooi,resume,lint,prof} ...\n"
             "  sthosvd  run STHOSVD from a parameter file\n"
             "  hooi     run HOOI/HOSI (optionally rank-adaptive)\n"
             "  resume   continue an interrupted checkpointed run\n"
-            "  lint     static SPMD correctness lint (spmdlint)",
+            "  lint     static SPMD correctness lint (spmdlint)\n"
+            "  prof     profile an mp run (trace, metrics, attribution)",
             file=sys.stderr,
         )
         return 0 if argv else 2

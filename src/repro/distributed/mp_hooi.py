@@ -151,6 +151,7 @@ SPMDTreeEngine`, but each state carries a *signature* identifying the
         self.ttm_count = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
         self.core_state: tuple[np.ndarray, BlockLayout] | None = None
         #: Drivers disable this on non-final fixed-rank iterations: the
         #: core is only needed once, after the last sweep (the
@@ -230,6 +231,7 @@ SPMDTreeEngine`, but each state carries a *signature* identifying the
             for key in self._cache
             if any(m == mode for m, _ in key)
         ]
+        self.cache_evictions += len(stale)
         for key in stale:
             del self._cache[key]
 
@@ -263,7 +265,18 @@ SPMDTreeEngine`, but each state carries a *signature* identifying the
         self.ranks = tuple(int(r) for r in ranks)
         for m in range(len(self.versions)):
             self.versions[m] += 1
+        self.cache_evictions += len(self._cache)
         self._cache.clear()
+
+
+def _stamp_engine_metrics(prof, engine: MPTreeEngine) -> None:
+    """End-of-program gauges: the engine's lifetime TTM/cache counters."""
+    prof.metrics.gauge("ttm_count", float(engine.ttm_count))
+    prof.metrics.gauge("cache_hits", float(engine.cache_hits))
+    prof.metrics.gauge("cache_misses", float(engine.cache_misses))
+    prof.metrics.gauge(
+        "cache_evictions", float(engine.cache_evictions)
+    )
 
 
 def _direct_sweep(engine: MPTreeEngine, state: MPState, d: int) -> None:
@@ -284,7 +297,9 @@ class MPHooiStats:
     outer iteration — certified in the tests against
     :func:`repro.analysis.costs.hooi_ttm_count` (the core-forming TTM
     appears only in the final entry).  ``trace`` is rank 0's
-    phase-tagged collective trace.
+    phase-tagged collective trace.  ``profile`` is the gathered
+    :class:`~repro.observability.profile.RunProfile` when the run was
+    launched with ``CommConfig(profile=True)``, else ``None``.
     """
 
     per_iteration_ttms: list[int] = field(default_factory=list)
@@ -293,6 +308,7 @@ class MPHooiStats:
     used_tree: bool = True
     rule: str = "half"
     trace: CommTrace = field(default_factory=CommTrace)
+    profile: object | None = None
 
 
 @dataclass
@@ -309,6 +325,17 @@ class MPRankAdaptiveStats:
     used_tree: bool = True
     rule: str = "half"
     trace: CommTrace = field(default_factory=CommTrace)
+    profile: object | None = None
+
+
+def _gather_run_profile(profiles: dict[int, object]):
+    """Assemble ``run_spmd``'s profile_out dict into a RunProfile
+    (lazy import: observability is only loaded on profiled runs)."""
+    if not profiles:
+        return None
+    from repro.observability.profile import RunProfile
+
+    return RunProfile.from_ranks(profiles)
 
 
 def _hooi_rank_program(
@@ -372,7 +399,10 @@ def _hooi_rank_program(
         engine.cache_hits = int(resume.extra.get("cache_hits", 0))
         engine.cache_misses = int(resume.extra.get("cache_misses", 0))
     state: MPState = (x_block, x_layout, ())
+    prof = comm.profiler
     for it in range(start_it, max_iters):
+        if prof is not None:
+            prof.begin(f"sweep {it + 1}", "sweep")
         # The core feeds nothing until the run ends, so the trailing
         # TTM runs exactly once, after the final sweep.
         engine.form_core_enabled = it == max_iters - 1
@@ -387,6 +417,8 @@ def _hooi_rank_program(
             and comm.rank == 0
             and it + 1 < max_iters
         ):
+            if prof is not None:
+                prof.begin("checkpoint", "kernel")
             SweepCheckpoint(
                 algorithm="mp_hooi_dt",
                 iteration=it + 1,
@@ -403,9 +435,17 @@ def _hooi_rank_program(
                     "cache_misses": engine.cache_misses,
                 },
             ).save(checkpoint_path)
+            if prof is not None:
+                prof.metrics.observe(
+                    "checkpoint_write_seconds", prof.end()
+                )
+        if prof is not None:
+            prof.end()
 
     assert engine.core_state is not None
     core = mp_gather_core(comm, *engine.core_state)
+    if prof is not None:
+        _stamp_engine_metrics(prof, engine)
     stats = {
         "per_iteration_ttms": per_iter,
         "cache_hits": engine.cache_hits,
@@ -493,6 +533,7 @@ def mp_hooi_dt(
     checkpoint_path: str | None = None,
     resume_from: str | SweepCheckpoint | None = None,
     orthogonality_tol: float | None = None,
+    profile_out: dict[int, object] | None = None,
 ) -> tuple[TuckerTensor, MPHooiStats]:
     """Rank-specified HOOI on real processes (one per grid cell).
 
@@ -512,6 +553,9 @@ def mp_hooi_dt(
     non-final iteration; ``resume_from`` (a path or loaded checkpoint)
     restarts from one, bit-identically to an uninterrupted run.
     ``orthogonality_tol`` enables the per-update factor drift guard.
+    With ``comm_config.profile``, ``stats.profile`` carries the
+    gathered :class:`~repro.observability.profile.RunProfile` (and
+    ``profile_out``, when given, the raw per-rank profiles).
     """
     options = options or HOOIOptions()
     ranks = check_ranks(x.shape, ranks)
@@ -534,6 +578,7 @@ def mp_hooi_dt(
             f"ranks {tuple(ranks)}"
         )
 
+    prof_sink: dict[int, object] = {}
     outs = run_spmd(
         _hooi_dispatch,
         grid.size,
@@ -555,7 +600,10 @@ def mp_hooi_dt(
         transport=transport,
         config=comm_config,
         collective_timeout=collective_timeout,
+        profile_out=prof_sink,
     )
+    if profile_out is not None:
+        profile_out.update(prof_sink)
     core, factors, st = outs[0]
     assert core is not None and factors is not None
     stats = MPHooiStats(
@@ -565,6 +613,7 @@ def mp_hooi_dt(
         used_tree=st["used_tree"],
         rule=st["rule"],
         trace=st["trace"],
+        profile=_gather_run_profile(prof_sink),
     )
     return TuckerTensor(core=core, factors=factors), stats
 
@@ -644,7 +693,10 @@ def _rahosi_rank_program(
         engine.cache_misses = int(resume.extra.get("cache_misses", 0))
 
     state: MPState = (x_block, x_layout, ())
+    prof = comm.profiler
     for it in range(start_it + 1, opts.max_iters + 1):
+        if prof is not None:
+            prof.begin(f"sweep {it}", "sweep")
         t0 = time.perf_counter()
         before = engine.ttm_count
         # Alg. 3 consumes the core every iteration (norm-identity error
@@ -731,6 +783,8 @@ def _rahosi_rank_program(
             ranks = new_ranks
             engine.reset_factors(factors, ranks)
             if opts.stop_at_threshold:
+                if prof is not None:
+                    prof.end()
                 break
         else:
             if comm.rank == 0:
@@ -751,6 +805,8 @@ def _rahosi_rank_program(
                     # Post-growth snapshot: the expanded factors, the
                     # grown ranks, the bumped factor versions, and the
                     # generator state *after* the expand_factor draws.
+                    if prof is not None:
+                        prof.begin("checkpoint", "kernel")
                     SweepCheckpoint(
                         algorithm="mp_rahosi_dt",
                         iteration=it,
@@ -771,6 +827,12 @@ def _rahosi_rank_program(
                             "cache_misses": engine.cache_misses,
                         },
                     ).save(checkpoint_path)
+                    if prof is not None:
+                        prof.metrics.observe(
+                            "checkpoint_write_seconds", prof.end()
+                        )
+        if prof is not None:
+            prof.end()
 
     if result_core is None and comm.rank == 0:
         # Budget never met within max_iters; return the last iterate.
@@ -778,6 +840,8 @@ def _rahosi_rank_program(
         result_core = core
         result_factors = list(factors)
 
+    if prof is not None:
+        _stamp_engine_metrics(prof, engine)
     stats = {
         "x_norm": x_norm,
         "history": history,
@@ -814,6 +878,7 @@ def mp_rahosi_dt(
     checkpoint_path: str | None = None,
     resume_from: str | SweepCheckpoint | None = None,
     orthogonality_tol: float | None = None,
+    profile_out: dict[int, object] | None = None,
 ) -> tuple[TuckerTensor, MPRankAdaptiveStats]:
     """Error-specified rank-adaptive HOSI on real processes (Alg. 3).
 
@@ -850,6 +915,7 @@ def mp_rahosi_dt(
         max_iters=options.max_iters,
     )
 
+    prof_sink: dict[int, object] = {}
     outs = run_spmd(
         _rahosi_dispatch,
         grid.size,
@@ -869,7 +935,10 @@ def mp_rahosi_dt(
         transport=transport,
         config=comm_config,
         collective_timeout=collective_timeout,
+        profile_out=prof_sink,
     )
+    if profile_out is not None:
+        profile_out.update(prof_sink)
     core, factors, st = outs[0]
     assert core is not None and factors is not None
     stats = MPRankAdaptiveStats(
@@ -883,6 +952,7 @@ def mp_rahosi_dt(
         used_tree=st["used_tree"],
         rule=st["rule"],
         trace=st["trace"],
+        profile=_gather_run_profile(prof_sink),
     )
     return TuckerTensor(core=core, factors=factors), stats
 

@@ -66,11 +66,19 @@ def _rank_program(
                 comm, block, layout, coords, u, mode, phase="ttm"
             )
 
+    prof = comm.profiler
     for mode in range(start_mode, len(shape)):
+        if prof is not None:
+            # STHOSVD's outer loop is its "sweep": one pass per mode.
+            prof.begin(f"mode {mode}", "sweep")
         # --- parallel Gram (allgather + coord-0 local Gram + allreduce)
         # and replicated EVD + rank choice (every rank identical).
         g = mp_gram(comm, block, layout, coords, mode, phase="gram")
+        if prof is not None:
+            prof.begin("gram:evd", "kernel", "gram")
         sq_vals, vecs = gram_evd(g)
+        if prof is not None:
+            prof.end()
         if ranks is not None:
             r = ranks[mode]
         else:
@@ -97,6 +105,8 @@ def _rank_program(
             and comm.rank == 0
             and mode + 1 < len(shape)
         ):
+            if prof is not None:
+                prof.begin("checkpoint", "kernel")
             SweepCheckpoint(
                 algorithm="mp_sthosvd",
                 iteration=mode + 1,
@@ -106,6 +116,12 @@ def _rank_program(
                 factors=factors,
                 x_digest=x_digest,
             ).save(checkpoint_path)
+            if prof is not None:
+                prof.metrics.observe(
+                    "checkpoint_write_seconds", prof.end()
+                )
+        if prof is not None:
+            prof.end()
 
     # --- gather the core blocks at rank 0.
     core = mp_gather_core(comm, block, layout)
@@ -127,6 +143,7 @@ def mp_sthosvd(
     checkpoint_path: str | None = None,
     resume_from: str | SweepCheckpoint | None = None,
     orthogonality_tol: float | None = None,
+    profile_out: dict[int, object] | None = None,
 ) -> TuckerTensor:
     """Run STHOSVD on real processes (one per grid cell).
 
@@ -144,7 +161,9 @@ def mp_sthosvd(
     :class:`~repro.distributed.checkpoint.SweepCheckpoint` after every
     non-final mode; ``resume_from`` restarts from one, bit-identically
     to an uninterrupted run.  ``orthogonality_tol`` enables the
-    per-mode factor drift guard.
+    per-mode factor drift guard.  With ``comm_config.profile``,
+    ``profile_out`` receives each rank's
+    :class:`~repro.observability.spans.RankProfile`.
     """
     if ranks is None and eps is None:
         raise ValueError("mp_sthosvd needs ranks or eps")
@@ -206,6 +225,7 @@ def mp_sthosvd(
         transport=transport,
         config=comm_config,
         collective_timeout=collective_timeout,
+        profile_out=profile_out,
     )
     core, factors = outs[0]
     assert core is not None and factors is not None

@@ -1,0 +1,30 @@
+"""Measured-time observability for the process-parallel layer.
+
+The span profiler and metrics registry (:mod:`.spans`) record where
+wall-clock actually goes on a live mp run; :mod:`.profile` gathers the
+per-rank snapshots into a :class:`RunProfile` with Chrome-trace,
+metrics-JSON, and ASCII renderers.  Armed via
+``CommConfig(profile=True)``; zero cost when off.  The
+model-vs-measured join lives in :mod:`repro.analysis.attribution`.
+"""
+
+from repro.observability.profile import RunProfile, validate_chrome_trace
+from repro.observability.spans import (
+    SPAN_CATEGORIES,
+    Histogram,
+    MetricsRegistry,
+    RankProfile,
+    Span,
+    SpanProfiler,
+)
+
+__all__ = [
+    "SPAN_CATEGORIES",
+    "Histogram",
+    "MetricsRegistry",
+    "RankProfile",
+    "RunProfile",
+    "Span",
+    "SpanProfiler",
+    "validate_chrome_trace",
+]

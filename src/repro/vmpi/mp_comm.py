@@ -125,6 +125,13 @@ class RankFailureError(RuntimeError):
     ``exitcodes``
         ``rank -> exitcode`` for ranks whose *process* died (crashes
         and kills; absent for ordinary raised exceptions).
+    ``profiles``
+        ``rank -> RankProfile`` of every profile that reached the
+        launcher before the abort (``CommConfig.profile`` runs only):
+        the partial span buffers of the failed ranks — each including
+        its last *open* span with a start timestamp, so a hang is
+        attributable to a phase — plus full profiles from ranks that
+        finished first.  Empty when profiling was off.
     """
 
     def __init__(
@@ -135,12 +142,14 @@ class RankFailureError(RuntimeError):
         succeeded: Sequence[int] = (),
         aborted: Sequence[int] = (),
         exitcodes: dict[int, int] | None = None,
+        profiles: dict[int, object] | None = None,
     ) -> None:
         super().__init__(message)
         self.failed_ranks = tuple(failed)
         self.succeeded_ranks = tuple(succeeded)
         self.aborted_ranks = tuple(aborted)
         self.exitcodes = dict(exitcodes or {})
+        self.profiles = dict(profiles or {})
 
 
 @dataclass(frozen=True)
@@ -201,6 +210,22 @@ class CommConfig:
         ``shmfree`` credits), so traces and reductions stay
         bit-identical to a non-verify run.  Requires the ``"p2p"``
         transport.
+    profile:
+        Arm the per-rank span profiler and metrics registry
+        (:mod:`repro.observability`): nested spans for sweeps, phases,
+        kernels, and each collective, plus counters/gauges/histograms
+        (bytes moved, TTM flops, cache hits/evictions, checkpoint
+        write time, collective wait-vs-transfer split).  Profiles are
+        gathered by :func:`run_spmd` (``profile_out``) and attached to
+        :class:`RankFailureError` on failure.  Nothing on the payload
+        path is touched, so profiled runs stay bit- and
+        trace-identical to plain runs; when off (default) no profiler
+        exists and every boundary pays a single ``is None`` test, like
+        ``fault_plan``.  Requires the ``"p2p"`` transport.
+    profile_max_spans:
+        Span-buffer capacity per rank; once full, further spans are
+        counted in ``RankProfile.dropped`` instead of recorded
+        (metrics keep accumulating), bounding profiler memory.
     """
 
     collective_timeout: float = 60.0
@@ -212,6 +237,8 @@ class CommConfig:
     transient_retries: int = 0
     retry_backoff: float = 2.0
     verify: bool = False
+    profile: bool = False
+    profile_max_spans: int = 1 << 16
 
 
 # ---------------------------------------------------------------------------
@@ -338,6 +365,10 @@ class _PeerTransport:
         #: lazily by ProcessComm so the import stays one-directional).
         self.sanitizer = None
         self.monitor = None
+        #: profile mode only: the rank's SpanProfiler (installed by
+        #: ProcessComm) — recv() splits its time into blocked-wait vs
+        #: copy-out histograms.  None keeps the hot path at one test.
+        self.profiler = None
         #: verify mode only: dedicated per-pair duplex pipes for the
         #: signature/verdict control rounds (installed by run_spmd).
         #: ``mp.Queue.put`` hands every message to a feeder thread, so
@@ -548,7 +579,20 @@ class _PeerTransport:
     _PROBE_SLICE = 0.25
 
     def recv(self, src: int, tag: tuple, timeout: float | None = None) -> object:
-        return self._decode(src, self._recv_body(src, tag, timeout))
+        prof = self.profiler
+        if prof is None:
+            return self._decode(src, self._recv_body(src, tag, timeout))
+        # Wait-vs-transfer split: time blocked for the message versus
+        # time copying the payload out (shm memcpy / unpickle).
+        t0 = time.perf_counter()
+        body = self._recv_body(src, tag, timeout)
+        t1 = time.perf_counter()
+        out = self._decode(src, body)
+        prof.metrics.observe("collective_wait_seconds", t1 - t0)
+        prof.metrics.observe(
+            "collective_transfer_seconds", time.perf_counter() - t1
+        )
+        return out
 
     def _recv_body(
         self, src: int, tag: tuple, timeout: float | None
@@ -779,6 +823,17 @@ class ProcessComm:
             channel.sanitizer = _vrt.ShmSanitizer(rank)
             if board is not None and size > 1:
                 channel.monitor = _vrt.WaitMonitor(board, rank, size)
+        #: per-rank span profiler (repro.observability), imported
+        #: lazily like the verifier; None unless config.profile, so
+        #: every instrumented boundary pays one `is None` test.
+        self.profiler = None
+        if self.config.profile:
+            from repro.observability.spans import SpanProfiler
+
+            self.profiler = SpanProfiler(
+                rank, capacity=self.config.profile_max_spans
+            )
+            channel.profiler = self.profiler
 
     # -- plumbing -----------------------------------------------------------
 
@@ -979,7 +1034,14 @@ class ProcessComm:
         block = np.asarray(block)
         self._verify_collective("allreduce", group_t, op="sum", block=block)
         before = self._t.counters()
-        out, algorithm = self._allreduce(block, group_t)
+        prof = self.profiler
+        if prof is not None:
+            prof.begin("allreduce", "collective", self.phase)
+        try:
+            out, algorithm = self._allreduce(block, group_t)
+        finally:
+            if prof is not None:
+                prof.end()
         self._record("allreduce", algorithm, len(group_t), before)
         self._guard_numerics("allreduce", out)
         return out
@@ -999,7 +1061,14 @@ class ProcessComm:
             "reduce_scatter", group_t, op="sum", axis=axis, block=block
         )
         before = self._t.counters()
-        out, algorithm = self._reduce_scatter(block, axis, group_t)
+        prof = self.profiler
+        if prof is not None:
+            prof.begin("reduce_scatter", "collective", self.phase)
+        try:
+            out, algorithm = self._reduce_scatter(block, axis, group_t)
+        finally:
+            if prof is not None:
+                prof.end()
         self._record("reduce_scatter", algorithm, len(group_t), before)
         self._guard_numerics("reduce_scatter", out)
         return out
@@ -1016,7 +1085,14 @@ class ProcessComm:
         block = np.asarray(block)
         self._verify_collective("allgather", group_t, axis=axis, block=block)
         before = self._t.counters()
-        out, algorithm = self._allgather(block, axis, group_t)
+        prof = self.profiler
+        if prof is not None:
+            prof.begin("allgather", "collective", self.phase)
+        try:
+            out, algorithm = self._allgather(block, axis, group_t)
+        finally:
+            if prof is not None:
+                prof.end()
         self._record("allgather", algorithm, len(group_t), before)
         self._guard_numerics("allgather", out)
         return out
@@ -1032,7 +1108,14 @@ class ProcessComm:
         self._begin_collective()
         self._verify_collective("bcast", group_t, root=root, block=block)
         before = self._t.counters()
-        out = self._bcast(block, root, group_t)
+        prof = self.profiler
+        if prof is not None:
+            prof.begin("bcast", "collective", self.phase)
+        try:
+            out = self._bcast(block, root, group_t)
+        finally:
+            if prof is not None:
+                prof.end()
         self._record("bcast", "binomial", len(group_t), before)
         self._guard_numerics("bcast", out)
         return out
@@ -1049,7 +1132,14 @@ class ProcessComm:
         block = np.asarray(block)
         self._verify_collective("gather", group_t, root=root, block=block)
         before = self._t.counters()
-        out = self._gather(block, root, group_t)
+        prof = self.profiler
+        if prof is not None:
+            prof.begin("gather", "collective", self.phase)
+        try:
+            out = self._gather(block, root, group_t)
+        finally:
+            if prof is not None:
+                prof.end()
         self._record("gather", "binomial", len(group_t), before)
         self._guard_numerics("gather", out)
         return out
@@ -1061,7 +1151,14 @@ class ProcessComm:
         self._begin_collective()
         self._verify_collective("barrier", group_t)
         before = self._t.counters()
-        self._barrier(group_t)
+        prof = self.profiler
+        if prof is not None:
+            prof.begin("barrier", "collective", self.phase)
+        try:
+            self._barrier(group_t)
+        finally:
+            if prof is not None:
+                prof.end()
         self._record("barrier", "dissemination", len(group_t), before)
 
     # -- algorithm building blocks -----------------------------------------
@@ -1429,9 +1526,17 @@ class StarComm:
                 "every collective through the coordinator, which already "
                 "serializes matching)"
             )
+        if self.config.profile:
+            raise ValueError(
+                "profile mode requires the p2p transport (the star "
+                "coordinator serializes every collective, so its timings "
+                "measure the coordinator, not the algorithm)"
+            )
         self.trace = CommTrace()
         #: caller-set phase label (interface parity with ProcessComm).
         self.phase = ""
+        #: interface parity with ProcessComm (always None here).
+        self.profiler = None
         self._op_id = 0
         plan = self.config.fault_plan
         self._inj: FaultInjector | None = (
@@ -1620,12 +1725,19 @@ def _coordinator(
 
 
 def _failure_report(exc: BaseException, comm) -> dict:
-    """What a dying rank ships home: error, traceback, trace tail."""
-    return {
+    """What a dying rank ships home: error, traceback, trace tail —
+    and, when profiling, the partial profile whose ``open_span`` names
+    what the rank was doing (phase + wall-clock start) when it died."""
+    report = {
         "error": repr(exc),
         "traceback": traceback_mod.format_exc(),
         "trace_tail": comm.trace.tail(),
     }
+    prof = comm.profiler
+    if prof is not None:
+        prof.finalize_transport(comm._t)
+        report["profile"] = prof.rank_profile()
+    return report
 
 
 def _star_worker(
@@ -1678,6 +1790,11 @@ def _p2p_worker(
         # Verify mode: a leaked shm segment turns the rank's result
         # into an error *before* it is posted (SPMD213).
         comm.verify_shutdown()
+        if comm.profiler is not None:
+            comm.profiler.finalize_transport(channel)
+            result_queue.put(
+                (rank, "profile", comm.profiler.rank_profile())
+            )
         result_queue.put((rank, "ok", out))
     except InjectedRankCrash as exc:
         result_queue.put((rank, "crashed", _failure_report(exc, comm)))
@@ -1716,6 +1833,7 @@ def run_spmd(
     transport: str = "p2p",
     config: CommConfig | None = None,
     collective_timeout: float | None = None,
+    profile_out: dict[int, object] | None = None,
 ) -> list[object]:
     """Run ``fn(comm, *args)`` on ``size`` real processes.
 
@@ -1746,6 +1864,11 @@ def run_spmd(
         transient-stall retries.
     collective_timeout:
         Shorthand overriding ``config.collective_timeout``.
+    profile_out:
+        With ``config.profile``, filled with each rank's
+        :class:`~repro.observability.spans.RankProfile` — on success
+        all ranks, on failure whatever profiles reached the launcher
+        (also attached to the :class:`RankFailureError`).
     """
     if size < 1:
         raise ValueError("size must be positive")
@@ -1756,6 +1879,8 @@ def run_spmd(
         cfg = replace(cfg, collective_timeout=collective_timeout)
     if cfg.verify and transport != "p2p":
         raise ValueError("verify mode requires the p2p transport")
+    if cfg.profile and transport != "p2p":
+        raise ValueError("profile mode requires the p2p transport")
     ctx = mp.get_context("spawn" if mp.get_start_method() == "spawn" else "fork")
     result_queue: mp.Queue = ctx.Queue()
     run_token = uuid.uuid4().hex[:8]
@@ -1839,6 +1964,7 @@ def run_spmd(
 
     results: dict[int, object] = {}
     errors: dict[int, dict] = {}
+    profiles: dict[int, object] = {}  # rank -> RankProfile
     dead: dict[int, int] = {}  # rank -> exitcode, no result posted
     timed_out = False
     abort_deadline: float | None = None
@@ -1873,6 +1999,10 @@ def run_spmd(
                     abort_deadline = time.monotonic() + _ABORT_GRACE
                 elif not dead and not errors:
                     abort_deadline = None
+                continue
+            if status == "profile":
+                # Precedes the rank's "ok"; not a completion signal.
+                profiles[rank] = payload
                 continue
             if status == "ok":
                 results[rank] = payload
@@ -1920,11 +2050,37 @@ def run_spmd(
             for r in range(size)
             if r not in results and r not in errors and r not in dead
         )
+        # Failed ranks embed their partial profile in the failure
+        # report; fold them into the gathered set so the error carries
+        # every profile that reached the launcher.
+        for r, rep in errors.items():
+            if rep.get("profile") is not None:
+                profiles[r] = rep["profile"]
+        if profile_out is not None:
+            profile_out.update(profiles)
         lines = []
         for r in failed:
             if r in errors:
                 rep = errors[r]
                 lines.append(f"rank {r} failed: {rep['error']}")
+                prof = rep.get("profile")
+                open_span = (
+                    prof.open_span if prof is not None else None
+                )
+                if open_span is not None:
+                    lines.append(
+                        f"rank {r} last open span: "
+                        f"'{open_span['name']}' "
+                        f"({open_span['category']}"
+                        + (
+                            f", phase {open_span['phase']}"
+                            if open_span["phase"]
+                            else ""
+                        )
+                        + f") started t+{open_span['start']:.3f}s "
+                        f"(unix {open_span['wall_start']:.3f}), open "
+                        f"{open_span['open_for']:.3f}s at failure"
+                    )
                 tail = rep.get("trace_tail") or []
                 if tail:
                     lines.append(f"rank {r} last collectives:")
@@ -1957,5 +2113,8 @@ def run_spmd(
             succeeded=succeeded,
             aborted=aborted,
             exitcodes=dead,
+            profiles=profiles,
         )
+    if profile_out is not None:
+        profile_out.update(profiles)
     return [results[r] for r in range(size)]

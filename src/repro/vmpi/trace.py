@@ -23,12 +23,31 @@ from repro.vmpi.cost import CostKind, CostLedger
 from repro.vmpi.machine import MachineModel
 
 __all__ = [
+    "PHASES",
     "CollectiveRecord",
     "CommTrace",
     "TraceEvent",
     "TracingLedger",
+    "render_lanes",
     "render_timeline",
 ]
+
+#: Canonical phase vocabulary, shared by every layer that attributes
+#: work to an algorithm phase: the executed mp layer
+#: (:attr:`CollectiveRecord.phase` / :meth:`CommTrace.for_phase` and
+#: the span profiler's phase spans) and the simulator's
+#: :class:`~repro.vmpi.cost.CostLedger` charges.  The first row is the
+#: executed vocabulary, the second the simulator's compute phases, the
+#: third its communication phases.  Drivers must tag work with one of
+#: these (or the empty string, meaning "untagged"); the static lint
+#: rule SPMD106 enforces the vocabulary over every string literal that
+#: flows into a ``phase`` keyword/attribute or a ledger charge.
+PHASES = frozenset({
+    "ttm", "llsv", "gram", "core",
+    "evd", "subspace", "qrcp", "core_analysis",
+    "ttm_comm", "gram_comm", "subspace_comm",
+    "redistribute_comm", "core_comm",
+})
 
 
 @dataclass(frozen=True)
@@ -167,39 +186,61 @@ class TracingLedger(CostLedger):
         return dt
 
 
+def render_lanes(
+    lanes: list[tuple[str, list[tuple[float, float]]]],
+    *,
+    width: int = 72,
+    total: float | None = None,
+    lane_header: str = "phase",
+    unit: str = "simulated s",
+) -> str:
+    """ASCII timeline: one lane per label, ``#`` marks busy intervals.
+
+    Each lane is ``(label, [(start, end), ...])`` on a shared clock.
+    Intervals shorter than one column still print a single mark so
+    brief steps (latency-bound collectives) remain visible.  Shared by
+    :func:`render_timeline` (one lane per simulated phase) and the
+    span profiler's measured timeline (one lane per rank).
+    """
+    intervals = [iv for _, ivs in lanes for iv in ivs]
+    if not intervals:
+        return "(no events)"
+    if total is None:
+        total = max(end for _, end in intervals)
+    if total <= 0:
+        return "(zero-duration trace)"
+    label_w = max(len(lbl) for lbl, _ in lanes) + 1
+    lines = [
+        f"{lane_header.ljust(label_w)}|{'-' * width}| total "
+        f"{total:.4g} {unit}"
+    ]
+    for label, ivs in lanes:
+        lane = [" "] * width
+        busy = 0.0
+        for start, end in ivs:
+            a = int(start / total * width)
+            b = max(int(end / total * width), a + 1)
+            for i in range(a, min(b, width)):
+                lane[i] = "#"
+            busy += end - start
+        lines.append(
+            f"{label.ljust(label_w)}|{''.join(lane)}| {busy:.4g}s"
+        )
+    return "\n".join(lines)
+
+
 def render_timeline(
     events: list[TraceEvent], *, width: int = 72
 ) -> str:
-    """ASCII timeline: one lane per phase, ``#`` marks busy intervals.
-
-    Events shorter than one column still print a single mark so brief
-    steps (latency-bound collectives) remain visible.
-    """
+    """ASCII timeline of a simulated trace: one lane per phase."""
     if not events:
         return "(no events)"
-    total = max(e.end for e in events)
-    if total <= 0:
-        return "(zero-duration trace)"
-    phases = []
+    phases: list[str] = []
     for e in events:
         if e.phase not in phases:
             phases.append(e.phase)
-    label_w = max(len(p) for p in phases) + 1
-    lines = [
-        f"{'phase'.ljust(label_w)}|{'-' * width}| total "
-        f"{total:.4g} simulated s"
+    lanes = [
+        (p, [(e.start, e.end) for e in events if e.phase == p])
+        for p in phases
     ]
-    for phase in phases:
-        lane = [" "] * width
-        for e in events:
-            if e.phase != phase:
-                continue
-            a = int(e.start / total * width)
-            b = max(int(e.end / total * width), a + 1)
-            for i in range(a, min(b, width)):
-                lane[i] = "#"
-        secs = sum(e.seconds for e in events if e.phase == phase)
-        lines.append(
-            f"{phase.ljust(label_w)}|{''.join(lane)}| {secs:.4g}s"
-        )
-    return "\n".join(lines)
+    return render_lanes(lanes, width=width)

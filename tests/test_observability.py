@@ -1,0 +1,458 @@
+"""Span profiler, metrics, renderers, and the attribution report.
+
+Certifies the observability contract of the mp layer: profiled runs
+are bit-identical to unprofiled ones for every driver, the gathered
+``RunProfile`` renders a valid Chrome trace with one lane per rank,
+per-rank metrics carry the documented counters/gauges/histograms, a
+failed rank ships its partial profile and last open span inside
+``RankFailureError``, and the measured-vs-modeled attribution report
+stays machine-parseable.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.attribution import (
+    attribution_rows,
+    collective_rows,
+    format_attribution_report,
+    parse_attribution_report,
+)
+from repro.core.hooi import HOOIOptions
+from repro.core.rank_adaptive import RankAdaptiveOptions
+from repro.distributed.mp_hooi import mp_hooi_dt, mp_rahosi_dt
+from repro.distributed.mp_sthosvd import mp_sthosvd
+from repro.observability.profile import RunProfile, validate_chrome_trace
+from repro.observability.spans import (
+    Histogram,
+    RankProfile,
+    Span,
+    SpanProfiler,
+    merge_intervals,
+)
+from repro.tensor.random import tucker_plus_noise
+from repro.vmpi.faults import FaultPlan
+from repro.vmpi.mp_comm import (
+    CommConfig,
+    ProcessComm,
+    RankFailureError,
+    run_spmd,
+)
+from repro.vmpi.trace import PHASES
+
+SHAPE, RANKS, GRID = (12, 10, 8), (4, 3, 3), (2, 2, 1)
+
+
+def _tensor() -> np.ndarray:
+    return tucker_plus_noise(SHAPE, RANKS, noise=1e-4, seed=0)
+
+
+# Module-level SPMD programs (must be picklable).
+
+
+def _prog_profiled_crash(comm: ProcessComm) -> float:
+    prof = comm.profiler
+    if prof is not None:
+        prof.begin("stuck step", "phase", "ttm")
+    comm.phase = "ttm"
+    out = np.zeros(4)
+    for _ in range(4):
+        out = out + comm.allreduce(np.ones(4))
+    if prof is not None:
+        prof.end()
+    return float(out.sum())
+
+
+def _prog_trivial(comm: ProcessComm) -> float:
+    return float(comm.allreduce(np.ones(2)).sum())
+
+
+class TestSpanProfiler:
+    def test_nesting_depth_and_order(self):
+        prof = SpanProfiler(rank=0)
+        prof.begin("sweep 1", "sweep")
+        prof.begin("ttm", "phase", "ttm")
+        prof.begin("allreduce", "collective", "ttm")
+        prof.end()
+        prof.end()
+        prof.end()
+        cats = [(s.name, s.category, s.depth) for s in prof.spans]
+        # Spans close innermost-first; depth is the enclosing count.
+        assert cats == [
+            ("allreduce", "collective", 2),
+            ("ttm", "phase", 1),
+            ("sweep 1", "sweep", 0),
+        ]
+        assert all(s.seconds >= 0 for s in prof.spans)
+
+    def test_end_returns_duration(self):
+        prof = SpanProfiler(rank=0)
+        prof.begin("k", "kernel")
+        time.sleep(0.01)
+        dt = prof.end()
+        assert dt >= 0.009
+        assert prof.spans[0].seconds == dt
+
+    def test_capacity_keeps_earliest_and_counts_drops(self):
+        prof = SpanProfiler(rank=0, capacity=3)
+        for i in range(5):
+            prof.begin(f"s{i}", "kernel")
+            prof.end()
+        assert [s.name for s in prof.spans] == ["s0", "s1", "s2"]
+        assert prof.dropped == 2
+        assert prof.rank_profile().dropped == 2
+
+    def test_open_span_reports_innermost(self):
+        prof = SpanProfiler(rank=1)
+        assert prof.open_span() is None
+        prof.begin("sweep 1", "sweep")
+        prof.begin("gram", "phase", "gram")
+        info = prof.open_span()
+        assert info is not None
+        assert info["name"] == "gram"
+        assert info["phase"] == "gram"
+        assert info["open_for"] >= 0
+        assert info["wall_start"] == pytest.approx(
+            prof.wall_origin + info["start"]
+        )
+
+    def test_rank_profile_is_picklable_snapshot(self):
+        import pickle
+
+        prof = SpanProfiler(rank=2)
+        prof.begin("x", "kernel")
+        prof.end()
+        prof.metrics.inc("ttm_flops", 10.0)
+        prof.metrics.observe("checkpoint_write_seconds", 0.5)
+        snap = pickle.loads(pickle.dumps(prof.rank_profile()))
+        assert snap.rank == 2
+        assert snap.metrics["counters"]["ttm_flops"] == 10.0
+        hist = snap.metrics["histograms"]["checkpoint_write_seconds"]
+        assert hist["count"] == 1 and hist["total"] == 0.5
+
+
+class TestHistogramAndIntervals:
+    def test_histogram_stats(self):
+        h = Histogram()
+        for v in (0.5, 1.0, 2.0, 2.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["total"] == 5.5
+        assert snap["min"] == 0.5 and snap["max"] == 2.0
+        assert sum(snap["buckets"].values()) == 4
+
+    def test_empty_histogram(self):
+        assert Histogram().snapshot() == {"count": 0, "total": 0.0}
+
+    def test_merge_intervals_unions_nested(self):
+        merged = merge_intervals([(0.0, 2.0), (1.0, 1.5), (3.0, 4.0)])
+        assert merged == [(0.0, 2.0), (3.0, 4.0)]
+
+    def test_phase_seconds_is_union_not_sum(self):
+        # A nested same-phase span (the mp_subspace_llsv-inside-mp_ttm
+        # shape) must not double-count.
+        spans = (
+            Span("ttm", "phase", "ttm", 0.0, 2.0, 0),
+            Span("ttm", "phase", "ttm", 0.5, 1.0, 1),
+        )
+        p = RankProfile(
+            rank=0,
+            wall_origin=0.0,
+            spans=spans,
+            dropped=0,
+            metrics={},
+        )
+        assert p.phase_seconds() == {"ttm": 2.0}
+        assert p.phase_intervals() == {"ttm": [(0.0, 2.0)]}
+
+
+def _profiled_pair(driver):
+    """Run ``driver(profile_cfg, sink)`` and ``driver(None, None)``."""
+    sink: dict[int, object] = {}
+    plain = driver(None, None)
+    profiled = driver(CommConfig(profile=True), sink)
+    return plain, profiled, sink
+
+
+class TestBitIdentity:
+    def test_mp_hooi_dt(self):
+        x = _tensor()
+        opts = HOOIOptions(use_dimension_tree=True, max_iters=2, seed=0)
+
+        def drive(cfg, sink):
+            return mp_hooi_dt(
+                x, RANKS, GRID, opts, comm_config=cfg, profile_out=sink
+            )[0]
+
+        plain, profiled, sink = _profiled_pair(drive)
+        assert np.array_equal(plain.core, profiled.core)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(plain.factors, profiled.factors)
+        )
+        assert sorted(sink) == [0, 1, 2, 3]
+
+    def test_mp_rahosi_dt(self):
+        x = _tensor()
+        opts = RankAdaptiveOptions(
+            max_iters=2, use_dimension_tree=True, seed=0
+        )
+
+        def drive(cfg, sink):
+            return mp_rahosi_dt(
+                x,
+                0.3,
+                (2, 2, 2),
+                GRID,
+                opts,
+                comm_config=cfg,
+                profile_out=sink,
+            )[0]
+
+        plain, profiled, sink = _profiled_pair(drive)
+        assert np.array_equal(plain.core, profiled.core)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(plain.factors, profiled.factors)
+        )
+        assert sorted(sink) == [0, 1, 2, 3]
+
+    def test_mp_sthosvd(self):
+        x = _tensor()
+
+        def drive(cfg, sink):
+            return mp_sthosvd(
+                x, GRID, ranks=RANKS, comm_config=cfg, profile_out=sink
+            )
+
+        plain, profiled, sink = _profiled_pair(drive)
+        assert np.array_equal(plain.core, profiled.core)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(plain.factors, profiled.factors)
+        )
+        assert sorted(sink) == [0, 1, 2, 3]
+
+
+class TestGatheredProfile:
+    @pytest.fixture(scope="class")
+    def run(self):
+        """One profiled mp_hooi_dt run shared by the render tests."""
+        x = _tensor()
+        sink: dict[int, object] = {}
+        opts = HOOIOptions(use_dimension_tree=True, max_iters=2, seed=0)
+        _, stats = mp_hooi_dt(
+            x,
+            RANKS,
+            GRID,
+            opts,
+            comm_config=CommConfig(profile=True),
+            profile_out=sink,
+        )
+        return RunProfile.from_ranks(sink), stats
+
+    def test_stats_carries_the_profile(self, run):
+        _, stats = run
+        assert isinstance(stats.profile, RunProfile)
+        assert stats.profile.size == 4
+
+    def test_chrome_trace_valid_one_lane_per_rank(self, run):
+        profile, _ = run
+        trace = profile.chrome_trace()
+        validate_chrome_trace(trace)
+        json.dumps(trace)  # must be serializable as-is
+        tids = {
+            e["tid"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert tids == {0, 1, 2, 3}
+        names = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {f"rank {r}" for r in range(4)}
+
+    def test_span_vocabulary(self, run):
+        profile, _ = run
+        p0 = profile.ranks[0]
+        cats = {s.category for s in p0.spans}
+        assert cats == {"sweep", "phase", "kernel", "collective"}
+        assert {s.phase for s in p0.spans if s.phase} <= PHASES
+        sweeps = [s.name for s in p0.by_category("sweep")]
+        assert sweeps.count("sweep 1") == 1
+        assert sweeps.count("sweep 2") == 1
+
+    def test_metrics_presence(self, run):
+        profile, _ = run
+        payload = profile.metrics()
+        assert sorted(payload["ranks"]) == ["0", "1", "2", "3"]
+        for rank_metrics in payload["ranks"].values():
+            assert rank_metrics["spans"] > 0
+            assert rank_metrics["counters"]["ttm_flops"] > 0
+            gauges = rank_metrics["gauges"]
+            for name in (
+                "ttm_count",
+                "cache_hits",
+                "cache_misses",
+                "cache_evictions",
+                "sent_bytes",
+                "recv_bytes",
+            ):
+                assert name in gauges
+            hists = rank_metrics["histograms"]
+            assert hists["collective_wait_seconds"]["count"] > 0
+            assert hists["collective_transfer_seconds"]["count"] > 0
+
+    def test_timeline_renders_rank_lanes(self, run):
+        profile, _ = run
+        text = profile.timeline()
+        assert "rank 0" in text and "rank 3" in text
+        assert "measured s" in text
+
+    def test_attribution_report_round_trip(self, run):
+        profile, _ = run
+        report = format_attribution_report(profile)
+        rows = parse_attribution_report(report)
+        assert {r["phase"] for r in rows} >= {"ttm", "llsv"}
+        for row in rows:
+            float(row["measured mean s"])
+            float(row["imbalance"])
+            float(row["critical path s"])
+        assert collective_rows(profile)
+
+    def test_checkpoint_write_histogram(self, tmp_path):
+        x = _tensor()
+        sink: dict[int, object] = {}
+        opts = HOOIOptions(use_dimension_tree=True, max_iters=2, seed=0)
+        mp_hooi_dt(
+            x,
+            RANKS,
+            GRID,
+            opts,
+            comm_config=CommConfig(profile=True),
+            checkpoint_path=str(tmp_path / "ck.npz"),
+            profile_out=sink,
+        )
+        hists = sink[0].metrics["histograms"]
+        assert hists["checkpoint_write_seconds"]["count"] >= 1
+
+
+class TestFailurePath:
+    def test_failed_rank_ships_partial_profile(self):
+        cfg = CommConfig(
+            profile=True,
+            fault_plan=FaultPlan.kill(1, op_index=2, hard=False),
+        )
+        with pytest.raises(RankFailureError) as exc_info:
+            run_spmd(_prog_profiled_crash, 4, config=cfg, timeout=60.0)
+        err = exc_info.value
+        assert 1 in err.profiles
+        partial = err.profiles[1]
+        assert partial.open_span is not None
+        assert partial.open_span["name"] == "stuck step"
+        assert partial.open_span["phase"] == "ttm"
+        assert "last open span" in str(err)
+        assert "'stuck step'" in str(err)
+
+    def test_profile_requires_p2p(self):
+        with pytest.raises(ValueError, match="p2p"):
+            run_spmd(
+                _prog_trivial,
+                2,
+                transport="star",
+                config=CommConfig(profile=True),
+                timeout=30.0,
+            )
+
+
+class TestAttributionSynthetic:
+    @staticmethod
+    def _profile() -> RunProfile:
+        def rank(r: int, ttm: float, llsv: float) -> RankProfile:
+            return RankProfile(
+                rank=r,
+                wall_origin=100.0 + r,
+                spans=(
+                    Span("ttm", "phase", "ttm", 0.0, ttm, 0),
+                    Span(
+                        "allreduce", "collective", "ttm", 0.1, ttm / 2, 1
+                    ),
+                    Span("llsv", "phase", "llsv", ttm, llsv, 0),
+                ),
+                dropped=0,
+                metrics={
+                    "counters": {},
+                    "gauges": {},
+                    "histograms": {
+                        "collective_wait_seconds": {
+                            "count": 1,
+                            "total": 0.3,
+                        },
+                        "collective_transfer_seconds": {
+                            "count": 1,
+                            "total": 0.1,
+                        },
+                    },
+                },
+            )
+
+        return RunProfile([rank(0, 1.0, 1.0), rank(1, 3.0, 1.0)])
+
+    def test_rows_imbalance_and_critical_path(self):
+        rows = {
+            r.phase: r for r in attribution_rows(self._profile())
+        }
+        ttm = rows["ttm"]
+        assert ttm.mean_s == pytest.approx(2.0)
+        assert ttm.max_s == pytest.approx(3.0)
+        assert ttm.imbalance == pytest.approx(1.5)
+        # One instance per rank; the slowest rank took 3s.
+        assert ttm.critical_path_s == pytest.approx(3.0)
+        assert ttm.model_s is None and ttm.flag == ""
+
+    def test_divergence_flag_on_shares(self):
+        # Measured shares: ttm 2/3, llsv 1/3.  Modeled shares: ttm
+        # 0.1 (ratio 6.7 -> divergent), llsv 0.4 (ratio 1.2 ->
+        # clean); the core_comm charge has no measured row and only
+        # feeds the model total.
+        model = {"ttm": 1.0, "gram": 4.0, "core_comm": 5.0}
+        rows = {
+            r.phase: r
+            for r in attribution_rows(self._profile(), model)
+        }
+        assert rows["ttm"].flag == "DIVERGENT"
+        assert rows["llsv"].flag == ""
+
+    def test_report_round_trip_with_model(self):
+        model = {"ttm": 1.0, "gram": 1.0}
+        report = format_attribution_report(
+            self._profile(), model, model_label="dist_hooi"
+        )
+        assert "model: dist_hooi" in report
+        assert "blocked wait" in report
+        rows = parse_attribution_report(report)
+        assert {r["phase"] for r in rows} == {"ttm", "llsv"}
+
+    def test_parse_rejects_reportless_text(self):
+        with pytest.raises(ValueError):
+            parse_attribution_report("nothing to see here")
+
+
+class TestChromeTraceValidation:
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": []})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "Z", "name": "x"}]}
+            )
+
+    def test_empty_run_profile_rejected(self):
+        with pytest.raises(ValueError):
+            RunProfile([])

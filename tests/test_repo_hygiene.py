@@ -1,0 +1,41 @@
+"""Repository hygiene: no Python bytecode may be tracked by git.
+
+A ``.pyc`` (or anything under ``__pycache__``) that slips into the
+index shadows source edits in subtle ways and bloats every clone; this
+tier-1 test keeps the index clean permanently.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _tracked_files() -> list[str]:
+    proc = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    if proc.returncode != 0:
+        pytest.skip(f"git ls-files failed: {proc.stderr.strip()}")
+    return proc.stdout.splitlines()
+
+
+def test_no_bytecode_tracked() -> None:
+    if shutil.which("git") is None or not (REPO_ROOT / ".git").exists():
+        pytest.skip("not a git checkout")
+    offenders = [
+        path
+        for path in _tracked_files()
+        if path.endswith(".pyc") or "__pycache__" in path.split("/")
+    ]
+    assert not offenders, (
+        "compiled bytecode is tracked by git (run 'git rm --cached' on "
+        f"these and gitignore them): {offenders}"
+    )

@@ -18,7 +18,7 @@ def ids(findings):
 
 class TestRuleRegistry:
     def test_ids_unique_and_well_formed(self):
-        assert len(RULES) == 11
+        assert len(RULES) == 12
         for rid, r in RULES.items():
             assert rid == r.id
             assert rid.startswith("SPMD")
@@ -27,7 +27,7 @@ class TestRuleRegistry:
 
     def test_static_dynamic_split(self):
         static = {r.id for r in RULES.values() if r.tier == "static"}
-        assert static == {f"SPMD10{i}" for i in range(1, 6)}
+        assert static == {f"SPMD10{i}" for i in range(1, 7)}
 
 
 class TestSPMD101:
@@ -276,6 +276,64 @@ def roundtrip(n):
     return data
 """
         assert lint_source(src) == []
+
+
+class TestSPMD106:
+    def test_drifted_phase_keyword(self):
+        src = """
+def kernel(comm, block):
+    comm.allreduce(block, phase="gramm")
+"""
+        assert "SPMD106" in ids(lint_source(src))
+
+    def test_drifted_phase_default(self):
+        src = """
+def kernel(comm, block, phase="ttm_typo"):
+    comm.allreduce(block)
+"""
+        assert "SPMD106" in ids(lint_source(src))
+
+    def test_drifted_phase_attribute(self):
+        src = """
+def prog(comm):
+    comm.phase = "lsv"
+"""
+        assert "SPMD106" in ids(lint_source(src))
+
+    def test_drifted_ledger_charge(self):
+        src = """
+def price(ledger):
+    ledger.comm("subspace_com", 10.0, 2.0)
+"""
+        assert "SPMD106" in ids(lint_source(src))
+
+    def test_known_phases_and_untagged_are_clean(self):
+        src = """
+def kernel(comm, block, phase="ttm"):
+    comm.phase = "llsv"
+    comm.phase = ""
+    comm.allreduce(block, phase="gram")
+
+def price(ledger):
+    ledger.comm("gram_comm", 10.0)
+    ledger.compute("evd", 1.0, 2.0)
+"""
+        assert "SPMD106" not in ids(lint_source(src))
+
+    def test_non_literal_tags_are_skipped(self):
+        src = """
+def kernel(comm, block, phase):
+    comm.allreduce(block, phase=phase)
+    ledger.comm(f"{phase}_comm", 4.0)
+"""
+        assert "SPMD106" not in ids(lint_source(src))
+
+    def test_vocabulary_matches_trace_module(self):
+        from repro.vmpi.trace import PHASES
+
+        srcs = [f'def f(comm, x):\n    comm.phase = "{p}"\n' for p in PHASES]
+        for src in srcs:
+            assert "SPMD106" not in ids(lint_source(src))
 
 
 class TestFilteringAndBaseline:

@@ -106,10 +106,12 @@ class TestCommTracePhases:
 
     @staticmethod
     def dummy_comm():
-        """The minimum _comm_phase needs: a mutable ``phase`` slot."""
+        """The minimum _comm_phase needs: a mutable ``phase`` slot and
+        the (disabled) profiler hook it probes on entry/exit."""
 
         class _Dummy:
             phase = ""
+            profiler = None
 
         return _Dummy()
 
