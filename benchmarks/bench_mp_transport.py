@@ -1,16 +1,29 @@
-"""Transport shoot-out: peer-to-peer shared-memory vs legacy star.
+"""Transport shoot-out: shared-memory vs tcp vs legacy star.
 
 Times the three bandwidth-bound collectives (allreduce, reduce-scatter,
 allgather) on real processes at p = 4 across payload sizes from 8 KiB
 to 8 MiB, comparing the pooled shared-memory peer-to-peer transport
-against the legacy coordinator-star transport it replaced.  The star
-serializes every block twice (rank -> coordinator -> rank, both
-pickled), so the p2p path must win decisively once payloads are large
-enough for bandwidth to dominate — the table asserts it does on every
->= 1 MiB row.  (Small payloads are latency-bound, and on an
-oversubscribed host the star's single sequential coordinator is a
-scheduling-friendly shape; those rows document the crossover rather
-than assert on it.)
+against the tcp socket transport and the legacy coordinator-star
+transport.  The star serializes every block twice (rank ->
+coordinator -> rank, both pickled), so the p2p path must win
+decisively once payloads are large enough for bandwidth to dominate —
+the table asserts it does on every >= 1 MiB row.  (Small payloads are
+latency-bound, and on an oversubscribed host the star's single
+sequential coordinator is a scheduling-friendly shape; those rows
+document the crossover rather than assert on it.)
+
+The shm-vs-tcp pairing is reported through the postal model: per
+collective, the measured (bytes, seconds) samples of each wire are
+least-squares fitted to ``t = alpha + beta * bytes``
+(:func:`repro.vmpi.collectives.fit_alpha_beta`) and the payload size
+where the lines cross
+(:func:`repro.vmpi.collectives.transport_crossover_bytes`) is the
+break-even point — below it the lower-alpha wire wins, above it the
+lower-beta one.  On one host shm should dominate everywhere
+(crossover ``inf``); the fitted alphas/betas are what a multi-host
+deployment needs to predict when sockets stop hurting.  No assertion
+rides on the fit — loopback tcp numbers are a model input, not a
+performance claim.
 
 Timing happens *inside* the ranks (process spawn/join excluded); the
 reported figure is the slowest rank's per-call time, best of two runs.
@@ -18,6 +31,7 @@ reported figure is the slowest rank's per-call time, best of two runs.
 
 from __future__ import annotations
 
+import math
 import os
 import time
 
@@ -25,6 +39,7 @@ import numpy as np
 
 from _util import save_result
 from repro.analysis.reporting import format_table
+from repro.vmpi.collectives import fit_alpha_beta, transport_crossover_bytes
 from repro.vmpi.mp_comm import run_spmd
 
 #: CI smoke mode: tiny payloads, one trial, no speedup assertions —
@@ -85,30 +100,71 @@ def _time_collective(transport: str, op: str, words: int) -> float:
     return best
 
 
+def _crossover_rows(samples: dict[str, dict[str, list]]) -> list[list]:
+    """Fit the postal model per op and locate the shm/tcp break-even."""
+    rows = []
+    for op in OPS:
+        s = samples[op]
+        shm_fit = fit_alpha_beta(s["bytes"], s["shm"])
+        tcp_fit = fit_alpha_beta(s["bytes"], s["tcp"])
+        cross = transport_crossover_bytes(shm_fit, tcp_fit)
+        rows.append([
+            op,
+            shm_fit[0] * 1e6, shm_fit[1] * 1e9,
+            tcp_fit[0] * 1e6, tcp_fit[1] * 1e9,
+            "inf" if math.isinf(cross) else f"{cross:.0f}",
+        ])
+    return rows
+
+
 def test_mp_transport_shootout(benchmark):
     def run():
         rows = []
         speedups_1mib_up = []
+        samples: dict[str, dict[str, list]] = {
+            op: {"bytes": [], "shm": [], "tcp": []} for op in OPS
+        }
         for label, words in SIZES:
             for op in OPS:
                 t_star = _time_collective("star", op, words)
                 t_p2p = _time_collective("p2p", op, words)
+                t_tcp = _time_collective("tcp", op, words)
                 speedup = t_star / t_p2p
                 rows.append(
                     [op, label, words * 8, t_star * 1e3, t_p2p * 1e3,
-                     speedup]
+                     t_tcp * 1e3, speedup]
                 )
+                samples[op]["bytes"].append(words * 8)
+                samples[op]["shm"].append(t_p2p)
+                samples[op]["tcp"].append(t_tcp)
                 if words * 8 >= 1 << 20:
                     speedups_1mib_up.append((op, label, speedup))
-        return rows, speedups_1mib_up
+        return rows, speedups_1mib_up, samples
 
-    rows, speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows, speedups, samples = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
     save_result(
         "mp_transport",
         format_table(
-            ["op", "payload", "bytes", "star ms", "p2p ms", "speedup"],
+            ["op", "payload", "bytes", "star ms", "p2p ms", "tcp ms",
+             "speedup"],
             rows,
-            title=f"star vs p2p transport, p={P} (per-call, slowest rank)",
+            title=(
+                f"star vs p2p vs tcp transport, p={P} "
+                f"(per-call, slowest rank; speedup = star/p2p)"
+            ),
+        )
+        + "\n\n"
+        + format_table(
+            ["op", "shm alpha us", "shm beta ns/B", "tcp alpha us",
+             "tcp beta ns/B", "crossover bytes"],
+            _crossover_rows(samples),
+            title=(
+                "postal-model fit t = alpha + beta*bytes per wire; "
+                "crossover = payload where tcp stops losing "
+                "(inf: shm wins at every size)"
+            ),
         ),
     )
     if SMOKE:

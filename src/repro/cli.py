@@ -44,7 +44,7 @@ from repro.distributed.sthosvd import dist_sthosvd
 from repro.linalg.llsv import LLSVMethod
 from repro.tensor.random import tucker_plus_noise
 
-__all__ = ["sthosvd_main", "hooi_main", "resume_main", "main"]
+__all__ = ["sthosvd_main", "hooi_main", "resume_main", "run_main", "main"]
 
 #: File names inside a ``--checkpoint-dir``.
 CHECKPOINT_NAME = "checkpoint.npz"
@@ -484,6 +484,151 @@ def resume_main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+def run_main(argv: Sequence[str] | None = None) -> int:
+    """``repro run``: execute on the process-parallel layer with an
+    explicit transport backend.
+
+    ``--backend shm`` (default) forks ranks that exchange payloads
+    through the pooled shared-memory transport; ``--backend tcp``
+    connects the ranks over loopback TCP sockets instead — same
+    drivers, same collectives, bit-identical results (the
+    backend-parameterized conformance matrix in the test suite holds
+    them to that).  ``--smoke`` runs a tiny conformance program:
+    under tcp it exercises the full launcher shim
+    (:mod:`repro.distributed.launch`) — independent ``python -m
+    repro.distributed.launch`` subprocesses joining the job through
+    the ``REPRO_*`` env contract — which is the path a future
+    multi-host runner will take.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description="run on the mp layer with a selectable transport",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("shm", "tcp"),
+        default="shm",
+        help="rank interconnect (default: shm)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "run a tiny conformance program instead of a driver "
+            "(tcp: via spawned launcher subprocesses)"
+        ),
+    )
+    parser.add_argument(
+        "--np",
+        type=int,
+        default=2,
+        dest="nprocs",
+        help="rank count for --smoke (default: 2)",
+    )
+    parser.add_argument(
+        "--parameter-file",
+        default=None,
+        help="TuckerMPI-style parameter file (driver mode)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=("sthosvd", "hooi"),
+        default="sthosvd",
+        help="driver to run against --parameter-file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        from repro.distributed.launch import _smoke_program, launch_spmd
+        from repro.vmpi.mp_comm import run_spmd
+
+        if args.nprocs < 1:
+            raise ConfigError("--np must be positive")
+        if args.backend == "tcp":
+            out = launch_spmd(_smoke_program, args.nprocs)
+            how = "spawned launcher subprocesses over loopback TCP"
+        else:
+            out = run_spmd(
+                _smoke_program, args.nprocs, transport="shm"
+            )
+            how = "forked ranks over pooled shared memory"
+        expected = float(
+            args.nprocs * (args.nprocs + 1) // 2
+        )
+        if out != [expected] * args.nprocs:  # pragma: no cover
+            print(f"smoke FAILED: {out}", file=sys.stderr)
+            return 1
+        print(
+            f"smoke ok: {args.nprocs} ranks ({how}), "
+            f"allreduce -> {out[0]:g}"
+        )
+        return 0
+
+    if args.parameter_file is None:
+        parser.error("driver mode needs --parameter-file (or --smoke)")
+    params = ParameterFile.from_path(args.parameter_file)
+    if params.get_bool("print options", True):
+        _print_options(params)
+    dims = params.get_ints("global dims")
+    noise = params.get_float("noise", 1e-4)
+    seed = params.get_int("seed", 0)
+
+    if args.algorithm == "sthosvd":
+        from repro.distributed.mp_sthosvd import mp_sthosvd
+
+        ranks = params.get_ints("ranks")
+        eps = params.get_float("sv threshold", 0.0)
+        grid = _resolve_grid(params, dims, ranks, "sthosvd")
+        print(f"Generating synthetic tensor {dims} with ranks {ranks}")
+        x = tucker_plus_noise(dims, ranks, noise=noise, seed=seed)
+        print(
+            f"Running STHOSVD on {int(np.prod(grid))} processes "
+            f"({'x'.join(map(str, grid))} grid, "
+            f"{args.backend} backend)"
+        )
+        tucker = mp_sthosvd(
+            x,
+            grid,
+            eps=eps if eps > 0 else None,
+            ranks=None if eps > 0 else ranks,
+            transport=args.backend,
+        )
+    else:
+        from repro.distributed.mp_hooi import mp_hooi_dt
+
+        construction = params.get_ints("construction ranks")
+        decomposition = params.get_ints(
+            "decomposition ranks", construction
+        )
+        use_dt = params.get_bool("dimension tree memoization", False)
+        method = _svd_method(params.get_int("svd method", 0))
+        grid = _resolve_grid(params, dims, decomposition, "hooi")
+        print(
+            f"Generating synthetic tensor {dims} with ranks "
+            f"{construction}"
+        )
+        x = tucker_plus_noise(dims, construction, noise=noise, seed=seed)
+        print(
+            f"Running HOOI on {int(np.prod(grid))} processes "
+            f"({'x'.join(map(str, grid))} grid, "
+            f"{args.backend} backend)"
+        )
+        tucker, _ = mp_hooi_dt(
+            x,
+            decomposition,
+            grid,
+            HOOIOptions(
+                use_dimension_tree=use_dt,
+                llsv_method=method,
+                max_iters=params.get_int("hooi max iters", 2),
+                seed=seed,
+            ),
+            transport=args.backend,
+        )
+    _print_mp_result(tucker, x)
+    return 0
+
+
 def lint_main(argv: Sequence[str] | None = None) -> int:
     """``repro lint``: static SPMD correctness lint (spmdlint).
 
@@ -510,20 +655,22 @@ _SUBCOMMANDS = {
     "sthosvd": sthosvd_main,
     "hooi": hooi_main,
     "resume": resume_main,
+    "run": run_main,
     "lint": lint_main,
     "prof": prof_main,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Umbrella entry point: ``repro sthosvd|hooi|resume|lint|prof ...``."""
+    """Umbrella entry point: ``repro sthosvd|hooi|resume|run|lint|prof ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(
-            "usage: repro {sthosvd,hooi,resume,lint,prof} ...\n"
+            "usage: repro {sthosvd,hooi,resume,run,lint,prof} ...\n"
             "  sthosvd  run STHOSVD from a parameter file\n"
             "  hooi     run HOOI/HOSI (optionally rank-adaptive)\n"
             "  resume   continue an interrupted checkpointed run\n"
+            "  run      run on the mp layer (--backend shm|tcp)\n"
             "  lint     static SPMD correctness lint (spmdlint)\n"
             "  prof     profile an mp run (trace, metrics, attribution)",
             file=sys.stderr,

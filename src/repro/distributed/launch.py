@@ -1,0 +1,377 @@
+"""Rank launcher for socket-connected SPMD runs.
+
+:func:`repro.vmpi.mp_comm.run_spmd` forks ranks from one parent
+process, which is the right tool on one host.  This module is the
+other half of ROADMAP item 1: spawn ranks as *independent processes*
+that find each other over TCP, in the style of hydroFlow's
+``produtil.mpi_impl`` runner layer — detect what launchers exist on
+the machine, build the per-rank command line, and plumb a small env
+contract so the same worker entry point works whether ranks are
+started by this module (loopback subprocesses), by ``ssh`` on other
+hosts, or by a site scheduler.
+
+The env contract (everything a rank needs to join a job):
+
+``REPRO_RANK``
+    This rank's index, ``0 .. world_size - 1``.
+``REPRO_WORLD_SIZE``
+    Number of ranks in the job.
+``REPRO_RENDEZVOUS``
+    ``host:port`` of the launcher's rendezvous listener.  Ranks
+    announce their own mesh listener there, receive the full address
+    map (:func:`repro.vmpi.transport.serve_rendezvous`), and later
+    post their result to the same address.
+``REPRO_BACKEND``
+    Transport backend (currently ``"tcp"``; the fork path of
+    ``run_spmd`` covers ``"shm"``).
+``REPRO_PROGRAM``
+    Path to the pickled ``(fn, args, config)`` job file.  Only
+    meaningful on a shared filesystem (loopback now; for multi-host
+    the job file must be shipped first — the contract deliberately
+    keeps that concern out of the worker).
+
+Entry point: ``python -m repro.distributed.launch`` reads the
+contract, builds a :class:`~repro.vmpi.transport.TcpSocketTransport`
+plus :class:`~repro.vmpi.mp_comm.ProcessComm`, runs the program, and
+reports ``("result", rank, status, payload)`` back over a fresh
+connection to the rendezvous address.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import traceback as traceback_mod
+from collections.abc import Callable, Sequence
+
+from repro.vmpi.mp_comm import (
+    CommConfig,
+    ProcessComm,
+    RankFailureError,
+    TcpSocketTransport,
+)
+from repro.vmpi.transport import (
+    CollectiveTimeoutError,
+    _sock_recv_obj,
+    _sock_send_obj,
+    open_rendezvous_listener,
+    serve_rendezvous,
+)
+
+__all__ = [
+    "build_rank_command",
+    "detect_runners",
+    "launch_spmd",
+]
+
+#: Environment variable names of the rank contract.
+ENV_RANK = "REPRO_RANK"
+ENV_WORLD_SIZE = "REPRO_WORLD_SIZE"
+ENV_RENDEZVOUS = "REPRO_RENDEZVOUS"
+ENV_BACKEND = "REPRO_BACKEND"
+ENV_PROGRAM = "REPRO_PROGRAM"
+
+
+def detect_runners() -> list[str]:
+    """Rank-spawn mechanisms available on this machine, best first.
+
+    ``"fork"`` (always: ``run_spmd``'s in-process fork) and
+    ``"loopback"`` (always: ``sys.executable`` subprocesses on
+    127.0.0.1, this module) are unconditional; ``"ssh"`` and
+    ``"mpiexec"`` are reported when the binaries exist — the env
+    contract is what they would plumb, but no remote spawn is wired
+    up yet.
+    """
+    runners = ["fork", "loopback"]
+    for tool in ("ssh", "mpiexec"):
+        if shutil.which(tool):
+            runners.append(tool)
+    return runners
+
+
+def _src_root() -> str:
+    """The directory that must be on ``PYTHONPATH`` for ``import
+    repro`` to work in a spawned rank (the parent of the package)."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def build_rank_command(
+    rank: int,
+    world_size: int,
+    rendezvous: tuple[str, int],
+    program_path: str,
+    *,
+    backend: str = "tcp",
+    python: str | None = None,
+    extra_paths: Sequence[str] = (),
+) -> tuple[list[str], dict[str, str]]:
+    """The ``(argv, env)`` that starts one rank of a job.
+
+    ``env`` contains only the contract variables (plus ``PYTHONPATH``
+    with the package root and any ``extra_paths`` prepended); the
+    caller merges it over whatever base environment the spawn
+    mechanism provides — exactly what an ``ssh`` or scheduler
+    integration needs to template.
+    """
+    argv = [python or sys.executable, "-m", "repro.distributed.launch"]
+    parts = [_src_root(), *extra_paths]
+    existing = os.environ.get("PYTHONPATH", "")
+    if existing:
+        parts.append(existing)
+    path = os.pathsep.join(dict.fromkeys(parts))
+    env = {
+        ENV_RANK: str(rank),
+        ENV_WORLD_SIZE: str(world_size),
+        ENV_RENDEZVOUS: f"{rendezvous[0]}:{rendezvous[1]}",
+        ENV_BACKEND: backend,
+        ENV_PROGRAM: program_path,
+        "PYTHONPATH": path,
+    }
+    return argv, env
+
+
+def launch_spmd(
+    fn: Callable[..., object],
+    size: int,
+    *args: object,
+    config: CommConfig | None = None,
+    runner: str = "loopback",
+    timeout: float = 120.0,
+    host: str = "127.0.0.1",
+) -> list[object]:
+    """Run ``fn(comm, *args)`` on ``size`` socket-connected processes.
+
+    The subprocess counterpart of
+    :func:`~repro.vmpi.mp_comm.run_spmd`: ranks are spawned as fresh
+    ``python -m repro.distributed.launch`` processes (no inherited
+    address space, no fork), mesh up over TCP through this launcher's
+    rendezvous listener, and post results back over the same listener.
+    Returns each rank's return value in rank order; raises
+    :class:`~repro.vmpi.mp_comm.RankFailureError` if any rank failed.
+    """
+    if size < 1:
+        raise ValueError("size must be positive")
+    if runner != "loopback":
+        known = detect_runners()
+        if runner not in known:
+            raise ValueError(
+                f"unknown runner {runner!r} (detected: {known})"
+            )
+        raise NotImplementedError(
+            f"runner {runner!r}: only 'loopback' spawning is wired up; "
+            f"'fork' is run_spmd's job, and remote runners need a "
+            f"job-file shipping step (the env contract is ready for "
+            f"them)"
+        )
+    cfg = config or CommConfig()
+    listener = open_rendezvous_listener(host)
+    rendezvous = listener.getsockname()[:2]
+    procs: list[subprocess.Popen] = []
+    program_path = None
+    results: dict[int, object] = {}
+    errors: dict[int, dict] = {}
+    try:
+        fd, program_path = tempfile.mkstemp(
+            prefix="repro-job-", suffix=".pkl"
+        )
+        with os.fdopen(fd, "wb") as f:
+            pickle.dump((fn, args, cfg), f)
+        # The pickled program references fn by module name: make its
+        # defining module importable in the spawned rank too (the
+        # package root alone covers repro-internal programs).
+        extra_paths = []
+        mod = sys.modules.get(getattr(fn, "__module__", ""), None)
+        mod_file = getattr(mod, "__file__", None)
+        if mod_file:
+            extra_paths.append(os.path.dirname(os.path.abspath(mod_file)))
+        for rank in range(size):
+            argv, env = build_rank_command(
+                rank, size, rendezvous, program_path,
+                extra_paths=extra_paths,
+            )
+            procs.append(
+                subprocess.Popen(argv, env={**os.environ, **env})
+            )
+        if size > 1:
+            serve_rendezvous(listener, size, cfg.tcp_connect_timeout)
+        deadline = time.monotonic() + timeout
+        listener.settimeout(0.25)
+        while len(results) + len(errors) < size:
+            if time.monotonic() >= deadline:
+                break
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                # Liveness: a rank that died without reporting will
+                # never connect — don't wait out the full timeout.
+                if any(
+                    p.poll() is not None and r not in results
+                    and r not in errors
+                    for r, p in enumerate(procs)
+                ):
+                    time.sleep(0.5)  # drain stragglers' reports
+                    _collect_pending(listener, results, errors)
+                    break
+                continue
+            _read_report(conn, results, errors)
+    finally:
+        listener.close()
+        for p in procs:
+            if p.poll() is None:
+                p.terminate()
+        for p in procs:
+            try:
+                p.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                p.kill()
+        if program_path is not None:
+            try:
+                os.unlink(program_path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+    if len(results) < size:
+        failed = sorted(
+            r for r in range(size) if r not in results
+        )
+        lines = [
+            f"launched SPMD run failed: ranks {failed} did not succeed, "
+            f"{sorted(results)} succeeded"
+        ]
+        for r in failed:
+            if r in errors:
+                rep = errors[r]
+                lines.append(f"rank {r} failed: {rep.get('error')}")
+                tb = rep.get("traceback", "")
+                if tb:
+                    lines.append(f"rank {r} remote traceback:")
+                    lines.extend(
+                        f"  {t}" for t in tb.rstrip().splitlines()
+                    )
+            else:
+                code = procs[r].poll() if r < len(procs) else None
+                lines.append(
+                    f"rank {r} posted no result (exitcode {code})"
+                )
+        raise RankFailureError(
+            "\n".join(lines),
+            failed=failed,
+            succeeded=sorted(results),
+            exitcodes={
+                r: procs[r].poll()
+                for r in failed
+                if r < len(procs) and procs[r].poll() is not None
+            },
+        )
+    return [results[r] for r in range(size)]
+
+
+def _read_report(conn, results: dict, errors: dict) -> None:
+    try:
+        with conn:
+            conn.settimeout(5.0)
+            msg = _sock_recv_obj(conn)
+    except (OSError, CollectiveTimeoutError, pickle.PickleError):
+        return
+    if not (isinstance(msg, tuple) and len(msg) == 4
+            and msg[0] == "result"):
+        return
+    _, rank, status, payload = msg
+    if status == "ok":
+        results[int(rank)] = payload
+    else:
+        errors[int(rank)] = payload
+
+
+def _collect_pending(listener, results: dict, errors: dict) -> None:
+    """Drain result connections already queued on the listener."""
+    while True:
+        try:
+            conn, _ = listener.accept()
+        except (socket.timeout, OSError):
+            return
+        _read_report(conn, results, errors)
+
+
+# ---------------------------------------------------------------------------
+# worker entry point (python -m repro.distributed.launch)
+# ---------------------------------------------------------------------------
+
+
+def _smoke_program(comm: ProcessComm) -> float:
+    """Tiny conformance program for launcher smoke tests
+    (``repro run --backend tcp --smoke``): one allreduce, one
+    barrier, returns the reduced value."""
+    import numpy as np
+
+    total = comm.allreduce(np.array([float(comm.rank + 1)]))
+    comm.barrier()
+    return float(total[0])
+
+
+def _report(rendezvous: tuple[str, int], rank: int, status: str,
+            payload: object) -> None:
+    try:
+        conn = socket.create_connection(rendezvous, timeout=10.0)
+    except OSError:  # pragma: no cover - launcher already gone
+        return
+    try:
+        _sock_send_obj(conn, ("result", rank, status, payload))
+    finally:
+        conn.close()
+
+
+def _worker_main() -> int:
+    rank = int(os.environ[ENV_RANK])
+    size = int(os.environ[ENV_WORLD_SIZE])
+    host, _, port = os.environ[ENV_RENDEZVOUS].rpartition(":")
+    rendezvous = (host, int(port))
+    backend = os.environ.get(ENV_BACKEND, "tcp")
+    if backend != "tcp":
+        print(
+            f"repro.distributed.launch: unsupported backend "
+            f"{backend!r} (spawned ranks are socket-connected)",
+            file=sys.stderr,
+        )
+        return 2
+    with open(os.environ[ENV_PROGRAM], "rb") as f:
+        fn, args, cfg = pickle.load(f)
+    try:
+        channel = TcpSocketTransport(
+            rank, size, cfg, rendezvous if size > 1 else None
+        )
+    except Exception as exc:
+        _report(rendezvous, rank, "error", {
+            "error": repr(exc),
+            "traceback": traceback_mod.format_exc(),
+        })
+        return 1
+    comm = ProcessComm(rank, size, channel, cfg)
+    try:
+        out = fn(comm, *args)
+        comm.verify_shutdown()
+        _report(rendezvous, rank, "ok", out)
+        return 0
+    except Exception as exc:
+        _report(rendezvous, rank, "error", {
+            "error": repr(exc),
+            "traceback": traceback_mod.format_exc(),
+            "trace_tail": comm.trace.tail(),
+        })
+        return 1
+    finally:
+        try:
+            channel.close()
+        except Exception:  # pragma: no cover - cleanup best-effort
+            pass
+
+
+if __name__ == "__main__":
+    sys.exit(_worker_main())

@@ -40,6 +40,12 @@ from repro.vmpi.mp_comm import (
     run_spmd,
 )
 from repro.vmpi.trace import CollectiveRecord, CommTrace
+from repro.vmpi.transport import (
+    ShmPoolTransport,
+    TcpSocketTransport,
+    Transport,
+    TransportClosedError,
+)
 
 __all__ = [
     "CollectiveRecord",
@@ -58,7 +64,11 @@ __all__ = [
     "ProcessComm",
     "ProcessorGrid",
     "RankFailureError",
+    "ShmPoolTransport",
     "StarComm",
+    "TcpSocketTransport",
+    "Transport",
+    "TransportClosedError",
     "allgather_blocks",
     "allreduce_blocks",
     "alltoall_blocks",

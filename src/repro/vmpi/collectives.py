@@ -41,6 +41,8 @@ __all__ = [
     "allreduce_crossover_words",
     "select_allreduce_algorithm",
     "hooi_collective_counts",
+    "fit_alpha_beta",
+    "transport_crossover_bytes",
 ]
 
 
@@ -262,6 +264,50 @@ def select_allreduce_algorithm(
         if n <= allreduce_crossover_words(p, alpha=alpha, beta=beta)
         else "long"
     )
+
+
+def fit_alpha_beta(
+    nbytes: Sequence[float], seconds: Sequence[float]
+) -> tuple[float, float]:
+    """Least-squares ``(alpha, beta)`` of ``t = alpha + beta * bytes``.
+
+    The standard postal-model fit used to characterize a transport
+    from measured ping-style timings: ``alpha`` is the per-message
+    latency (seconds), ``beta`` the per-byte cost (seconds/byte, the
+    inverse bandwidth).  ``beta`` is clamped at zero — with noisy
+    small-message timings the unconstrained slope can come out
+    (meaninglessly) negative.
+    """
+    x = np.asarray(nbytes, dtype=float)
+    y = np.asarray(seconds, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need >= 2 (bytes, seconds) samples to fit")
+    a = np.stack([np.ones_like(x), x], axis=1)
+    (alpha, beta), *_ = np.linalg.lstsq(a, y, rcond=None)
+    return float(alpha), float(max(beta, 0.0))
+
+
+def transport_crossover_bytes(
+    fast_fit: tuple[float, float], slow_fit: tuple[float, float]
+) -> float:
+    """Message size (bytes) where the higher-latency transport wins.
+
+    Given two fitted postal models — ``fast_fit`` for the transport
+    with the lower per-message latency (e.g. pooled shm) and
+    ``slow_fit`` for the other (e.g. tcp loopback) — the lines cross
+    at ``n* = (alpha_slow - alpha_fast) / (beta_fast - beta_slow)``.
+    Returns ``inf`` when the fast transport also has the smaller (or
+    equal) per-byte cost: it then wins at every size and the slow
+    transport's value is reach (multi-host), not speed.  Returns
+    ``0.0`` when the "slow" transport is in fact never worse.
+    """
+    alpha_f, beta_f = fast_fit
+    alpha_s, beta_s = slow_fit
+    if alpha_s <= alpha_f and beta_s <= beta_f:
+        return 0.0
+    if beta_f <= beta_s:
+        return math.inf
+    return max(0.0, (alpha_s - alpha_f) / (beta_f - beta_s))
 
 
 def hooi_collective_counts(

@@ -33,6 +33,14 @@ bit-flip positions come from a per-rank generator seeded from
 ``FaultPlan.seed``, so a failing scenario replays bit-identically.
 When no plan is set the injector is never constructed and the hot
 paths pay a single ``is None`` test.
+
+The wire hooks (``on_send``) fire at the :class:`~repro.vmpi.
+transport.Transport` boundary — *before* the backend encodes the
+payload — so the same seeded plan drops or corrupts a pooled
+shared-memory segment on the shm backend and a length-prefixed frame
+on the tcp backend identically; crash/delay specs fire at the
+collective boundary, which no backend sees at all.  Fault plans
+therefore work on every transport without backend-specific code.
 """
 
 from __future__ import annotations

@@ -6,9 +6,10 @@ communicator supporting the collectives the Tucker algorithms need
 (allreduce, reduce-scatter, allgather, broadcast, gather, barrier) with
 sub-communicators for the per-mode operations.
 
-Two transports are available:
+Three transports are available:
 
-* ``"p2p"`` (default, :class:`ProcessComm`) — a peer-to-peer
+* ``"p2p"`` (alias ``"shm"``; default, :class:`ProcessComm` over
+  :class:`~repro.vmpi.transport.ShmPoolTransport`) — a peer-to-peer
   point-to-point layer (per-rank inbox queues carrying tagged
   messages; NumPy payloads above a size threshold travel through
   *pooled* ``multiprocessing.shared_memory`` segments without
@@ -23,6 +24,14 @@ Two transports are available:
   matches what the simulator charges (``tests/test_schedule_cost.py``
   certifies this against the per-collective
   :class:`~repro.vmpi.trace.CollectiveRecord` counters).
+* ``"tcp"`` (:class:`ProcessComm` over
+  :class:`~repro.vmpi.transport.TcpSocketTransport`) — the same
+  communicator and collective algorithms over length-prefixed frames
+  on per-peer persistent TCP connections, meshed through a rendezvous
+  server.  Bit-identical results and identical collective traces
+  (``shm_messages`` aside), just a slower wire; the backend that
+  generalizes to multi-host runs via
+  :mod:`repro.distributed.launch`.
 * ``"star"`` (legacy, :class:`StarComm`) — every collective routed
   through a coordinator process.  Correct but neither
   bandwidth-optimal nor latency-optimal; kept as a conformance
@@ -53,6 +62,7 @@ import os
 import pickle
 import queue as queue_mod
 import sys
+import threading
 import time
 import traceback as traceback_mod
 import uuid
@@ -72,20 +82,44 @@ from repro.vmpi.faults import (
     InjectedRankCrash,
 )
 from repro.vmpi.trace import CollectiveRecord, CommTrace
-
-try:  # pragma: no cover - always present on CPython >= 3.8
-    from multiprocessing import shared_memory as _shm_mod
-except ImportError:  # pragma: no cover - platform without shm
-    _shm_mod = None
+from repro.vmpi.transport import (  # noqa: F401  (re-exported)
+    CollectiveTimeoutError,
+    ShmPoolTransport,
+    TcpSocketTransport,
+    Transport,
+    TransportClosedError,
+    _FREE_TAG,
+    _contig,
+    _payload_arrays,
+    open_rendezvous_listener,
+    serve_rendezvous,
+)
 
 __all__ = [
     "CollectiveTimeoutError",
     "CommConfig",
     "ProcessComm",
     "RankFailureError",
+    "ShmPoolTransport",
     "StarComm",
+    "TcpSocketTransport",
+    "Transport",
+    "TransportClosedError",
     "run_spmd",
 ]
+
+#: Accepted ``transport=`` spellings for :func:`run_spmd` (and the
+#: ``--backend`` flag of ``repro run``) mapped to canonical names.
+TRANSPORT_ALIASES = {
+    "p2p": "p2p",
+    "shm": "p2p",
+    "tcp": "tcp",
+    "star": "star",
+}
+
+#: Backwards-compatible name for the extracted shm backend (PR 6 moved
+#: it to :mod:`repro.vmpi.transport` as :class:`ShmPoolTransport`).
+_PeerTransport = ShmPoolTransport
 
 _SENTINEL = "__done__"
 
@@ -97,15 +131,6 @@ _LIVENESS_POLL = 0.25
 #: survivors.  Detection latency is bounded by poll + grace + teardown,
 #: a few seconds — not the full run timeout.
 _ABORT_GRACE = 2.0
-
-
-class CollectiveTimeoutError(RuntimeError):
-    """A communicator wait exceeded ``CommConfig.collective_timeout``.
-
-    Raised instead of hanging when collective call sequences diverge
-    across ranks (mismatched operations, different call counts) or a
-    peer died.
-    """
 
 
 class RankFailureError(RuntimeError):
@@ -194,6 +219,12 @@ class CommConfig:
         ``0`` (default) keeps the fail-fast behavior.
     retry_backoff:
         Multiplicative wait growth per retry.
+    tcp_connect_timeout:
+        TCP backend only: seconds allotted to the whole mesh setup
+        (rendezvous check-in, address exchange, peer connect/accept)
+        and to each later reconnect attempt.  Distinct from
+        ``collective_timeout`` because setup crosses process-spawn
+        latency, not collective skew.
     verify:
         Run the tier-2 SPMD correctness verifier
         (:mod:`repro.analysis.verify.runtime`): every collective is
@@ -236,515 +267,10 @@ class CommConfig:
     check_numerics: bool = False
     transient_retries: int = 0
     retry_backoff: float = 2.0
+    tcp_connect_timeout: float = 20.0
     verify: bool = False
     profile: bool = False
     profile_max_spans: int = 1 << 16
-
-
-# ---------------------------------------------------------------------------
-# shared-memory payload packing
-# ---------------------------------------------------------------------------
-
-
-def _unregister_shm(shm) -> None:
-    """Detach ``shm`` from this process's resource tracker.
-
-    The receiving rank unlinks every segment after copying it out; the
-    creator must forget it or the (fork-shared) resource tracker would
-    warn about, and double-unlink, segments at interpreter shutdown.
-    """
-    try:  # pragma: no cover - tracker internals vary across versions
-        from multiprocessing import resource_tracker
-
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:
-        pass
-
-
-def _unlink_segment(shm) -> None:
-    """Remove a segment's backing file without touching the resource
-    tracker.
-
-    ``SharedMemory.unlink()`` also unregisters the name, but every
-    process already unregistered at create/attach time (fork shares one
-    tracker, so unmatched unregisters make it spew KeyErrors)."""
-    try:
-        os.unlink(os.path.join("/dev/shm", shm._name.lstrip("/")))
-    except OSError:  # pragma: no cover - already swept / non-Linux
-        pass
-
-
-def _align8(n: int) -> int:
-    return (n + 7) & ~7
-
-
-def _segment_class(nbytes: int) -> int:
-    """Pooled segments come in power-of-two size classes (>= 256 B) so
-    a freed segment can be reused for any later payload of its class."""
-    size = 256
-    while size < nbytes:
-        size <<= 1
-    return size
-
-
-# Transport-internal tag on which a receiver returns a drained segment
-# to its owner for reuse.  Credit traffic, not data traffic: it is
-# excluded from the message counters the cost formulas are checked
-# against (like the rendezvous control messages of a real MPI).
-_FREE_TAG = ("shmfree",)
-
-
-# ---------------------------------------------------------------------------
-# peer-to-peer transport
-# ---------------------------------------------------------------------------
-
-
-def _contig(a: np.ndarray) -> np.ndarray:
-    """C-contiguous view/copy that, unlike ``np.ascontiguousarray``,
-    preserves 0-d shapes."""
-    a = np.asarray(a)
-    return a if a.flags["C_CONTIGUOUS"] else np.ascontiguousarray(a)
-
-
-def _payload_arrays(payload: object) -> list[tuple[object, np.ndarray]] | None:
-    """View a payload as keyed arrays, or ``None`` if it is not one.
-
-    Collectives move either a bare ``ndarray`` or a ``dict`` mapping
-    group positions to ``ndarray`` chunks; anything else (tags, tokens,
-    user objects) takes the pickle path.
-    """
-    if isinstance(payload, np.ndarray):
-        return [(None, payload)]
-    if isinstance(payload, dict) and payload and all(
-        isinstance(v, np.ndarray) for v in payload.values()
-    ):
-        return list(payload.items())
-    return None
-
-
-class _PeerTransport:
-    """Tagged point-to-point messaging over per-rank inbox queues.
-
-    ``send`` never blocks (queue feeder threads drain in the
-    background) so the symmetric exchange patterns of the collective
-    algorithms cannot deadlock on full pipes; ``recv`` buffers
-    out-of-order arrivals by ``(source, tag)`` and raises
-    :class:`CollectiveTimeoutError` when nothing arrives in time.
-
-    Array payloads of at least ``CommConfig.shm_min_bytes`` travel
-    through *pooled* ``multiprocessing.shared_memory`` segments: the
-    receiver copies the data out, caches its mapping, and returns the
-    segment name to the owner on :data:`_FREE_TAG` so the next send
-    reuses the already-faulted-in pages.  In steady state a large
-    message is two memcpys and one tiny control message — no pickling,
-    no pipe chunking, no segment creation.  ``close`` unlinks every
-    segment the rank still owns; ``run_spmd`` sweeps the run-token
-    prefix afterwards as a crash backstop.
-    """
-
-    _POOL_CAP = 16  # free segments kept per size class before unlinking
-
-    def __init__(
-        self,
-        rank: int,
-        size: int,
-        inboxes: list["mp.Queue"],
-        run_token: str,
-        config: CommConfig,
-    ) -> None:
-        self.rank = rank
-        self.size = size
-        self._inboxes = inboxes
-        self._inbox = inboxes[rank]
-        self._config = config
-        self._run_token = run_token
-        #: set by ProcessComm when a FaultPlan targets this rank.
-        self.injector: FaultInjector | None = None
-        #: verify mode only: shm lifecycle state machine and wait-for
-        #: board (both from repro.analysis.verify.runtime, installed
-        #: lazily by ProcessComm so the import stays one-directional).
-        self.sanitizer = None
-        self.monitor = None
-        #: profile mode only: the rank's SpanProfiler (installed by
-        #: ProcessComm) — recv() splits its time into blocked-wait vs
-        #: copy-out histograms.  None keeps the hot path at one test.
-        self.profiler = None
-        #: verify mode only: dedicated per-pair duplex pipes for the
-        #: signature/verdict control rounds (installed by run_spmd).
-        #: ``mp.Queue.put`` hands every message to a feeder thread, so
-        #: a control round over the inbox queues pays two thread
-        #: wake-ups per hop; ``Connection.send`` is a synchronous
-        #: ``os.write``, which roughly halves the verifier's fixed
-        #: per-collective latency.  ``None`` entries fall back to the
-        #: queue channel (embedders driving the transport directly).
-        self.ctrl_conns: dict[int, object] | None = None
-        self._ctrl_pending: dict[int, deque] = {}
-        self._shm_seq = 0
-        self._pending: dict[tuple, deque] = {}
-        self._owned: dict[str, object] = {}  # name -> SharedMemory
-        self._seg_size: dict[str, int] = {}
-        self._free: dict[int, deque] = {}  # size class -> free names
-        self._rx_cache: dict[str, object] = {}  # attached peer segments
-        self.sent_messages = 0
-        self.sent_words = 0
-        self.sent_bytes = 0
-        self.recv_messages = 0
-        self.recv_words = 0
-        self.recv_bytes = 0
-        self.shm_messages = 0
-
-    def counters(self) -> tuple[int, ...]:
-        return (
-            self.sent_messages,
-            self.sent_words,
-            self.sent_bytes,
-            self.recv_messages,
-            self.recv_words,
-            self.recv_bytes,
-            self.shm_messages,
-        )
-
-    # -- shared-memory segment pool -----------------------------------------
-
-    def _obtain_segment(self, total: int):
-        """A segment with >= ``total`` bytes: pooled if available."""
-        self._drain_inbox()
-        cls = _segment_class(total)
-        free = self._free.get(cls)
-        if free:
-            name = free.popleft()
-            if self.sanitizer is not None:
-                self.sanitizer.on_obtain(name)
-            return self._owned[name], name
-        self._shm_seq += 1
-        name = f"mpx{self._run_token}r{self.rank}n{self._shm_seq}"
-        shm = _shm_mod.SharedMemory(create=True, size=cls, name=name)
-        _unregister_shm(shm)
-        # Sanctioned escape: the pool owns the handle; close()/purge()
-        # and the launcher's run-token sweep end its lifecycle, and in
-        # verify mode the ShmSanitizer audits every transition.
-        self._owned[name] = shm  # spmdlint: ignore[SPMD105]
-        self._seg_size[name] = cls
-        return shm, name
-
-    def _release_segment(self, name: str) -> None:
-        """An ack came back: pool the segment (or unlink the excess)."""
-        if self.sanitizer is not None:
-            self.sanitizer.on_release(name)
-        cls = self._seg_size[name]
-        free = self._free.setdefault(cls, deque())
-        if len(free) < self._POOL_CAP:
-            free.append(name)
-            return
-        shm = self._owned.pop(name)
-        del self._seg_size[name]
-        shm.close()
-        _unlink_segment(shm)
-        if self.sanitizer is not None:
-            self.sanitizer.on_unlink(name)
-
-    def _drain_inbox(self) -> None:
-        """Move queued arrivals into the pending buffers (non-blocking),
-        processing segment-return acks as they surface."""
-        while True:
-            try:
-                got_src, got_tag, body = self._inbox.get_nowait()
-            except queue_mod.Empty:
-                return
-            self._note(got_src, got_tag, body)
-
-    def _note(self, src: int, tag: tuple, body: object) -> None:
-        if tag == _FREE_TAG:
-            self._release_segment(body)
-            return
-        self._pending.setdefault((src, tag), deque()).append(body)
-
-    def close(self) -> None:
-        """Unlink pooled segments, unmap everything this rank touched.
-
-        In-flight segments (sent, not yet acked) stay on disk for the
-        launcher's run-token sweep — a peer may not have attached yet.
-        """
-        self._drain_inbox()
-        for free in self._free.values():
-            for name in free:
-                shm = self._owned.pop(name)
-                del self._seg_size[name]
-                shm.close()
-                _unlink_segment(shm)
-        self._free.clear()
-        for shm in self._owned.values():
-            shm.close()
-        for shm in self._rx_cache.values():
-            shm.close()
-        self._rx_cache.clear()
-        if self.ctrl_conns is not None:
-            for conn in self.ctrl_conns.values():
-                try:
-                    conn.close()
-                except OSError:  # pragma: no cover - already closed
-                    pass
-
-    def purge(self) -> None:
-        """Unlink *every* segment this rank owns, pooled and in-flight.
-
-        The exception path of a timed-out collective: the peers this
-        rank was exchanging with are not coming back for the in-flight
-        segments, so leaving them on disk would leak ``/dev/shm`` for
-        any embedder that drives the transport without ``run_spmd``'s
-        run-token sweep.  Unlinking is safe even if a straggler is
-        still attached — the mapping stays valid until it closes.
-        """
-        self._drain_inbox()
-        for name, shm in list(self._owned.items()):
-            shm.close()
-            _unlink_segment(shm)
-        self._owned.clear()
-        self._seg_size.clear()
-        self._free.clear()
-        for shm in self._rx_cache.values():
-            shm.close()
-        self._rx_cache.clear()
-        if self.sanitizer is not None:
-            self.sanitizer.clear()
-
-    # -- send ---------------------------------------------------------------
-
-    def send(self, dest: int, tag: tuple, payload: object) -> None:
-        if not 0 <= dest < self.size:
-            raise ValueError(f"dest {dest} out of range for size {self.size}")
-        dropped = False
-        if self.injector is not None:
-            payload, dropped = self.injector.on_send(payload)
-            if dropped:
-                # Lost on the wire: the sender did its part (counters
-                # advance) but nothing reaches the peer's inbox.
-                arrays = _payload_arrays(payload)
-                if arrays is not None:
-                    self.sent_words += sum(a.size for _, a in arrays)
-                    self.sent_bytes += sum(a.nbytes for _, a in arrays)
-                self.sent_messages += 1
-                return
-        arrays = _payload_arrays(payload)
-        body: tuple
-        if arrays is not None:
-            contig = [(k, _contig(a)) for k, a in arrays]
-            nbytes = sum(a.nbytes for _, a in contig)
-            words = sum(a.size for _, a in contig)
-            single = isinstance(payload, np.ndarray)
-            use_shm = (
-                _shm_mod is not None
-                and nbytes >= self._config.shm_min_bytes
-                and nbytes > 0
-            )
-            if use_shm:
-                total = sum(_align8(a.nbytes) for _, a in contig)
-                shm, name = self._obtain_segment(total)
-                metas: list[tuple[object, tuple, str, int]] = []
-                offset = 0
-                for key, a in contig:
-                    view = np.ndarray(
-                        a.shape, dtype=a.dtype, buffer=shm.buf, offset=offset
-                    )
-                    view[...] = a
-                    del view
-                    metas.append((key, a.shape, a.dtype.str, offset))
-                    offset += _align8(a.nbytes)
-                body = ("shm", name, metas, single)
-                self.shm_messages += 1
-                if self.sanitizer is not None:
-                    self.sanitizer.on_send(name)
-            else:
-                body = ("pkl", {k: a for k, a in contig} if not single
-                        else contig[0][1])
-            self.sent_words += words
-            self.sent_bytes += nbytes
-        else:
-            body = ("pkl", payload)
-        self.sent_messages += 1
-        self._inboxes[dest].put((self.rank, tag, body))
-
-    # -- recv ---------------------------------------------------------------
-
-    #: A blocked recv registers on the wait-for board immediately but
-    #: only starts probing for cycles after this long — transient
-    #: cycles of correct send-then-recv patterns (ring allgather,
-    #: dissemination barrier) resolve within a message latency and
-    #: never survive until the probe phase, let alone two stable
-    #: probes.
-    _PROBE_AFTER = 1.0
-    #: Poll slice while a deadlock monitor is watching (the monitor
-    #: needs wake-ups to probe; without one the inbox wait can park a
-    #: full second per slice).
-    _PROBE_SLICE = 0.25
-
-    def recv(self, src: int, tag: tuple, timeout: float | None = None) -> object:
-        prof = self.profiler
-        if prof is None:
-            return self._decode(src, self._recv_body(src, tag, timeout))
-        # Wait-vs-transfer split: time blocked for the message versus
-        # time copying the payload out (shm memcpy / unpickle).
-        t0 = time.perf_counter()
-        body = self._recv_body(src, tag, timeout)
-        t1 = time.perf_counter()
-        out = self._decode(src, body)
-        prof.metrics.observe("collective_wait_seconds", t1 - t0)
-        prof.metrics.observe(
-            "collective_transfer_seconds", time.perf_counter() - t1
-        )
-        return out
-
-    def _recv_body(
-        self, src: int, tag: tuple, timeout: float | None
-    ) -> object:
-        """The shared blocking wait: next body for ``(src, tag)``."""
-        if not 0 <= src < self.size:
-            raise ValueError(f"src {src} out of range for size {self.size}")
-        timeout = (
-            self._config.collective_timeout if timeout is None else timeout
-        )
-        key = (src, tag)
-        start = time.monotonic()
-        deadline = start + timeout
-        mon = self.monitor
-        registered = False
-        try:
-            while True:
-                waiting = self._pending.get(key)
-                if waiting:
-                    return waiting.popleft()
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise CollectiveTimeoutError(
-                        f"rank {self.rank}: no message from rank {src} "
-                        f"with tag {tag!r} after {timeout:.1f}s — "
-                        f"collective call sequences have diverged across "
-                        f"ranks (or a peer died)"
-                    )
-                poll = min(remaining, 1.0)
-                if mon is not None:
-                    if not registered:
-                        op_id = tag[0] if isinstance(tag[0], int) else 0
-                        mon.begin_wait(src, op_id)
-                        registered = True
-                    if time.monotonic() - start >= self._PROBE_AFTER:
-                        mon.probe()  # raises DeadlockError when stable
-                    poll = min(poll, self._PROBE_SLICE)
-                try:
-                    got_src, got_tag, body = self._inbox.get(timeout=poll)
-                except queue_mod.Empty:
-                    continue
-                self._note(got_src, got_tag, body)
-        finally:
-            if registered:
-                mon.end_wait()
-
-    # -- verify-mode control channel ----------------------------------------
-    #
-    # Signature/verdict traffic of the tier-2 verifier.  Deliberately
-    # counter-neutral (like the _FREE_TAG credits): it must not perturb
-    # the CollectiveRecord counters the alpha-beta cost formulas are
-    # certified against, so a verify run stays trace-identical to a
-    # plain one.
-
-    def ctrl_send(self, dest: int, tag: tuple, payload: object) -> None:
-        conns = self.ctrl_conns
-        if conns is not None and dest in conns:
-            conns[dest].send((tuple(tag), payload))
-            return
-        self._inboxes[dest].put(
-            (self.rank, ("ctl",) + tuple(tag), ("ctl", payload))
-        )
-
-    def ctrl_recv(
-        self, src: int, tag: tuple, timeout: float | None = None
-    ) -> object:
-        conns = self.ctrl_conns
-        if conns is None or src not in conns:
-            body = self._recv_body(src, ("ctl",) + tuple(tag), timeout)
-            return body[1]
-        want = tuple(tag)
-        timeout = (
-            self._config.collective_timeout if timeout is None else timeout
-        )
-        # Out-of-round messages on the same pipe (a diverged peer, or
-        # two groups sharing this pair) park here, exactly like the
-        # queue channel's tag-keyed pending map.
-        pending = self._ctrl_pending.setdefault(src, deque())
-        for i, (got, payload) in enumerate(pending):
-            if got == want:
-                del pending[i]
-                return payload
-        conn = conns[src]
-        deadline = time.monotonic() + timeout
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise CollectiveTimeoutError(
-                    f"rank {self.rank}: no control message from rank "
-                    f"{src} with tag {want!r} after {timeout:.1f}s — "
-                    f"collective call sequences have diverged across "
-                    f"ranks (or a peer died)"
-                )
-            if not conn.poll(min(remaining, 1.0)):
-                continue
-            try:
-                got, payload = conn.recv()
-            except EOFError:
-                raise CollectiveTimeoutError(
-                    f"rank {self.rank}: control channel to rank {src} "
-                    f"closed mid-round (peer died)"
-                ) from None
-            if got == want:
-                return payload
-            pending.append((got, payload))
-
-    def verify_shutdown(self, grace: float = 0.5) -> None:
-        """End-of-rank sanitizer check: every segment this rank sent
-        must have been credited back.  Late credits from peers that
-        finished marginally after us get a bounded grace drain before
-        a leak is declared (SPMD213)."""
-        if self.sanitizer is None:
-            return
-        deadline = time.monotonic() + grace
-        while self.sanitizer.leaked() and time.monotonic() < deadline:
-            self._drain_inbox()
-            time.sleep(0.01)
-        self.sanitizer.check_exit()
-
-    def _decode(self, src: int, body: tuple) -> object:
-        kind = body[0]
-        self.recv_messages += 1
-        if kind == "shm":
-            _, name, metas, single = body
-            shm = self._rx_cache.get(name)
-            if shm is None:
-                shm = _shm_mod.SharedMemory(name=name)
-                _unregister_shm(shm)  # attach auto-registers on 3.11
-                # Sanctioned escape: the receive cache keeps peer
-                # mappings warm across messages; close() unmaps them.
-                self._rx_cache[name] = shm  # spmdlint: ignore[SPMD105]
-            items: list[tuple[object, np.ndarray]] = []
-            for key, shape, dtype_str, offset in metas:
-                view = np.ndarray(
-                    shape, dtype=np.dtype(dtype_str),
-                    buffer=shm.buf, offset=offset,
-                )
-                items.append((key, view.copy()))
-                del view
-            # Hand the drained segment back to its owner for reuse.
-            self._inboxes[src].put((self.rank, _FREE_TAG, name))
-            self.recv_words += sum(a.size for _, a in items)
-            self.recv_bytes += sum(a.nbytes for _, a in items)
-            if single:
-                return items[0][1]
-            return dict(items)
-        payload = body[1]
-        arrays = _payload_arrays(payload)
-        if arrays is not None:
-            self.recv_words += sum(a.size for _, a in arrays)
-            self.recv_bytes += sum(a.nbytes for _, a in arrays)
-        return payload
 
 
 # ---------------------------------------------------------------------------
@@ -789,7 +315,7 @@ class ProcessComm:
         self,
         rank: int,
         size: int,
-        channel: _PeerTransport,
+        channel: Transport,
         config: CommConfig | None = None,
         board: object | None = None,
     ) -> None:
@@ -820,7 +346,12 @@ class ProcessComm:
             from repro.analysis.verify import runtime as _vrt
 
             self._vrt = _vrt
-            channel.sanitizer = _vrt.ShmSanitizer(rank)
+            # The shm-lifecycle sanitizer only makes sense on backends
+            # with a pooled-segment wire; non-shm transports (tcp) keep
+            # signature matching and deadlock detection and skip the
+            # lifecycle checks.
+            if getattr(channel, "uses_shm_pool", False):
+                channel.sanitizer = _vrt.ShmSanitizer(rank)
             if board is not None and size > 1:
                 channel.monitor = _vrt.WaitMonitor(board, rank, size)
         #: per-rank span profiler (repro.observability), imported
@@ -1732,6 +1263,10 @@ def _failure_report(exc: BaseException, comm) -> dict:
         "error": repr(exc),
         "traceback": traceback_mod.format_exc(),
         "trace_tail": comm.trace.tail(),
+        # A closed-peer abort is a casualty of some other rank's
+        # death, not a primary failure: the launcher demotes it to
+        # the aborted set when a primary failure explains it.
+        "secondary": isinstance(exc, TransportClosedError),
     }
     prof = comm.profiler
     if prof is not None:
@@ -1773,16 +1308,36 @@ def _p2p_worker(
     fn_bytes: bytes,
     rank: int,
     size: int,
-    inboxes: list["mp.Queue"],
+    inboxes: list["mp.Queue"] | None,
     result_queue: "mp.Queue",
     run_token: str,
     config: CommConfig,
     args: tuple,
     board: object | None = None,
     ctrl_conns: dict[int, object] | None = None,
+    backend: str = "p2p",
+    rendezvous: tuple[str, int] | None = None,
 ) -> None:
-    channel = _PeerTransport(rank, size, inboxes, run_token, config)
-    channel.ctrl_conns = ctrl_conns
+    channel: Transport
+    if backend == "tcp":
+        try:
+            channel = TcpSocketTransport(rank, size, config, rendezvous)
+        except Exception as exc:  # mesh setup failed: report, don't hang
+            result_queue.put(
+                (
+                    rank,
+                    "error",
+                    {
+                        "error": repr(exc),
+                        "traceback": traceback_mod.format_exc(),
+                        "trace_tail": [],
+                    },
+                )
+            )
+            return
+    else:
+        channel = ShmPoolTransport(rank, size, inboxes, run_token, config)
+        channel.ctrl_conns = ctrl_conns
     comm = ProcessComm(rank, size, channel, config, board=board)
     try:
         fn = pickle.loads(fn_bytes)
@@ -1811,6 +1366,19 @@ def _p2p_worker(
             channel.close()
         except Exception:  # pragma: no cover - cleanup best-effort
             pass
+
+
+def _serve_rendezvous_quietly(
+    listener, size: int, timeout: float
+) -> None:
+    """Daemon-thread wrapper around :func:`serve_rendezvous`: a failed
+    exchange (a rank crashed before checking in, teardown closed the
+    listener) is surfaced by the ranks themselves as mesh-setup errors;
+    the thread must not spew a traceback on top."""
+    try:
+        serve_rendezvous(listener, size, timeout)
+    except Exception:
+        pass
 
 
 def _sweep_shm(run_token: str) -> None:
@@ -1854,9 +1422,12 @@ def run_spmd(
     Parameters
     ----------
     transport:
-        ``"p2p"`` (default) hands every rank a :class:`ProcessComm`
-        over the shared-memory point-to-point layer; ``"star"`` hands
-        out the legacy coordinator-routed :class:`StarComm`.
+        ``"p2p"`` (default; alias ``"shm"``) hands every rank a
+        :class:`ProcessComm` over the pooled shared-memory
+        point-to-point layer; ``"tcp"`` hands out the same
+        communicator over per-peer TCP connections meshed through a
+        loopback rendezvous; ``"star"`` hands out the legacy
+        coordinator-routed :class:`StarComm`.
     config:
         :class:`CommConfig` for timeouts, the shared-memory threshold,
         algorithm determinism, the short/long allreduce threshold,
@@ -1872,21 +1443,28 @@ def run_spmd(
     """
     if size < 1:
         raise ValueError("size must be positive")
-    if transport not in ("p2p", "star"):
+    if transport not in TRANSPORT_ALIASES:
         raise ValueError(f"unknown transport {transport!r}")
+    transport = TRANSPORT_ALIASES[transport]
     cfg = config or CommConfig()
     if collective_timeout is not None:
         cfg = replace(cfg, collective_timeout=collective_timeout)
-    if cfg.verify and transport != "p2p":
-        raise ValueError("verify mode requires the p2p transport")
-    if cfg.profile and transport != "p2p":
-        raise ValueError("profile mode requires the p2p transport")
+    if cfg.verify and transport == "star":
+        raise ValueError(
+            "verify mode requires a peer-to-peer transport (p2p/shm or tcp)"
+        )
+    if cfg.profile and transport == "star":
+        raise ValueError(
+            "profile mode requires a peer-to-peer transport (p2p/shm or tcp)"
+        )
     ctx = mp.get_context("spawn" if mp.get_start_method() == "spawn" else "fork")
     result_queue: mp.Queue = ctx.Queue()
     run_token = uuid.uuid4().hex[:8]
     fn_bytes = pickle.dumps(fn)
 
     coord = None
+    ctrl_mesh = None
+    rdv_listener = None
     if transport == "star":
         to_coord: mp.Queue = ctx.Queue()
         reply_queues = [ctx.Queue() for _ in range(size)]
@@ -1911,7 +1489,11 @@ def run_spmd(
             for rank in range(size)
         ]
     else:
-        inboxes = [ctx.Queue() for _ in range(size)]
+        inboxes = (
+            [ctx.Queue() for _ in range(size)]
+            if transport == "p2p"
+            else None
+        )
         # Verify mode: a lock-free shared board of (waiting_on, op_id,
         # stamp) triples, one per rank, feeding the wait-for-graph
         # deadlock detector.  Each rank writes only its own slots.
@@ -1923,18 +1505,32 @@ def run_spmd(
         if board is not None:
             for r in range(size):
                 board[3 * r] = -1  # idle, not "waiting on rank 0"
-        # Verify mode: a dedicated duplex pipe per rank pair carries
-        # the control rounds — Connection.send is a synchronous write
-        # with no feeder thread, so the verifier's fixed latency stays
-        # small even with every rank contending for CPU.
-        ctrl_mesh: list[dict[int, object]] | None = None
-        if cfg.verify and size > 1:
+        # Verify mode, shm backend only: a dedicated duplex pipe per
+        # rank pair carries the control rounds — Connection.send is a
+        # synchronous write with no feeder thread, so the verifier's
+        # fixed latency stays small even with every rank contending
+        # for CPU.  The tcp backend rides its control traffic on the
+        # ordinary frame stream instead (no extra descriptors).
+        if cfg.verify and size > 1 and transport == "p2p":
             ctrl_mesh = [{} for _ in range(size)]
             for i in range(size):
                 for j in range(i + 1, size):
                     end_i, end_j = ctx.Pipe(duplex=True)
                     ctrl_mesh[i][j] = end_i
                     ctrl_mesh[j][i] = end_j
+        # TCP backend: the launcher runs the one-shot rendezvous round
+        # (address exchange) on a loopback listener; ranks mesh up
+        # against it during transport construction.
+        rendezvous: tuple[str, int] | None = None
+        if transport == "tcp" and size > 1:
+            rdv_listener = open_rendezvous_listener("127.0.0.1")
+            rendezvous = rdv_listener.getsockname()[:2]
+            rdv_thread = threading.Thread(
+                target=_serve_rendezvous_quietly,
+                args=(rdv_listener, size, cfg.tcp_connect_timeout),
+                daemon=True,
+            )
+            rdv_thread.start()
         workers = [
             ctx.Process(
                 target=_p2p_worker,
@@ -1949,16 +1545,18 @@ def run_spmd(
                     args,
                     board,
                     ctrl_mesh[rank] if ctrl_mesh is not None else None,
+                    transport,
+                    rendezvous,
                 ),
             )
             for rank in range(size)
         ]
     for w in workers:
         w.start()
-    if transport == "p2p" and cfg.verify and size > 1:
+    if ctrl_mesh is not None:
         # The launcher keeps no ctrl endpoints: workers own them now
         # (dup'd into each child), so drop the parent's copies.
-        for conns in ctrl_mesh or []:
+        for conns in ctrl_mesh:
             for conn in conns.values():
                 conn.close()
 
@@ -2040,9 +1638,29 @@ def run_spmd(
             if coord.is_alive():  # pragma: no cover - hang safety
                 coord.terminate()
                 coord.join(timeout=10)
+        if rdv_listener is not None:
+            try:
+                rdv_listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         if transport == "p2p":
             _sweep_shm(run_token)
     if errors or dead or timed_out:
+        # tcp detects a vanished peer in-band (TransportClosedError),
+        # so the victim's neighbours self-report before the launcher's
+        # liveness poll fires.  On the shm wire those ranks block and
+        # end up terminated-without-a-report — the aborted set.  Fold
+        # the self-reported casualties into the same set whenever a
+        # primary failure explains them, so both wires classify one
+        # crash identically.
+        secondary = [
+            r for r, rep in errors.items() if rep.get("secondary")
+        ]
+        if (set(errors) - set(secondary)) | set(dead):
+            for r in secondary:
+                rep = errors.pop(r)
+                if rep.get("profile") is not None:
+                    profiles[r] = rep["profile"]
         failed = sorted(set(errors) | set(dead))
         succeeded = sorted(results)
         aborted = sorted(

@@ -8,6 +8,25 @@ import pytest
 from repro.tensor.random import tucker_plus_noise
 
 
+@pytest.fixture(
+    params=[
+        "shm",
+        pytest.param("tcp", marks=pytest.mark.transport_matrix),
+    ]
+)
+def backend(request) -> str:
+    """Transport backend for backend-parameterized mp-layer tests.
+
+    Every test taking this fixture runs once per backend, proving the
+    transports interchangeable (bit-identical results, identical
+    collective traces).  The tcp cases carry the ``transport_matrix``
+    marker so the CI matrix job can select them (``-m
+    transport_matrix``); they stay in tier-1 too — kept small — so a
+    plain ``pytest`` run covers both wires.
+    """
+    return request.param
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -1,15 +1,22 @@
 """Cross-layer collective conformance suite.
 
 One parametrized harness runs every collective (allreduce,
-reduce-scatter, allgather, bcast, gather, barrier) across three
-execution layers — the peer-to-peer ``mp_comm`` transport (both the
+reduce-scatter, allgather, bcast, gather, barrier) across four
+execution layers — the peer-to-peer ``mp_comm`` transport on both its
+wires (pooled shared memory and TCP sockets; the shm wire in both the
 deterministic rank-order algorithms and the tree-ordered power-of-two
 ones), the legacy coordinator-star transport, and the in-process
 executable block collectives of :mod:`repro.vmpi.collectives` — over
 group sizes {1, 2, 3, 4, 7, 8} and payload corners (float32/float64,
 integer dtypes, empty arrays, non-contiguous views, 0-d scalars,
 ragged allgather extents, extents that do not divide the group size),
-asserting *bit-identical* results against a NumPy reference.
+asserting *bit-identical* results against a NumPy reference.  The tcp
+cases carry the ``transport_matrix`` marker so the CI matrix job can
+select them; a dedicated trace-identity test additionally certifies
+that shm and tcp produce *identical*
+:class:`~repro.vmpi.trace.CollectiveRecord` sequences in every field
+except ``shm_messages`` (the one backend-specific counter, zero on
+tcp).
 
 Payload values are integer-valued floats, so every summation order is
 exact and bit-identity is well-defined for all reduction algorithms.
@@ -20,6 +27,7 @@ guarantee: mismatched collective sequences raise
 ``run_spmd``) instead of hanging the test run.
 """
 
+import dataclasses
 import time
 from functools import lru_cache
 
@@ -36,7 +44,13 @@ from repro.vmpi.collectives import (
 from repro.vmpi.mp_comm import CommConfig, run_spmd
 
 GROUP_SIZES = (1, 2, 3, 4, 7, 8)
-TRANSPORTS = ("p2p-det", "p2p-nondet", "star", "blocks")
+TRANSPORTS = (
+    "p2p-det",
+    "p2p-nondet",
+    "star",
+    "blocks",
+    pytest.param("tcp", marks=pytest.mark.transport_matrix),
+)
 
 # Thresholds chosen so one run exercises both allreduce algorithm
 # families (payloads of <= 24 words go latency-optimal, larger ones
@@ -155,6 +169,15 @@ def _run_layer(transport: str, size: int) -> tuple:
         return tuple(_blocks_layer(size))
     if transport == "star":
         return tuple(run_spmd(_conformance_program, size, transport="star"))
+    if transport == "tcp":
+        return tuple(
+            run_spmd(
+                _conformance_program,
+                size,
+                transport="tcp",
+                config=_P2P_CONFIG,
+            )
+        )
     config = _P2P_CONFIG
     if transport == "p2p-nondet":
         config = CommConfig(
@@ -233,6 +256,43 @@ def test_conformance(transport, size, case):
         )
 
 
+def _traced_program(comm) -> list:
+    """Run the full case list, return this rank's CollectiveRecords."""
+    _conformance_program(comm)
+    return list(comm.trace.records)
+
+
+@lru_cache(maxsize=None)
+def _run_traced(transport: str, size: int) -> tuple:
+    return tuple(
+        run_spmd(
+            _traced_program, size, transport=transport, config=_P2P_CONFIG
+        )
+    )
+
+
+@pytest.mark.transport_matrix
+@pytest.mark.parametrize("size", (2, 3, 4))
+def test_shm_and_tcp_traces_identical(size):
+    """The two p2p wires leave the same CollectiveRecord sequence.
+
+    Every field — op, algorithm chosen, group size, message/word/byte
+    counters, phase — must match record-for-record; ``shm_messages``
+    is the one backend-specific column (how many payloads rode a
+    shared-memory segment), necessarily zero on tcp, so it is the only
+    field masked out.
+    """
+    shm = _run_traced("shm", size)
+    tcp = _run_traced("tcp", size)
+    for rank in range(size):
+        assert len(shm[rank]) == len(tcp[rank]), f"p={size} rank={rank}"
+        for i, (a, b) in enumerate(zip(shm[rank], tcp[rank])):
+            assert b.shm_messages == 0, f"p={size} rank={rank} [{i}]"
+            assert dataclasses.replace(a, shm_messages=0) == b, (
+                f"p={size} rank={rank} record {i}: {a} != {b}"
+            )
+
+
 def test_deterministic_p2p_matches_star_bitwise():
     """With rank-order reductions the new transport reproduces the
     star coordinator's left-to-right sums bit-for-bit (exactness of
@@ -271,7 +331,14 @@ def _prog_recv_nothing(comm):
 
 
 class TestDivergenceTimeout:
-    @pytest.mark.parametrize("transport", ["p2p", "star"])
+    @pytest.mark.parametrize(
+        "transport",
+        [
+            "p2p",
+            "star",
+            pytest.param("tcp", marks=pytest.mark.transport_matrix),
+        ],
+    )
     def test_mismatched_ops_fail_fast(self, transport):
         start = time.monotonic()
         with pytest.raises(RuntimeError, match="CollectiveTimeoutError"):

@@ -6,6 +6,14 @@ rank aborts the job in seconds (not the full run timeout) with its
 identity and remote traceback in the error, shared memory is swept on
 every exit path, and the numerics guard rails catch corrupted data at
 the collective where it first appears.
+
+Injection happens at the Transport payload boundary (before wire
+encoding), so the same seeded plan must behave identically on the
+pooled-shm and tcp wires; ``TestTcpWireFaults`` certifies that, plus
+retry-with-backoff and checkpoint/restart over sockets.  The
+torn-frame/partial-recv failure mode (a peer dying mid-frame) is
+covered at the unit level in ``test_transport.py`` and at the job
+level by the tcp rows of ``TestCrashDetection``.
 """
 
 import glob
@@ -185,7 +193,14 @@ class TestInjectorUnit:
         np.testing.assert_array_equal(payload, keep)
 
 
-@pytest.mark.parametrize("transport", ["p2p", "star"])
+@pytest.mark.parametrize(
+    "transport",
+    [
+        "p2p",
+        "star",
+        pytest.param("tcp", marks=pytest.mark.transport_matrix),
+    ],
+)
 class TestCrashDetection:
     def test_crash_fails_fast_with_identity_and_traceback(
         self, transport
@@ -313,6 +328,84 @@ class TestWireFaults:
         out = run_spmd(_fired_log, 2, config=CommConfig(fault_plan=plan))
         assert out[0] == [("delay", 2, "")]
         assert out[1] == []
+
+
+@pytest.mark.transport_matrix
+class TestTcpWireFaults:
+    """The seeded fault plans behave identically over sockets.
+
+    Injection fires at the Transport payload boundary, before the wire
+    encoding diverges, so a given plan must produce the *same*
+    corrupted results on tcp as on shm — not merely "a" failure."""
+
+    def test_dropped_send_kills_the_collective(self):
+        plan = FaultPlan(faults=(FaultSpec("drop", rank=0, op_index=2),))
+        cfg = CommConfig(fault_plan=plan, collective_timeout=1.5)
+        with pytest.raises(RankFailureError) as ei:
+            run_spmd(
+                _prog_rounds, 2, config=cfg, transport="tcp", timeout=60
+            )
+        assert "CollectiveTimeoutError" in str(ei.value)
+
+    def test_bitflip_identical_corruption_on_both_wires(self):
+        plan = FaultPlan(
+            faults=(FaultSpec("bitflip", rank=0, op_index=2),), seed=3
+        )
+        cfg = CommConfig(fault_plan=plan)
+        shm = run_spmd(_prog_rounds, 2, config=cfg, transport="shm")
+        tcp = run_spmd(_prog_rounds, 2, config=cfg, transport="tcp")
+        clean = run_spmd(_prog_rounds, 2, transport="tcp")
+        for r in range(2):
+            np.testing.assert_array_equal(shm[r], tcp[r])
+        assert any(
+            not np.array_equal(tcp[r], clean[r]) for r in range(2)
+        )
+
+    def test_delay_rides_out_with_retries(self):
+        plan = FaultPlan.stall(0, 2.5, op_index=2)
+        ok = run_spmd(
+            _prog_rounds,
+            2,
+            transport="tcp",
+            config=CommConfig(
+                fault_plan=plan,
+                collective_timeout=1.0,
+                transient_retries=3,
+                retry_backoff=2.0,
+            ),
+        )
+        np.testing.assert_array_equal(ok[0], ok[1])
+
+    def test_kill_and_resume_bit_identical(self, tmp_path):
+        """Checkpoint/restart works unchanged over sockets: seeded kill
+        mid-run, checkpoint written, tcp resume matches the clean tcp
+        run (which itself matches shm bit-for-bit)."""
+        from repro.distributed.checkpoint import SweepCheckpoint
+        from repro.distributed.mp_sthosvd import mp_sthosvd
+
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((6, 5, 4, 4))
+        kwargs = dict(ranks=(3, 3, 2, 2), timeout=120, transport="tcp")
+
+        clean = mp_sthosvd(x, (2, 1, 1, 1), **kwargs)
+
+        ck = str(tmp_path / "st.npz")
+        plan = FaultPlan.kill(1, op_index=11)
+        with pytest.raises(RankFailureError) as ei:
+            mp_sthosvd(
+                x, (2, 1, 1, 1),
+                checkpoint_path=ck,
+                comm_config=CommConfig(fault_plan=plan),
+                **kwargs,
+            )
+        assert ei.value.failed_ranks == (1,)
+        assert os.path.exists(ck)
+        assert SweepCheckpoint.load(ck).algorithm == "mp_sthosvd"
+
+        resumed = mp_sthosvd(x, (2, 1, 1, 1), resume_from=ck, **kwargs)
+        np.testing.assert_array_equal(resumed.core, clean.core)
+        for a, b in zip(resumed.factors, clean.factors):
+            np.testing.assert_array_equal(a, b)
 
 
 class TestGuardRails:

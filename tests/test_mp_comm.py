@@ -1,4 +1,11 @@
-"""Real process-parallel mini-MPI and process-parallel STHOSVD."""
+"""Real process-parallel mini-MPI and process-parallel STHOSVD.
+
+The ``TestRunSPMD`` cases take the ``backend`` fixture (conftest) and
+run once per transport wire — pooled shared memory and TCP sockets —
+so the core collective semantics, subgrouping, failure surfacing, and
+timeout plumbing are certified on both.  ``TestTimeoutHygiene``'s shm
+segment-release test stays shm-only by construction (it inspects the
+pool internals)."""
 
 import time
 
@@ -96,45 +103,46 @@ def _prog_timeout_purge(comm: ProcessComm) -> dict:
 
 
 class TestRunSPMD:
-    def test_allreduce(self):
-        out = run_spmd(_prog_allreduce, 3)
+    def test_allreduce(self, backend):
+        out = run_spmd(_prog_allreduce, 3, transport=backend)
         assert out == [6.0, 6.0, 6.0]  # 1+2+3
 
-    def test_reduce_scatter(self):
-        out = run_spmd(_prog_reduce_scatter, 2)
+    def test_reduce_scatter(self, backend):
+        out = run_spmd(_prog_reduce_scatter, 2, transport=backend)
         total = np.arange(8.0) * 2 + 1  # rank0 + rank1
         np.testing.assert_allclose(out[0], total[:4])
         np.testing.assert_allclose(out[1], total[4:])
 
-    def test_allgather(self):
-        out = run_spmd(_prog_allgather, 3)
+    def test_allgather(self, backend):
+        out = run_spmd(_prog_allgather, 3, transport=backend)
         for o in out:
             np.testing.assert_array_equal(o, [0.0, 1.0, 2.0])
 
-    def test_bcast(self):
-        assert run_spmd(_prog_bcast, 3) == [42.0, 42.0, 42.0]
+    def test_bcast(self, backend):
+        out = run_spmd(_prog_bcast, 3, transport=backend)
+        assert out == [42.0, 42.0, 42.0]
 
-    def test_gather(self):
-        out = run_spmd(_prog_gather, 3)
+    def test_gather(self, backend):
+        out = run_spmd(_prog_gather, 3, transport=backend)
         assert out[0] == 0 + 1 + 2
         assert out[1] == out[2] == -1
 
-    def test_disjoint_subgroups(self):
-        out = run_spmd(_prog_subgroup, 4)
+    def test_disjoint_subgroups(self, backend):
+        out = run_spmd(_prog_subgroup, 4, transport=backend)
         assert out == [2.0, 2.0, 2.0, 2.0]
 
-    def test_single_rank(self):
-        assert run_spmd(_prog_allreduce, 1) == [1.0]
+    def test_single_rank(self, backend):
+        assert run_spmd(_prog_allreduce, 1, transport=backend) == [1.0]
 
-    def test_worker_failure_surfaced(self):
+    def test_worker_failure_surfaced(self, backend):
         with pytest.raises(RuntimeError, match="boom"):
-            run_spmd(_prog_fail, 2)
+            run_spmd(_prog_fail, 2, transport=backend)
 
-    def test_failure_carries_remote_traceback_and_rank_sets(self):
+    def test_failure_carries_remote_traceback_and_rank_sets(self, backend):
         from repro.vmpi.mp_comm import RankFailureError
 
         with pytest.raises(RankFailureError) as ei:
-            run_spmd(_prog_fail, 2)
+            run_spmd(_prog_fail, 2, transport=backend)
         err = ei.value
         assert err.failed_ranks == (1,)
         assert 1 not in err.succeeded_ranks
@@ -152,8 +160,13 @@ class TestRunSPMD:
 
 
 class TestTimeoutHygiene:
-    def test_collective_timeout_configurable(self):
-        out = run_spmd(_prog_config_timeout, 2, collective_timeout=7.5)
+    def test_collective_timeout_configurable(self, backend):
+        out = run_spmd(
+            _prog_config_timeout,
+            2,
+            transport=backend,
+            collective_timeout=7.5,
+        )
         assert out == [7.5, 7.5]
 
     def test_config_object_timeout(self):
@@ -190,10 +203,10 @@ class TestTimeoutHygiene:
 
 class TestMPSTHOSVD:
     @pytest.mark.parametrize("dims", [(1, 1, 1), (2, 2, 1), (2, 1, 2)])
-    def test_matches_sequential(self, dims):
+    def test_matches_sequential(self, dims, backend):
         x = tucker_plus_noise((14, 12, 10), (3, 3, 2), noise=1e-4, seed=0)
         seq, _ = sthosvd(x, ranks=(3, 3, 2))
-        par = mp_sthosvd(x, dims, ranks=(3, 3, 2))
+        par = mp_sthosvd(x, dims, ranks=(3, 3, 2), transport=backend)
         assert par.ranks == seq.ranks
         assert par.relative_error(x) == pytest.approx(
             seq.relative_error(x), rel=1e-8

@@ -9,7 +9,7 @@ faithfulness.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.hooi import hooi, variant_options
@@ -71,14 +71,22 @@ def test_hooi_three_way_parity(data, variant):
     )
 
 
-@settings(max_examples=4, deadline=None)
+# The backend fixture is function-scoped but constant across the
+# examples of one parametrized run, so suppressing the fixture health
+# check is sound — hypothesis just cannot see that the value never
+# changes between examples.
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
 @given(data=st.data())
-def test_mp_layer_parity(data):
+def test_mp_layer_parity(data, backend):
     """The real-process layer agrees with the other two: bit-identical
     to the in-process SPMD layer (same algorithm, deterministic
-    rank-order reductions over real message passing), and matching the
-    cost-simulated layer's ranks, factors (up to column sign), and
-    reconstruction error."""
+    rank-order reductions over real message passing — on either wire),
+    and matching the cost-simulated layer's ranks, factors (up to
+    column sign), and reconstruction error."""
     x, ranks, grid = _random_problem(data)
     # Cap at 4 worker processes so each example stays cheap.
     grid = tuple(
@@ -86,7 +94,7 @@ def test_mp_layer_parity(data):
         for i, g in enumerate(grid)
     )
     spmd = spmd_sthosvd(x, grid, ranks=ranks)
-    mp = mp_sthosvd(x, grid, ranks=ranks)
+    mp = mp_sthosvd(x, grid, ranks=ranks, transport=backend)
 
     assert mp.core.dtype == spmd.core.dtype
     assert np.array_equal(mp.core, spmd.core)
@@ -104,11 +112,15 @@ def test_mp_layer_parity(data):
     )
 
 
-@settings(max_examples=3, deadline=None)
+@settings(
+    max_examples=3,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
 @given(data=st.data(), use_tree=st.booleans())
-def test_mp_hooi_dt_parity(data, use_tree):
+def test_mp_hooi_dt_parity(data, use_tree, backend):
     """The mp tree engine (and its direct fallback) is bit-identical to
-    the in-process SPMD HOOI on fuzzed problems."""
+    the in-process SPMD HOOI on fuzzed problems, on either wire."""
     x, ranks, grid = _random_problem(data)
     grid = tuple(
         g if int(np.prod(grid[:i + 1])) <= 4 else 1
@@ -120,7 +132,7 @@ def test_mp_hooi_dt_parity(data, use_tree):
         seed=data.draw(st.integers(0, 100)),
     )
     spmd = spmd_hooi(x, ranks, grid, opts)
-    mp, stats = mp_hooi_dt(x, ranks, grid, opts)
+    mp, stats = mp_hooi_dt(x, ranks, grid, opts, transport=backend)
 
     assert stats.used_tree == use_tree
     assert mp.core.dtype == spmd.core.dtype

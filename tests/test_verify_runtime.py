@@ -387,6 +387,70 @@ class TestCleanRunsUnperturbed:
             run_spmd(_prog_stalled, 2, transport="star", config=VERIFY)
 
 
+def _prog_sanitizer_probe(comm: ProcessComm):
+    # verify=True on a non-shm wire: signature matching stays armed,
+    # the shm-lifecycle sanitizer must not (there is no pool to audit).
+    return {
+        "verifying": comm._vrt is not None,
+        "sanitizer_off": comm._t.sanitizer is None,
+        "total": float(comm.allreduce(np.array([1.0]))[0]),
+    }
+
+
+@pytest.mark.transport_matrix
+class TestVerifyOnTcp:
+    """``CommConfig(verify=True)`` degrades gracefully off-shm: the
+    signature matcher and deadlock detector keep working over sockets,
+    while the shm-lifecycle sanitizer (SPMD211–213) is skipped."""
+
+    def test_clean_run_bit_and_trace_identical(self):
+        plain = run_spmd(_prog_clean, 4, transport="tcp")
+        verified = run_spmd(_prog_clean, 4, transport="tcp", config=VERIFY)
+        for p, v in zip(plain, verified):
+            np.testing.assert_array_equal(p["total"], v["total"])
+            np.testing.assert_array_equal(p["payload"], v["payload"])
+            np.testing.assert_array_equal(p["part"], v["part"])
+            np.testing.assert_array_equal(p["gathered"], v["gathered"])
+            assert p["trace"] == v["trace"]
+
+    def test_sanitizer_skipped_signature_matching_kept(self):
+        out = run_spmd(
+            _prog_sanitizer_probe, 2, transport="tcp", config=VERIFY
+        )
+        for report in out:
+            assert report["verifying"]
+            assert report["sanitizer_off"]
+            assert report["total"] == 2.0
+
+    def test_signature_mismatch_detected(self):
+        with pytest.raises(RankFailureError) as ei:
+            run_spmd(
+                _prog_wrong_root,
+                3,
+                transport="tcp",
+                config=VERIFY,
+                collective_timeout=15,
+            )
+        msg = str(ei.value)
+        assert "SPMD201" in msg
+        assert "CollectiveMismatchError" in msg
+
+    def test_deadlock_cycle_reported_fast(self):
+        start = time.monotonic()
+        with pytest.raises(RankFailureError) as ei:
+            run_spmd(
+                _prog_deadlock,
+                2,
+                transport="tcp",
+                config=VERIFY,
+                collective_timeout=60,
+            )
+        msg = str(ei.value)
+        assert "SPMD203" in msg
+        assert "wait-for cycle" in msg
+        assert time.monotonic() - start < 30
+
+
 class TestVerifiedDrivers:
     def test_mp_hooi_dt_verify_smoke(self):
         # The CI smoke: a 2x2 grid sweep under full verification must
