@@ -210,24 +210,40 @@ def collective_rows(profile: RunProfile) -> list[CollectiveRow]:
 
 
 def _wait_transfer_line(profile: RunProfile) -> str | None:
-    """One-line wait-vs-transfer split from the recv histograms."""
-    wait = transfer = 0.0
+    """One-line wait-vs-transfer split from the recv histograms.
+
+    With ``CommConfig.overlap`` the pipelined collectives attribute
+    receive waits that ran concurrently with payload math to
+    ``collective_wait_hidden_seconds``; the line then reports the
+    visible wait share *and* how much wait the overlap hid, so an
+    overlap-on run shows its wait-share reduction directly here.
+    """
+    wait = hidden = transfer = 0.0
     for p in profile.ranks:
         hists = p.metrics.get("histograms", {})
         wait += hists.get("collective_wait_seconds", {}).get(
             "total", 0.0
         )
+        hidden += hists.get(
+            "collective_wait_hidden_seconds", {}
+        ).get("total", 0.0)
         transfer += hists.get(
             "collective_transfer_seconds", {}
         ).get("total", 0.0)
-    if wait + transfer <= 0:
+    if wait + hidden + transfer <= 0:
         return None
-    share = wait / (wait + transfer)
-    return (
+    share = wait / (wait + hidden + transfer)
+    line = (
         f"collective receive time: {wait:.4g}s blocked wait + "
         f"{transfer:.4g}s payload transfer "
-        f"({share * 100:.0f}% wait) across all ranks"
+        f"({share * 100:.0f}% visible wait) across all ranks"
     )
+    if hidden > 0:
+        line += (
+            f"; {hidden:.4g}s further wait hidden behind compute "
+            "by comm/compute overlap"
+        )
+    return line
 
 
 def format_attribution_report(

@@ -47,6 +47,8 @@ SECTIONS: tuple[tuple[str, str], ...] = (
     ("mp_dimension_tree", "Infrastructure — memoized vs direct mp HOOI"),
     ("verify_overhead", "Infrastructure — SPMD verifier overhead"),
     ("profiler_overhead", "Infrastructure — span-profiler overhead"),
+    ("kernels_speedup", "Infrastructure — native kernels vs tensordot"),
+    ("overlap", "Infrastructure — comm/compute overlap"),
 )
 
 

@@ -131,6 +131,25 @@ def _jsonable(obj: Any) -> Any:
     return obj
 
 
+def _fsync_dir(dirname: str) -> None:
+    """fsync a directory so a just-renamed entry survives a crash.
+
+    Platforms without directory fds (Windows) simply skip: the rename
+    is still atomic there, just not durability-ordered.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(dirname, flags)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def _digest(header: dict, factors: list[np.ndarray]) -> str:
     """Integrity digest: header (digest field excluded) + factor bytes."""
     clean = {k: v for k, v in header.items() if k != "digest"}
@@ -187,7 +206,13 @@ class SweepCheckpoint:
         }
 
     def save(self, path: str | os.PathLike) -> str:
-        """Atomically write the checkpoint; returns the final path."""
+        """Atomically and durably write the checkpoint.
+
+        Write-to-temp + fsync + ``os.replace`` + directory fsync: a
+        reader never observes a torn file, and once this returns the
+        new checkpoint survives a crash of the whole machine, not just
+        of this process.  Returns the final path.
+        """
         path = os.fspath(path)
         header = self._header()
         header["digest"] = _digest(header, self.factors)
@@ -205,6 +230,12 @@ class SweepCheckpoint:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
+            # The file fsync above makes the *contents* durable, but the
+            # rename itself lives in the directory: without a directory
+            # fsync a crash right after os.replace can roll the entry
+            # back to the previous checkpoint — or, for a first write,
+            # to no file at all — despite save() having returned.
+            _fsync_dir(os.path.dirname(path) or ".")
         except OSError as exc:
             raise CheckpointError(
                 f"could not write checkpoint {path!r}: {exc}"

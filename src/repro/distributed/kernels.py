@@ -46,8 +46,7 @@ from repro.distributed.layout import BlockLayout
 from repro.linalg.evd import gram_evd, rank_from_spectrum
 from repro.linalg.qrcp import qrcp
 from repro.linalg.subspace import subspace_iteration_llsv
-from repro.tensor.dense import unfold
-from repro.tensor.ops import contract_all_but_mode, ttm
+from repro.tensor.ops import contract_all_but_mode, gram, ttm
 from repro.vmpi.collectives import (
     allreduce_cost,
     alltoall_cost,
@@ -341,6 +340,27 @@ class _comm_phase:
         self._comm.phase = self._prev
 
 
+# Non-root members of a mode group contribute an all-zero block to the
+# reduction collectives.  Those blocks are pure protocol filler — the
+# collective only ever *reads* them (every reduce path copies before
+# accumulating, and send paths never mutate payloads) — so one
+# read-only instance per (shape, dtype) is shared instead of calloc'ing
+# a fresh n x n block per mode per sweep.
+_ZEROS_CACHE: dict[tuple[tuple[int, ...], np.dtype], np.ndarray] = {}
+
+
+def _zeros_contribution(
+    shape: tuple[int, ...], dtype: np.dtype | type
+) -> np.ndarray:
+    key = (tuple(int(s) for s in shape), np.dtype(dtype))
+    out = _ZEROS_CACHE.get(key)
+    if out is None:
+        out = np.zeros(key[0], dtype=key[1])
+        out.setflags(write=False)
+        _ZEROS_CACHE[key] = out
+    return out
+
+
 def mp_ttm(
     comm: ProcessComm,
     block: np.ndarray,
@@ -367,7 +387,11 @@ def mp_ttm(
         # GEMM (r x local_n) @ (local_n x rest): local_n*rest = block.size.
         prof.metrics.inc("ttm_flops", 2.0 * u.shape[1] * block.size)
         prof.begin("ttm:gemm", "kernel", phase)
-    partial = ttm(block, u.T[:, a:b], mode)
+    # Contiguous row slice, transposed inside the kernel: u[a:b] is a
+    # zero-copy C-contiguous view and BLAS consumes the transpose
+    # natively, whereas spelling it u.T[:, a:b] hands the GEMM a
+    # column-strided operand.  Same values, same bits (parity-fuzzed).
+    partial = ttm(block, u[a:b], mode, transpose=True)
     if prof is not None:
         prof.end()
     with _comm_phase(comm, phase):
@@ -402,14 +426,23 @@ def mp_gram(
         if prof is not None:
             prof.begin("gram:local", "kernel", phase)
         if coords[mode] == 0:
-            mat = unfold(full_mode, mode)
-            local_gram = mat @ mat.T
+            # Shared GEMM kernel (repro.kernels via ops.gram): the same
+            # local Gram every execution layer computes, so the layers
+            # stay mutually bit-identical.
+            local_gram = gram(full_mode, mode)
         else:
-            local_gram = np.zeros((n, n), dtype=block.dtype)
+            local_gram = _zeros_contribution((n, n), block.dtype)
         if prof is not None:
             prof.end()
         g = comm.allreduce(local_gram)
-    return (g + g.T) * 0.5
+    # In-place symmetrize: one internal buffer for the aliased add
+    # instead of two explicit n x n temporaries.  The allreduce output
+    # is freshly allocated and exactly symmetric already (a rank-order
+    # sum of exactly symmetric local Grams), so this is a bitwise no-op
+    # guard for the downstream eigensolver, as before.
+    g += g.T
+    g *= 0.5
+    return g
 
 
 def mp_subspace_llsv(
@@ -457,7 +490,7 @@ def mp_subspace_llsv(
             if coords[mode] == 0:
                 z_local = contract_all_but_mode(y_full, g_full, mode)
             else:
-                z_local = np.zeros((n, width), dtype=block.dtype)
+                z_local = _zeros_contribution((n, width), block.dtype)
             if prof is not None:
                 prof.end()
             z = comm.allreduce(z_local)

@@ -20,8 +20,7 @@ import numpy as np
 from repro.core.tucker import TuckerTensor
 from repro.distributed.layout import BlockLayout
 from repro.linalg.evd import gram_evd, rank_from_spectrum
-from repro.tensor.dense import unfold
-from repro.tensor.ops import ttm
+from repro.tensor.ops import gram, ttm
 from repro.tensor.validation import check_ranks
 from repro.vmpi.collectives import (
     allgather_blocks,
@@ -163,19 +162,27 @@ def spmd_gram(
         lambda bs: allgather_blocks(bs, axis=mode),
     )
     n = layout.shape[mode]
+    zeros = np.zeros((n, n), dtype=blocks[0].dtype)
+    zeros.setflags(write=False)
     local_grams = []
     for rank, coords in grid.iter_ranks():
         # After the allgather every rank of a mode sub-communicator
         # holds the same columns; only the coordinate-0 representative
-        # contributes them to the global reduction.
+        # contributes them to the global reduction (the shared zero
+        # block is filler the reduction only reads — allreduce_blocks
+        # copies before accumulating).
         if coords[mode] != 0:
-            local_grams.append(np.zeros((n, n), dtype=blocks[0].dtype))
+            local_grams.append(zeros)
             continue
-        mat = unfold(full_mode[rank], mode)
-        local_grams.append(mat @ mat.T)
+        # Shared GEMM kernel (repro.kernels via ops.gram): the same
+        # local Gram mp_gram computes, keeping the layers bit-identical.
+        local_grams.append(gram(full_mode[rank], mode))
     reduced = allreduce_blocks(local_grams)
     g = reduced[0]
-    return (g + g.T) * 0.5
+    # In-place symmetrize, matching mp_gram operation for operation.
+    g += g.T
+    g *= 0.5
+    return g
 
 
 def spmd_sthosvd(

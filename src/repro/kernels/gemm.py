@@ -1,0 +1,120 @@
+"""NumPy reshape-GEMM-reshape kernel bodies, plus the references.
+
+The three TTM cases (see the package docstring) share one invariant:
+the input tensor is C-contiguous, so every unfolding used here is a
+zero-copy ``reshape`` — the only data movement is the GEMM itself, and
+the output of every case is C-contiguous, so chained TTMs never
+re-pack.
+
+``ttm_reference``/``gram_reference`` are the historical
+tensordot/Fortran-unfold implementations, kept verbatim as the
+independent oracle for the parity fuzzers and the baseline for
+``benchmarks/bench_kernels.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = [
+    "gram_apply",
+    "gram_reference",
+    "ttm_apply",
+    "ttm_reference",
+]
+
+
+def _prod(extents: Iterable[int]) -> int:
+    out = 1
+    for extent in extents:
+        out *= int(extent)
+    return out
+
+
+def ttm_apply(x: np.ndarray, op: np.ndarray, mode: int) -> np.ndarray:
+    """Apply the oriented ``(m, k)`` operand ``op`` along ``mode``.
+
+    ``x`` must be C-contiguous with ``x.shape[mode] == k``; ``op`` may
+    be any strided view (BLAS consumes transposed operands natively).
+    Extents are computed explicitly so zero-extent modes (empty rank
+    slabs, ``m == 0`` truncations) reshape unambiguously.
+    """
+    shape = x.shape
+    d = x.ndim
+    m, k = op.shape
+    if mode == 0:
+        rest = _prod(shape[1:])
+        out = op @ x.reshape(k, rest)
+        return out.reshape((m,) + shape[1:])
+    if mode == d - 1:
+        lead = _prod(shape[:-1])
+        out = x.reshape(lead, k) @ op.T
+        return out.reshape(shape[:-1] + (m,))
+    left = _prod(shape[:mode])
+    right = _prod(shape[mode + 1:])
+    # One batched GEMM over the `left` interior slabs: matmul broadcasts
+    # op against the zero-copy (left, k, right) view and writes a fresh
+    # C-contiguous (left, m, right) block.
+    out = np.matmul(op, x.reshape(left, k, right))
+    return out.reshape(shape[:mode] + (m,) + shape[mode + 1:])
+
+
+def pack_interior(x: np.ndarray, mode: int) -> np.ndarray:
+    """C-order unfolding ``(n_mode, rest)`` of an interior mode.
+
+    The single contiguous copy the interior-mode Gram needs; boundary
+    modes never call this.
+    """
+    shape = x.shape
+    n = shape[mode]
+    left = _prod(shape[:mode])
+    right = _prod(shape[mode + 1:])
+    view = x.reshape(left, n, right).transpose(1, 0, 2)
+    return view.reshape(n, left * right)
+
+
+def gram_apply(x: np.ndarray, mode: int) -> np.ndarray:
+    """Gram of the mode unfolding of a C-contiguous ``x``.
+
+    Boundary modes are a single GEMM on a zero-copy reshape (the last
+    mode contracts the *lead* dimension via ``mat.T @ mat``, so no
+    transposed copy is formed); interior modes pay one contiguous pack.
+    The result of ``A @ A.T`` is exactly symmetric — both triangles of
+    each entry pair are the same dot product in the same accumulation
+    order — so no symmetrize pass is needed.
+    """
+    shape = x.shape
+    d = x.ndim
+    n = shape[mode]
+    if mode == 0:
+        mat = x.reshape(n, _prod(shape[1:]))
+        return mat @ mat.T
+    if mode == d - 1:
+        mat = x.reshape(_prod(shape[:-1]), n)
+        return mat.T @ mat
+    mat = pack_interior(x, mode)
+    return mat @ mat.T
+
+
+def ttm_reference(
+    tensor: np.ndarray,
+    matrix: np.ndarray,
+    mode: int,
+    *,
+    transpose: bool = False,
+) -> np.ndarray:
+    """Historical tensordot TTM (pre-kernels ``repro.tensor.ops.ttm``)."""
+    op = matrix.T if transpose else matrix
+    out = np.tensordot(op, tensor, axes=(1, mode))
+    return np.moveaxis(out, 0, mode)
+
+
+def gram_reference(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Historical Fortran-unfold Gram (pre-kernels ``ops.gram``)."""
+    mat = np.reshape(
+        np.moveaxis(tensor, mode, 0), (tensor.shape[mode], -1), order="F"
+    )
+    out = mat @ mat.T
+    return (out + out.T) * 0.5

@@ -1,0 +1,103 @@
+"""Optional numba-compiled kernel bodies (soft dependency).
+
+Boundary-mode TTMs and Grams are already a single BLAS call with no
+Python-side data movement, so this backend reuses the NumPy bodies for
+them verbatim (keeping the two backends trivially bit-identical there).
+What it compiles is the *interior*-mode work, where the NumPy path
+leans on ``np.matmul`` broadcasting:
+
+* ``_ttm_interior`` — the per-slab GEMM loop, parallelized over slabs
+  with ``prange`` (each slab is an independent ``(m, k) @ (k, right)``
+  product on contiguous memory);
+* ``_pack_interior`` — the Gram's contiguous unfolding pack,
+  parallelized over rows.
+
+The pack writes exactly the matrix :func:`repro.kernels.gemm.
+pack_interior` builds, so the numba Gram is structurally bit-identical
+to the NumPy Gram; the per-slab TTM GEMMs hit the same BLAS on the same
+contiguous slabs and are fuzz-checked bit-identical in CI
+(``tests/test_kernels.py``).  Dtype combinations BLAS-compiled numba
+cannot take (mixed dtypes, non-floats) fall back to the NumPy body.
+
+When numba is absent ``AVAILABLE`` is ``False`` and the package
+frontend never dispatches here (it warns and falls back to NumPy), so
+importing this module is always safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import gemm
+
+__all__ = ["AVAILABLE", "gram_apply", "ttm_apply"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    AVAILABLE = True
+except ImportError:  # pragma: no cover - the in-container default
+    AVAILABLE = False
+
+if AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @njit(parallel=True, cache=True)
+    def _ttm_interior(
+        op: np.ndarray, x3: np.ndarray, out: np.ndarray
+    ) -> None:
+        for slab in prange(x3.shape[0]):
+            out[slab] = np.dot(op, x3[slab])
+
+    @njit(parallel=True, cache=True)
+    def _pack_interior(x3: np.ndarray, out: np.ndarray) -> None:
+        left, n, right = x3.shape
+        for row in prange(n):
+            for slab in range(left):
+                out[row, slab * right:(slab + 1) * right] = x3[slab, row]
+
+
+def _jit_dtypes_ok(*arrays: np.ndarray) -> bool:
+    dtypes = {a.dtype for a in arrays}
+    return len(dtypes) == 1 and dtypes.pop() in (
+        np.dtype(np.float32),
+        np.dtype(np.float64),
+    )
+
+
+def ttm_apply(x: np.ndarray, op: np.ndarray, mode: int) -> np.ndarray:
+    """numba TTM body; same contract as :func:`gemm.ttm_apply`."""
+    d = x.ndim
+    if (
+        not AVAILABLE
+        or not 0 < mode < d - 1
+        or x.size == 0
+        or op.size == 0
+        or not _jit_dtypes_ok(x, op)
+    ):
+        return gemm.ttm_apply(x, op, mode)
+    shape = x.shape
+    m, k = op.shape
+    left = gemm._prod(shape[:mode])
+    right = gemm._prod(shape[mode + 1:])
+    out = np.empty((left, m, right), dtype=x.dtype)
+    _ttm_interior(np.ascontiguousarray(op), x.reshape(left, k, right), out)
+    return out.reshape(shape[:mode] + (m,) + shape[mode + 1:])
+
+
+def gram_apply(x: np.ndarray, mode: int) -> np.ndarray:
+    """numba Gram body; same contract as :func:`gemm.gram_apply`."""
+    d = x.ndim
+    if (
+        not AVAILABLE
+        or not 0 < mode < d - 1
+        or x.size == 0
+        or not _jit_dtypes_ok(x)
+    ):
+        return gemm.gram_apply(x, mode)
+    shape = x.shape
+    n = shape[mode]
+    left = gemm._prod(shape[:mode])
+    right = gemm._prod(shape[mode + 1:])
+    mat = np.empty((n, left * right), dtype=x.dtype)
+    _pack_interior(x.reshape(left, n, right), mat)
+    return mat @ mat.T

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.tensor.validation import check_mode
 
-__all__ = ["unfold", "fold", "tensor_norm", "DenseTensor"]
+__all__ = ["unfold", "unfold_c", "fold", "tensor_norm", "DenseTensor"]
 
 
 def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
@@ -41,6 +41,30 @@ def unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
     return np.reshape(
         np.moveaxis(tensor, mode, 0), (tensor.shape[mode], -1), order="F"
     )
+
+
+def unfold_c(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Row-major (C-order) mode-``mode`` unfolding.
+
+    Same rows as :func:`unfold` but with the columns enumerating the
+    remaining modes with the *highest* remaining mode varying fastest.
+    For a C-contiguous tensor this is **zero-copy** when ``mode`` is 0
+    (a plain reshape) and a single contiguous pack otherwise — the
+    layout the GEMM kernels in :mod:`repro.kernels` operate on.  Use it
+    wherever the downstream consumer is column-order-invariant (Gram
+    matrices, norms); use :func:`unfold` when the Kolda & Bader column
+    convention itself matters (folding back, Kronecker identities).
+    """
+    mode = check_mode(tensor.ndim, mode)
+    x = np.ascontiguousarray(tensor)
+    n = x.shape[mode]
+    rest = 1
+    for i, extent in enumerate(x.shape):
+        if i != mode:
+            rest *= int(extent)
+    if mode == 0:
+        return x.reshape(n, rest)
+    return np.moveaxis(x, mode, 0).reshape(n, rest)
 
 
 def fold(matrix: np.ndarray, mode: int, shape: tuple[int, ...]) -> np.ndarray:

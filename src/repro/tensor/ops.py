@@ -12,7 +12,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.tensor.dense import tensor_norm, unfold
+from repro import kernels
+from repro.tensor.dense import tensor_norm
 from repro.tensor.validation import check_mode
 
 __all__ = [
@@ -52,16 +53,9 @@ def ttm(
         Multiply by ``matrix.T`` instead of ``matrix``.
     """
     mode = check_mode(tensor.ndim, mode)
-    if matrix.ndim != 2:
-        raise ValueError("ttm factor must be a matrix")
-    op = matrix.T if transpose else matrix
-    if op.shape[1] != tensor.shape[mode]:
-        raise ValueError(
-            f"factor contracts {op.shape[1]} entries but mode {mode} has "
-            f"extent {tensor.shape[mode]}"
-        )
-    out = np.tensordot(op, tensor, axes=(1, mode))
-    return np.moveaxis(out, 0, mode)
+    # The reshape-GEMM-reshape body lives in repro.kernels (selectable
+    # NumPy/numba backends); it validates the operand shapes.
+    return kernels.ttm(tensor, matrix, mode, transpose=transpose)
 
 
 def multi_ttm(
@@ -134,12 +128,12 @@ def gram(tensor: np.ndarray, mode: int) -> np.ndarray:
     """Gram matrix of the mode-``mode`` unfolding, ``Y_(j) @ Y_(j).T``.
 
     This is the symmetric kernel TuckerMPI's default LLSV builds before
-    its (sequential) eigendecomposition.
+    its (sequential) eigendecomposition.  The body lives in
+    :mod:`repro.kernels`, whose GEMM formulation is exactly symmetric by
+    construction (no symmetrize pass needed) and is shared by every
+    execution layer so their Grams stay mutually bit-identical.
     """
-    mat = unfold(tensor, mode)
-    out = mat @ mat.T
-    # Symmetrize to guard the downstream eigensolver against rounding.
-    return (out + out.T) * 0.5
+    return kernels.gram(tensor, mode)
 
 
 def contract_all_but_mode(

@@ -257,11 +257,32 @@ class CommConfig:
         Span-buffer capacity per rank; once full, further spans are
         counted in ``RankProfile.dropped`` instead of recorded
         (metrics keep accumulating), bounding profiler memory.
+    overlap:
+        Pipeline (double-buffer) the deterministic reduction
+        collectives: each receive is prefetched on a per-rank overlap
+        worker thread while the main thread folds the previous
+        contribution into the accumulator (pairwise reduce-scatter) or
+        copies the previous ring chunk into the output vector (the
+        allgather stage of long allreduces), hiding wire wait and
+        shm/socket copy-out behind payload math.  The message
+        schedule, tags, payloads, reduction order, and counters are
+        all unchanged, so overlapped runs stay bit-identical and
+        trace-counter-identical to serial runs; with ``profile`` on,
+        the hidden blocked time is attributed to
+        ``collective_wait_hidden_seconds`` instead of
+        ``collective_wait_seconds``, which is how the attribution
+        report shows the visible-wait share shrinking.  The strict
+        one-in-flight hand-off means the transport never has two
+        threads in it at once.  Off by default.  (The plain ring
+        allgather is unaffected: its steps are serially dependent and
+        it has no local payload math to hide; overlap pays off where
+        the α-β model charges per-step payload work.)
     """
 
     collective_timeout: float = 60.0
     shm_min_bytes: int = 1 << 18
     deterministic: bool = True
+    overlap: bool = False
     eager_max_words: int | None = None
     fault_plan: FaultPlan | None = None
     check_numerics: bool = False
@@ -328,6 +349,10 @@ class ProcessComm:
         #: (same vocabulary as the simulator's ledger phases).
         self.phase = ""
         self._op_id = 0
+        #: lazily created single-thread executor for CommConfig.overlap
+        #: receive prefetching (None until the first overlapped
+        #: collective, so non-overlap runs never spawn a thread).
+        self._prefetch_pool = None
         plan = self.config.fault_plan
         self._inj = (
             FaultInjector(plan, rank)
@@ -411,11 +436,27 @@ class ProcessComm:
         self._t.send(group[dst_v], (self._op_id, phase), payload)
 
     def _vrecv(self, group: tuple[int, ...], src_v: int, phase: str) -> object:
+        return self._vrecv_via(self._t.recv, group, src_v, phase)
+
+    def _vrecv_prefetch(
+        self, group: tuple[int, ...], src_v: int, phase: str
+    ) -> object:
+        """The overlap worker's receive: same retry/purge behavior,
+        but blocked time lands in the hidden-wait histogram."""
+        return self._vrecv_via(self._t.recv_prefetch, group, src_v, phase)
+
+    def _vrecv_via(
+        self,
+        recv: Callable[..., object],
+        group: tuple[int, ...],
+        src_v: int,
+        phase: str,
+    ) -> object:
         wait = self.config.collective_timeout
         retries = self.config.transient_retries
         while True:
             try:
-                return self._t.recv(
+                return recv(
                     group[src_v], (self._op_id, phase), timeout=wait
                 )
             except CollectiveTimeoutError:
@@ -727,6 +768,48 @@ class ProcessComm:
             r += 1
         return have
 
+    # -- CommConfig.overlap machinery ---------------------------------------
+    #
+    # The overlap worker and the main thread obey a strict one-in-flight
+    # hand-off: while a prefetched receive is outstanding, the main
+    # thread touches only NumPy buffers (accumulator adds, assembly
+    # copies) and never the transport, and it joins the future before
+    # issuing its next transport call.  The transport therefore always
+    # has exactly one user at any instant — it needs no locks — and the
+    # profiler/metrics registries are never written concurrently (the
+    # worker writes only the transport-level wait/transfer histograms,
+    # which the main thread leaves alone while a collective is open).
+
+    def _overlap_pool(self) -> "ThreadPoolExecutor":
+        pool = self._prefetch_pool
+        if pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            pool = self._prefetch_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"overlap-r{self.rank}"
+            )
+        return pool
+
+    def shutdown_overlap(self) -> None:
+        """Stop the overlap worker if one was ever created.  Cheap: by
+        construction every prefetch future has been drained, so the
+        worker is idle and the join returns immediately."""
+        pool = self._prefetch_pool
+        if pool is not None:
+            self._prefetch_pool = None
+            pool.shutdown(wait=True)
+
+    @staticmethod
+    def _drain_future(fut: object) -> None:
+        """Join a still-outstanding prefetch on an error path so no
+        worker is left inside the transport, swallowing its outcome
+        (the primary exception is already propagating)."""
+        if fut is not None:
+            try:
+                fut.result()
+            except BaseException:
+                pass
+
     def _pairwise_reduce_parts(
         self,
         group: tuple[int, ...],
@@ -742,6 +825,8 @@ class ProcessComm:
         for j in range(g):
             if j != me:
                 self._vsend(group, j, f"{phase}/pw", {me: parts[j]})
+        if self.config.overlap and g > 1:
+            return self._pairwise_reduce_overlap(group, me, parts, phase)
         acc: np.ndarray | None = None
         for j in range(g):
             if j == me:
@@ -754,6 +839,97 @@ class ProcessComm:
                 acc += contrib
         assert acc is not None
         return acc
+
+    def _pairwise_reduce_overlap(
+        self,
+        group: tuple[int, ...],
+        me: int,
+        parts: Sequence[np.ndarray],
+        phase: str,
+    ) -> np.ndarray:
+        """The pipelined tail of :meth:`_pairwise_reduce_parts` (all
+        sends already posted): identical receives in identical order,
+        but each receive after the first is prefetched on the overlap
+        worker while the main thread folds the previous contribution
+        into the accumulator — the wire wait and copy-out of
+        contribution ``j+1`` hide behind the ``acc += contrib_j``
+        payload math.  Same adds in the same group-rank order, so the
+        result is bit-identical to the serial loop."""
+        g = len(group)
+        tag = f"{phase}/pw"
+        pool = self._overlap_pool()
+        sources = [j for j in range(g) if j != me]
+        fut = pool.submit(self._vrecv_prefetch, group, sources[0], tag)
+        nxt = 1
+        acc: np.ndarray | None = None
+        try:
+            for j in range(g):
+                if j == me:
+                    contrib = np.asarray(parts[me])
+                else:
+                    payload = fut.result()
+                    fut = (
+                        pool.submit(
+                            self._vrecv_prefetch, group, sources[nxt], tag
+                        )
+                        if nxt < len(sources)
+                        else None
+                    )
+                    nxt += 1
+                    contrib = payload[j]
+                if acc is None:
+                    acc = np.array(contrib, copy=True)
+                else:
+                    acc += contrib
+        except BaseException:
+            if fut is not None and not fut.done():
+                self._drain_future(fut)
+            raise
+        assert acc is not None
+        return acc
+
+    def _ring_allgather_overlap(
+        self,
+        group: tuple[int, ...],
+        me: int,
+        part: np.ndarray,
+        phase: str,
+        slices: Sequence[slice],
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Ring allgather of reduced chunks assembled directly into
+        ``out`` (chunk geometry is known to the caller), with the
+        assembly copy overlapped: each step posts its forward send,
+        prefetches the ring receive on the overlap worker, and writes
+        the *previous* chunk into ``out`` while the receive blocks.
+        Same sends, receives, and tags as
+        :meth:`_ring_allgather_parts` plus the same total copy work as
+        the ``np.concatenate`` it replaces — just scheduled under the
+        wire wait."""
+        g = len(group)
+        pool = self._overlap_pool()
+        right = (me + 1) % g
+        left = (me - 1) % g
+        prev_idx, prev = me, np.asarray(part)
+        fut = None
+        try:
+            for s in range(g - 1):
+                self._vsend(
+                    group, right, f"{phase}/rg{s}", {prev_idx: prev}
+                )
+                fut = pool.submit(
+                    self._vrecv_prefetch, group, left, f"{phase}/rg{s}"
+                )
+                out[slices[prev_idx]] = prev
+                got = fut.result()
+                fut = None
+                ((prev_idx, prev),) = got.items()
+        except BaseException:
+            if fut is not None and not fut.done():
+                self._drain_future(fut)
+            raise
+        out[slices[prev_idx]] = prev
+        return out
 
     def _halving_reduce_scatter_parts(
         self,
@@ -886,6 +1062,15 @@ class ProcessComm:
         parts = [flat[s[0]] for s in bounds]
         if self.config.deterministic or not pow2:
             mine = self._pairwise_reduce_parts(group, me, parts, "ar")
+            if self.config.overlap:
+                # Assemble straight into the output while the ring
+                # receives block: same sends/receives/tags as the
+                # serial ring + concatenate, same bits out.
+                out = np.empty(n, dtype=flat.dtype)
+                self._ring_allgather_overlap(
+                    group, me, mine, "ar", [s[0] for s in bounds], out
+                )
+                return out.reshape(arr.shape), "pairwise-rs+ring-ag"
             have = self._ring_allgather_parts(group, me, mine, "ar")
             algorithm = "pairwise-rs+ring-ag"
         else:
@@ -1362,6 +1547,7 @@ def _p2p_worker(
     except Exception as exc:
         result_queue.put((rank, "error", _failure_report(exc, comm)))
     finally:
+        comm.shutdown_overlap()
         try:
             channel.close()
         except Exception:  # pragma: no cover - cleanup best-effort

@@ -326,6 +326,34 @@ class Transport(ABC):
         )
         return out
 
+    def recv_prefetch(
+        self, src: int, tag: tuple, timeout: float | None = None
+    ) -> object:
+        """:meth:`recv`, called from the overlap worker.
+
+        Identical wire behavior, but blocked time lands in
+        ``collective_wait_hidden_seconds``: the main thread is doing
+        payload math while this wait runs, so attributing it to
+        ``collective_wait_seconds`` would double-count the interval as
+        both compute and wait.  Single-user contract: the comm layer
+        guarantees at most one thread is inside the transport at any
+        instant (a prefetch is submitted only after every send of the
+        step has completed, and joined before the main thread's next
+        transport call), so no locking is needed here.
+        """
+        prof = self.profiler
+        if prof is None:
+            return self._decode(src, self._recv_body(src, tag, timeout))
+        t0 = time.perf_counter()
+        body = self._recv_body(src, tag, timeout)
+        t1 = time.perf_counter()
+        out = self._decode(src, body)
+        prof.metrics.observe("collective_wait_hidden_seconds", t1 - t0)
+        prof.metrics.observe(
+            "collective_transfer_seconds", time.perf_counter() - t1
+        )
+        return out
+
     def _recv_body(
         self, src: int, tag: tuple, timeout: float | None
     ) -> object:

@@ -79,7 +79,12 @@ class TestAnyGramContract:
 def test_hooi_tol_subspace_stop(lowrank3):
     from repro.core.hooi import HOOIOptions, hooi
 
-    opts = HOOIOptions(max_iters=30, tol_subspace=1e-8, seed=0)
+    # The threshold sits above the converged subspace-movement noise
+    # floor (~1e-8 on this problem — the exact level depends on BLAS
+    # accumulation order, so 1e-8 itself is knife-edged) but far below
+    # the ~1e-5 movement of the still-converging second iteration: the
+    # stop must trigger on subspace stagnation, well before max_iters.
+    opts = HOOIOptions(max_iters=30, tol_subspace=1e-7, seed=0)
     _, stats = hooi(lowrank3, (4, 3, 5), opts)
     assert stats.converged
     assert stats.iterations < 30

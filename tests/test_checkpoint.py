@@ -181,6 +181,68 @@ class TestSweepCheckpointIO:
             SweepCheckpoint.load(path)
 
 
+class TestDurability:
+    """Crash-consistency of ``save()``: torn writes detected, failed
+    replaces leave the previous checkpoint intact, and the rename is
+    ordered to disk with a directory fsync."""
+
+    def test_torn_write_detected(self, tmp_path):
+        ck = _example_checkpoint()
+        path = str(tmp_path / "ck.npz")
+        ck.save(path)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])  # torn tail
+        with pytest.raises(CheckpointError):
+            SweepCheckpoint.load(path)
+
+    def test_failed_replace_preserves_previous(self, tmp_path, monkeypatch):
+        ck = _example_checkpoint()
+        path = str(tmp_path / "ck.npz")
+        ck.save(path)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        ck.iteration = 99
+        with pytest.raises(CheckpointError, match="could not write"):
+            ck.save(path)
+        monkeypatch.undo()
+        # previous checkpoint intact and loadable, temp cleaned up
+        assert os.listdir(tmp_path) == ["ck.npz"]
+        assert SweepCheckpoint.load(path).iteration == 2
+
+    def test_failed_write_leaves_no_first_file(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(os, "fsync", _raise_enospc)
+        ck = _example_checkpoint()
+        path = str(tmp_path / "ck.npz")
+        with pytest.raises(CheckpointError, match="could not write"):
+            ck.save(path)
+        monkeypatch.undo()
+        assert os.listdir(tmp_path) == []
+
+    def test_directory_fsync_ordered_after_replace(self, tmp_path, monkeypatch):
+        import repro.distributed.checkpoint as cp
+
+        events = []
+        real_replace = os.replace
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda s, d: (events.append("replace"), real_replace(s, d))[1],
+        )
+        monkeypatch.setattr(
+            cp, "_fsync_dir", lambda d: events.append(("fsync_dir", d))
+        )
+        _example_checkpoint().save(tmp_path / "ck.npz")
+        assert events == ["replace", ("fsync_dir", str(tmp_path))]
+
+
+def _raise_enospc(fd):
+    raise OSError(28, "No space left on device")
+
+
 class TestValidateResume:
     def _ck(self):
         return _example_checkpoint()
