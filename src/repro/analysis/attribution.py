@@ -246,6 +246,42 @@ def _wait_transfer_line(profile: RunProfile) -> str | None:
     return line
 
 
+def _recovery_line(profile: RunProfile) -> str | None:
+    """One-line elastic-recovery cost summary from the recovery
+    histograms (``repro.distributed.recovery``).
+
+    ``buddy_replicate_seconds`` is the steady-state premium every
+    elastic sweep pays; ``recovery_seconds`` (detect + revoke + agree)
+    appears only on runs that actually absorbed a failure.
+    """
+    replicate = recover = agree = 0.0
+    episodes = 0
+    for p in profile.ranks:
+        hists = p.metrics.get("histograms", {})
+        replicate += hists.get("buddy_replicate_seconds", {}).get(
+            "total", 0.0
+        )
+        rec = hists.get("recovery_seconds", {})
+        recover += rec.get("total", 0.0)
+        episodes += int(rec.get("count", 0))
+        agree += hists.get("recovery_agree_seconds", {}).get(
+            "total", 0.0
+        )
+    if replicate + recover <= 0:
+        return None
+    line = (
+        f"elastic recovery: {replicate:.4g}s buddy replication "
+        "across all ranks"
+    )
+    if recover > 0:
+        line += (
+            f"; {recover:.4g}s failure handling "
+            f"({agree:.4g}s agreement) across {episodes} "
+            "survivor reports"
+        )
+    return line
+
+
 def format_attribution_report(
     profile: RunProfile,
     model: dict[str, float] | None = None,
@@ -302,6 +338,9 @@ def format_attribution_report(
     wait_line = _wait_transfer_line(profile)
     if wait_line is not None:
         sections.append(wait_line)
+    recovery_line = _recovery_line(profile)
+    if recovery_line is not None:
+        sections.append(recovery_line)
     if model:
         sections.append(
             "shares, not absolute seconds, carry the comparison: the "

@@ -49,6 +49,7 @@ SECTIONS: tuple[tuple[str, str], ...] = (
     ("profiler_overhead", "Infrastructure — span-profiler overhead"),
     ("kernels_speedup", "Infrastructure — native kernels vs tensordot"),
     ("overlap", "Infrastructure — comm/compute overlap"),
+    ("recovery", "Infrastructure — elastic recovery vs full restart"),
 )
 
 

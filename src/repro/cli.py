@@ -367,7 +367,11 @@ def resume_main(argv: Sequence[str] | None = None) -> int:
     parameter-file snapshot written next to it (or ``--parameter-file``),
     and replays the remaining iterations on the process-parallel
     layer — bit-identically to an uninterrupted run (the drivers verify
-    the checkpoint's input-tensor digest before continuing).
+    the checkpoint's input-tensor digest before continuing).  The
+    checkpoint's recorded world size and backend are validated against
+    the requested run up front, so a grid or ``--backend`` mismatch
+    fails with an actionable message instead of a shape error
+    mid-sweep.
     """
     parser = argparse.ArgumentParser(
         prog="repro resume",
@@ -382,6 +386,15 @@ def resume_main(argv: Sequence[str] | None = None) -> int:
         help=(
             "parameter file describing the original run (default: "
             f"{PARAMS_SNAPSHOT} next to the checkpoint)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("shm", "tcp"),
+        default=None,
+        help=(
+            "rank interconnect (default: the backend recorded in the "
+            "checkpoint, else shm)"
         ),
     )
     args = parser.parse_args(argv)
@@ -402,6 +415,44 @@ def resume_main(argv: Sequence[str] | None = None) -> int:
     noise = params.get_float("noise", 1e-4)
     seed = params.get_int("seed", 0)
     grid = ck.grid_dims
+
+    # Fail actionably on a world-size or backend mismatch now, instead
+    # of surfacing it as a shape error three collectives into a sweep.
+    import math as _math
+
+    pgrid = params.get_ints("processor grid dims", ())
+    if tuple(pgrid) and tuple(pgrid) != tuple(grid):
+        raise ConfigError(
+            f"checkpoint was written on a {'x'.join(map(str, grid))} "
+            f"grid but the parameter file requests "
+            f"{'x'.join(map(str, pgrid))} — a resumed run must keep the "
+            "original processor grid (reduction order and block layout "
+            "depend on it); edit 'Processor grid dims' or resume with "
+            "the original parameter file"
+        )
+    ck_world = ck.extra.get("world_size")
+    if ck_world is not None and int(ck_world) != _math.prod(grid):
+        raise ConfigError(
+            f"checkpoint records world size {ck_world} but its grid "
+            f"{'x'.join(map(str, grid))} implies "
+            f"{_math.prod(grid)} ranks — the checkpoint is "
+            "inconsistent; re-create it from the original run"
+        )
+    ck_backend = ck.extra.get("backend")
+    backend = args.backend or ck_backend or "shm"
+    if (
+        args.backend is not None
+        and ck_backend is not None
+        and args.backend != ck_backend
+    ):
+        raise ConfigError(
+            f"checkpoint was written on the {ck_backend!r} backend but "
+            f"--backend {args.backend!r} was requested — pass "
+            f"--backend {ck_backend} (or drop --backend to use the "
+            "recorded one); a silent switch usually means the wrong "
+            "checkpoint file"
+        )
+    transport = "tcp" if backend == "tcp" else "p2p"
     print(
         f"Resuming {ck.algorithm} from {args.checkpoint} "
         f"({ck.iteration} completed "
@@ -423,6 +474,7 @@ def resume_main(argv: Sequence[str] | None = None) -> int:
             ranks=None if eps > 0 else ranks,
             resume_from=ck,
             checkpoint_path=args.checkpoint,
+            transport=transport,
         )
     elif ck.algorithm in ("mp_hooi_dt", "mp_rahosi_dt"):
         from repro.distributed.mp_hooi import mp_hooi_dt, mp_rahosi_dt
@@ -460,6 +512,7 @@ def resume_main(argv: Sequence[str] | None = None) -> int:
                 ),
                 resume_from=ck,
                 checkpoint_path=args.checkpoint,
+                transport=transport,
             )
         else:
             tucker, _ = mp_hooi_dt(
@@ -474,6 +527,7 @@ def resume_main(argv: Sequence[str] | None = None) -> int:
                 ),
                 resume_from=ck,
                 checkpoint_path=args.checkpoint,
+                transport=transport,
             )
     else:
         raise ConfigError(

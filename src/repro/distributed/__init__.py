@@ -36,6 +36,11 @@ from repro.distributed.mp_hooi import (
     mp_rahosi_dt,
 )
 from repro.distributed.mp_sthosvd import mp_sthosvd
+from repro.distributed.recovery import (
+    RecoveryEvent,
+    RecoveryManager,
+    run_elastic,
+)
 from repro.distributed.spmd import (
     gather_tensor,
     scatter_tensor,
@@ -66,11 +71,14 @@ __all__ = [
     "MPHooiStats",
     "MPRankAdaptiveStats",
     "MPTreeEngine",
+    "RecoveryEvent",
+    "RecoveryManager",
     "SweepCheckpoint",
     "SymbolicArray",
     "dist_hooi",
     "dist_rank_adaptive_hooi",
     "dist_sthosvd",
     "is_concrete",
+    "run_elastic",
     "tensor_digest",
 ]

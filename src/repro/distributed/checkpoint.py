@@ -205,15 +205,15 @@ class SweepCheckpoint:
             "extra": _jsonable(self.extra),
         }
 
-    def save(self, path: str | os.PathLike) -> str:
-        """Atomically and durably write the checkpoint.
+    def to_bytes(self) -> bytes:
+        """The checkpoint as one self-verifying ``.npz`` byte string.
 
-        Write-to-temp + fsync + ``os.replace`` + directory fsync: a
-        reader never observes a torn file, and once this returns the
-        new checkpoint survives a crash of the whole machine, not just
-        of this process.  Returns the final path.
+        The same encoding :meth:`save` writes to disk; the elastic
+        recovery layer ships these bytes to a buddy rank over the
+        Transport instead of a shared filesystem (diskless
+        checkpointing), and :meth:`from_bytes` integrity-checks them on
+        rehydration exactly like :meth:`load` does for files.
         """
-        path = os.fspath(path)
         header = self._header()
         header["digest"] = _digest(header, self.factors)
         arrays = {
@@ -223,10 +223,22 @@ class SweepCheckpoint:
         arrays["header"] = np.array(json.dumps(header))
         buf = io.BytesIO()
         np.savez(buf, **arrays)
+        return buf.getvalue()
+
+    def save(self, path: str | os.PathLike) -> str:
+        """Atomically and durably write the checkpoint.
+
+        Write-to-temp + fsync + ``os.replace`` + directory fsync: a
+        reader never observes a torn file, and once this returns the
+        new checkpoint survives a crash of the whole machine, not just
+        of this process.  Returns the final path.
+        """
+        path = os.fspath(path)
+        payload = self.to_bytes()
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
             with open(tmp, "wb") as fh:
-                fh.write(buf.getvalue())
+                fh.write(payload)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
@@ -249,14 +261,23 @@ class SweepCheckpoint:
         return path
 
     @classmethod
+    def from_bytes(cls, data: bytes) -> "SweepCheckpoint":
+        """Decode and integrity-check :meth:`to_bytes` output."""
+        return cls._parse(io.BytesIO(data), "<bytes>")
+
+    @classmethod
     def load(cls, path: str | os.PathLike) -> "SweepCheckpoint":
         """Read and integrity-check a checkpoint."""
         path = os.fspath(path)
+        return cls._parse(path, repr(path))
+
+    @classmethod
+    def _parse(cls, source, label: str) -> "SweepCheckpoint":
         try:
-            with np.load(path, allow_pickle=False) as data:
+            with np.load(source, allow_pickle=False) as data:
                 if "header" not in data:
                     raise CheckpointError(
-                        f"{path!r} is not a repro checkpoint "
+                        f"{label} is not a repro checkpoint "
                         "(missing header)"
                     )
                 header = json.loads(str(data["header"][()]))
@@ -266,22 +287,22 @@ class SweepCheckpoint:
             raise
         except Exception as exc:
             raise CheckpointError(
-                f"could not read checkpoint {path!r}: {exc}"
+                f"could not read checkpoint {label}: {exc}"
             ) from exc
         if header.get("format") != CHECKPOINT_FORMAT:
             raise CheckpointError(
-                f"{path!r}: unknown checkpoint format "
+                f"{label}: unknown checkpoint format "
                 f"{header.get('format')!r}"
             )
         if header.get("version") != CHECKPOINT_VERSION:
             raise CheckpointError(
-                f"{path!r}: checkpoint version {header.get('version')} "
+                f"{label}: checkpoint version {header.get('version')} "
                 f"unsupported (expected {CHECKPOINT_VERSION})"
             )
         stored = header.get("digest", "")
         if _digest(header, factors) != stored:
             raise CheckpointError(
-                f"{path!r}: integrity digest mismatch — the checkpoint "
+                f"{label}: integrity digest mismatch — the checkpoint "
                 "is corrupted or was modified"
             )
         return cls(

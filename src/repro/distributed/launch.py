@@ -58,6 +58,8 @@ from repro.vmpi.mp_comm import (
 )
 from repro.vmpi.transport import (
     CollectiveTimeoutError,
+    TransportClosedError,
+    WorldRevokedError,
     _sock_recv_obj,
     _sock_send_obj,
     open_rendezvous_listener,
@@ -178,6 +180,7 @@ def launch_spmd(
     program_path = None
     results: dict[int, object] = {}
     errors: dict[int, dict] = {}
+    recoveries: dict[int, dict] = {}
     try:
         fd, program_path = tempfile.mkstemp(
             prefix="repro-job-", suffix=".pkl"
@@ -204,7 +207,7 @@ def launch_spmd(
             serve_rendezvous(listener, size, cfg.tcp_connect_timeout)
         deadline = time.monotonic() + timeout
         listener.settimeout(0.25)
-        while len(results) + len(errors) < size:
+        while len(results) + len(errors) + len(recoveries) < size:
             if time.monotonic() >= deadline:
                 break
             try:
@@ -214,14 +217,14 @@ def launch_spmd(
                 # never connect — don't wait out the full timeout.
                 if any(
                     p.poll() is not None and r not in results
-                    and r not in errors
+                    and r not in errors and r not in recoveries
                     for r, p in enumerate(procs)
                 ):
                     time.sleep(0.5)  # drain stragglers' reports
-                    _collect_pending(listener, results, errors)
+                    _collect_pending(listener, results, errors, recoveries)
                     break
                 continue
-            _read_report(conn, results, errors)
+            _read_report(conn, results, errors, recoveries)
     finally:
         listener.close()
         for p in procs:
@@ -246,7 +249,14 @@ def launch_spmd(
             f"{sorted(results)} succeeded"
         ]
         for r in failed:
-            if r in errors:
+            if r in recoveries:
+                rep = recoveries[r]
+                lines.append(
+                    f"rank {r} survived and entered recovery "
+                    f"(agreed failed set {sorted(rep.get('failed', ()))}, "
+                    f"replica at iteration {rep.get('iteration')})"
+                )
+            elif r in errors:
                 rep = errors[r]
                 lines.append(f"rank {r} failed: {rep.get('error')}")
                 tb = rep.get("traceback", "")
@@ -262,18 +272,21 @@ def launch_spmd(
                 )
         raise RankFailureError(
             "\n".join(lines),
-            failed=failed,
+            failed=sorted(set(failed) - set(recoveries)),
             succeeded=sorted(results),
             exitcodes={
                 r: procs[r].poll()
                 for r in failed
                 if r < len(procs) and procs[r].poll() is not None
             },
+            recovery_reports=recoveries,
         )
     return [results[r] for r in range(size)]
 
 
-def _read_report(conn, results: dict, errors: dict) -> None:
+def _read_report(
+    conn, results: dict, errors: dict, recoveries: dict | None = None
+) -> None:
     try:
         with conn:
             conn.settimeout(5.0)
@@ -286,18 +299,22 @@ def _read_report(conn, results: dict, errors: dict) -> None:
     _, rank, status, payload = msg
     if status == "ok":
         results[int(rank)] = payload
+    elif status == "recovery" and recoveries is not None:
+        recoveries[int(rank)] = payload
     else:
         errors[int(rank)] = payload
 
 
-def _collect_pending(listener, results: dict, errors: dict) -> None:
+def _collect_pending(
+    listener, results: dict, errors: dict, recoveries: dict | None = None
+) -> None:
     """Drain result connections already queued on the listener."""
     while True:
         try:
             conn, _ = listener.accept()
         except (socket.timeout, OSError):
             return
-        _read_report(conn, results, errors)
+        _read_report(conn, results, errors, recoveries)
 
 
 # ---------------------------------------------------------------------------
@@ -359,6 +376,20 @@ def _worker_main() -> int:
         comm.verify_shutdown()
         _report(rendezvous, rank, "ok", out)
         return 0
+    except (WorldRevokedError, TransportClosedError) as exc:
+        mgr = comm.recovery_mgr
+        if mgr is not None:
+            try:
+                _report(rendezvous, rank, "recovery", mgr.on_failure(exc))
+                return 1
+            except Exception:  # pragma: no cover - agreement broke
+                pass
+        _report(rendezvous, rank, "error", {
+            "error": repr(exc),
+            "traceback": traceback_mod.format_exc(),
+            "trace_tail": comm.trace.tail(),
+        })
+        return 1
     except Exception as exc:
         _report(rendezvous, rank, "error", {
             "error": repr(exc),

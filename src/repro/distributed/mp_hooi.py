@@ -73,12 +73,13 @@ from repro.distributed.kernels import (
     mp_ttm,
 )
 from repro.distributed.layout import BlockLayout
+from repro.distributed.recovery import run_elastic
 from repro.linalg.llsv import LLSVMethod
 from repro.tensor.dense import tensor_norm
 from repro.tensor.random import random_orthonormal
 from repro.tensor.validation import check_ranks
 from repro.vmpi.grid import ProcessorGrid
-from repro.vmpi.mp_comm import CommConfig, ProcessComm, run_spmd
+from repro.vmpi.mp_comm import CommConfig, ProcessComm
 from repro.vmpi.trace import CommTrace
 
 __all__ = [
@@ -316,6 +317,8 @@ class MPHooiStats:
     rule: str = "half"
     trace: CommTrace = field(default_factory=CommTrace)
     profile: object | None = None
+    #: one entry per in-run recovery episode (elastic policies only).
+    recovery_events: list = field(default_factory=list)
 
 
 @dataclass
@@ -333,6 +336,8 @@ class MPRankAdaptiveStats:
     rule: str = "half"
     trace: CommTrace = field(default_factory=CommTrace)
     profile: object | None = None
+    #: one entry per in-run recovery episode (elastic policies only).
+    recovery_events: list = field(default_factory=list)
 
 
 def _gather_run_profile(profiles: dict[int, object]):
@@ -405,6 +410,32 @@ def _hooi_rank_program(
         engine.ttm_count = int(resume.extra.get("ttm_count", 0))
         engine.cache_hits = int(resume.extra.get("cache_hits", 0))
         engine.cache_misses = int(resume.extra.get("cache_misses", 0))
+
+    def _boundary_ck(completed: int) -> SweepCheckpoint:
+        return SweepCheckpoint(
+            algorithm="mp_hooi_dt",
+            iteration=completed,
+            shape=shape,
+            grid_dims=grid_dims,
+            ranks=engine.ranks,
+            factors=engine.factors,
+            versions=list(engine.versions),
+            x_digest=x_digest,
+            extra={
+                "per_iteration_ttms": per_iter,
+                "ttm_count": engine.ttm_count,
+                "cache_hits": engine.cache_hits,
+                "cache_misses": engine.cache_misses,
+                "world_size": comm.size,
+                "backend": comm._t.kind,
+            },
+        )
+
+    mgr = comm.recovery_mgr
+    if mgr is not None:
+        # Starting-point snapshot (iteration 0 or the resume point): a
+        # crash inside the very first sweep must also be recoverable.
+        mgr.replicate(_boundary_ck(start_it))
     state: MPState = (x_block, x_layout, ())
     prof = comm.profiler
     for it in range(start_it, max_iters):
@@ -419,6 +450,8 @@ def _hooi_rank_program(
         else:
             _direct_sweep(engine, state, d)
         per_iter.append(engine.ttm_count - before)
+        if mgr is not None and it + 1 < max_iters:
+            mgr.replicate(_boundary_ck(it + 1))
         if (
             checkpoint_path is not None
             and comm.rank == 0
@@ -426,22 +459,7 @@ def _hooi_rank_program(
         ):
             if prof is not None:
                 prof.begin("checkpoint", "kernel")
-            SweepCheckpoint(
-                algorithm="mp_hooi_dt",
-                iteration=it + 1,
-                shape=shape,
-                grid_dims=grid_dims,
-                ranks=engine.ranks,
-                factors=engine.factors,
-                versions=list(engine.versions),
-                x_digest=x_digest,
-                extra={
-                    "per_iteration_ttms": per_iter,
-                    "ttm_count": engine.ttm_count,
-                    "cache_hits": engine.cache_hits,
-                    "cache_misses": engine.cache_misses,
-                },
-            ).save(checkpoint_path)
+            _boundary_ck(it + 1).save(checkpoint_path)
             if prof is not None:
                 prof.metrics.observe(
                     "checkpoint_write_seconds", prof.end()
@@ -586,7 +604,8 @@ def mp_hooi_dt(
         )
 
     prof_sink: dict[int, object] = {}
-    outs = run_spmd(
+    events: list = []
+    outs = run_elastic(
         _hooi_dispatch,
         grid.size,
         _scatter_blocks(x, grid),
@@ -603,11 +622,13 @@ def mp_hooi_dt(
         checkpoint_path,
         resume,
         orthogonality_tol,
+        resume_slot=12,
         timeout=timeout,
         transport=transport,
         config=comm_config,
         collective_timeout=collective_timeout,
         profile_out=prof_sink,
+        events_out=events,
     )
     if profile_out is not None:
         profile_out.update(prof_sink)
@@ -621,6 +642,7 @@ def mp_hooi_dt(
         rule=st["rule"],
         trace=st["trace"],
         profile=_gather_run_profile(prof_sink),
+        recovery_events=events,
     )
     return TuckerTensor(core=core, factors=factors), stats
 
@@ -699,6 +721,38 @@ def _rahosi_rank_program(
         engine.cache_hits = int(resume.extra.get("cache_hits", 0))
         engine.cache_misses = int(resume.extra.get("cache_misses", 0))
 
+    def _boundary_ck(completed: int) -> SweepCheckpoint:
+        # Late-binding closure: reads the *current* factors, ranks,
+        # history, and generator state — the same post-growth boundary
+        # semantics as the disk checkpoint.
+        return SweepCheckpoint(
+            algorithm="mp_rahosi_dt",
+            iteration=completed,
+            shape=shape,
+            grid_dims=grid_dims,
+            ranks=ranks,
+            factors=factors,
+            versions=list(engine.versions),
+            rng_state=rng.bit_generator.state,
+            x_digest=x_digest,
+            extra={
+                "per_iteration_ttms": per_iter,
+                "history": encode_history(history),
+                "converged": converged,
+                "first_satisfied": first_satisfied,
+                "ttm_count": engine.ttm_count,
+                "cache_hits": engine.cache_hits,
+                "cache_misses": engine.cache_misses,
+                "world_size": comm.size,
+                "backend": comm._t.kind,
+            },
+        )
+
+    mgr = comm.recovery_mgr
+    if mgr is not None:
+        # Starting-point snapshot (iteration 0 or the resume point): a
+        # crash inside the very first sweep must also be recoverable.
+        mgr.replicate(_boundary_ck(start_it))
     state: MPState = (x_block, x_layout, ())
     prof = comm.profiler
     for it in range(start_it + 1, opts.max_iters + 1):
@@ -808,32 +862,15 @@ def _rahosi_rank_program(
                 ]
                 ranks = new_ranks
                 engine.reset_factors(factors, ranks)
+                if mgr is not None:
+                    # Post-growth boundary: expanded factors, grown
+                    # ranks, bumped versions, generator state *after*
+                    # the expand_factor draws.
+                    mgr.replicate(_boundary_ck(it))
                 if checkpoint_path is not None and comm.rank == 0:
-                    # Post-growth snapshot: the expanded factors, the
-                    # grown ranks, the bumped factor versions, and the
-                    # generator state *after* the expand_factor draws.
                     if prof is not None:
                         prof.begin("checkpoint", "kernel")
-                    SweepCheckpoint(
-                        algorithm="mp_rahosi_dt",
-                        iteration=it,
-                        shape=shape,
-                        grid_dims=grid_dims,
-                        ranks=ranks,
-                        factors=factors,
-                        versions=list(engine.versions),
-                        rng_state=rng.bit_generator.state,
-                        x_digest=x_digest,
-                        extra={
-                            "per_iteration_ttms": per_iter,
-                            "history": encode_history(history),
-                            "converged": converged,
-                            "first_satisfied": first_satisfied,
-                            "ttm_count": engine.ttm_count,
-                            "cache_hits": engine.cache_hits,
-                            "cache_misses": engine.cache_misses,
-                        },
-                    ).save(checkpoint_path)
+                    _boundary_ck(it).save(checkpoint_path)
                     if prof is not None:
                         prof.metrics.observe(
                             "checkpoint_write_seconds", prof.end()
@@ -923,7 +960,8 @@ def mp_rahosi_dt(
     )
 
     prof_sink: dict[int, object] = {}
-    outs = run_spmd(
+    events: list = []
+    outs = run_elastic(
         _rahosi_dispatch,
         grid.size,
         _scatter_blocks(x, grid),
@@ -938,11 +976,13 @@ def mp_rahosi_dt(
         checkpoint_path,
         resume,
         orthogonality_tol,
+        resume_slot=10,
         timeout=timeout,
         transport=transport,
         config=comm_config,
         collective_timeout=collective_timeout,
         profile_out=prof_sink,
+        events_out=events,
     )
     if profile_out is not None:
         profile_out.update(prof_sink)
@@ -960,6 +1000,7 @@ def mp_rahosi_dt(
         rule=st["rule"],
         trace=st["trace"],
         profile=_gather_run_profile(prof_sink),
+        recovery_events=events,
     )
     return TuckerTensor(core=core, factors=factors), stats
 

@@ -28,8 +28,9 @@ from repro.distributed.kernels import (
 from repro.distributed.layout import BlockLayout
 from repro.linalg.evd import gram_evd, rank_from_spectrum
 from repro.tensor.validation import check_ranks
+from repro.distributed.recovery import run_elastic
 from repro.vmpi.grid import ProcessorGrid
-from repro.vmpi.mp_comm import CommConfig, ProcessComm, run_spmd
+from repro.vmpi.mp_comm import CommConfig, ProcessComm
 
 __all__ = ["mp_sthosvd"]
 
@@ -66,6 +67,26 @@ def _rank_program(
                 comm, block, layout, coords, u, mode, phase="ttm"
             )
 
+    def _boundary_ck(completed: int) -> SweepCheckpoint:
+        return SweepCheckpoint(
+            algorithm="mp_sthosvd",
+            iteration=completed,
+            shape=shape,
+            grid_dims=grid_dims,
+            ranks=tuple(f.shape[1] for f in factors),
+            factors=factors,
+            x_digest=x_digest,
+            extra={
+                "world_size": comm.size,
+                "backend": comm._t.kind,
+            },
+        )
+
+    mgr = comm.recovery_mgr
+    if mgr is not None:
+        # Starting-point snapshot (mode 0 or the resume point): a
+        # crash inside the very first mode must also be recoverable.
+        mgr.replicate(_boundary_ck(start_mode))
     prof = comm.profiler
     for mode in range(start_mode, len(shape)):
         if prof is not None:
@@ -100,6 +121,8 @@ def _rank_program(
             comm, block, layout, coords, u, mode, phase="ttm"
         )
 
+        if mgr is not None and mode + 1 < len(shape):
+            mgr.replicate(_boundary_ck(mode + 1))
         if (
             checkpoint_path is not None
             and comm.rank == 0
@@ -107,15 +130,7 @@ def _rank_program(
         ):
             if prof is not None:
                 prof.begin("checkpoint", "kernel")
-            SweepCheckpoint(
-                algorithm="mp_sthosvd",
-                iteration=mode + 1,
-                shape=shape,
-                grid_dims=grid_dims,
-                ranks=tuple(f.shape[1] for f in factors),
-                factors=factors,
-                x_digest=x_digest,
-            ).save(checkpoint_path)
+            _boundary_ck(mode + 1).save(checkpoint_path)
             if prof is not None:
                 prof.metrics.observe(
                     "checkpoint_write_seconds", prof.end()
@@ -209,7 +224,7 @@ def mp_sthosvd(
 
     # run_spmd passes identical *args to every rank; blocks differ per
     # rank, so wrap the program to index by comm.rank.
-    outs = run_spmd(
+    outs = run_elastic(
         _dispatch,
         grid.size,
         blocks,
@@ -221,6 +236,7 @@ def mp_sthosvd(
         checkpoint_path,
         resume,
         orthogonality_tol,
+        resume_slot=7,
         timeout=timeout,
         transport=transport,
         config=comm_config,

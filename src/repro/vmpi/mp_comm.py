@@ -88,7 +88,9 @@ from repro.vmpi.transport import (  # noqa: F401  (re-exported)
     TcpSocketTransport,
     Transport,
     TransportClosedError,
+    WorldRevokedError,
     _FREE_TAG,
+    _REVOKE_TAG,
     _contig,
     _payload_arrays,
     open_rendezvous_listener,
@@ -105,8 +107,13 @@ __all__ = [
     "TcpSocketTransport",
     "Transport",
     "TransportClosedError",
+    "WorldRevokedError",
     "run_spmd",
 ]
+
+#: ``CommConfig.recovery`` values that enable in-run elastic recovery
+#: (buddy replication + revoke-and-agree + orchestrated continuation).
+ELASTIC_POLICIES = ("respawn", "shrink")
 
 #: Accepted ``transport=`` spellings for :func:`run_spmd` (and the
 #: ``--backend`` flag of ``repro run``) mapped to canonical names.
@@ -157,6 +164,14 @@ class RankFailureError(RuntimeError):
         its last *open* span with a start timestamp, so a hang is
         attributable to a phase — plus full profiles from ranks that
         finished first.  Empty when profiling was off.
+    ``recovery_reports``
+        Elastic runs (``CommConfig.recovery`` in ``respawn``/
+        ``shrink``) only: ``rank -> report`` from every survivor that
+        ran the revoke-and-agree round and self-extracted, each
+        carrying its agreed failed set, last replicated iteration, and
+        the serialized buddy replica — everything
+        :func:`repro.distributed.recovery.run_elastic` needs to
+        continue the run.
     """
 
     def __init__(
@@ -168,6 +183,7 @@ class RankFailureError(RuntimeError):
         aborted: Sequence[int] = (),
         exitcodes: dict[int, int] | None = None,
         profiles: dict[int, object] | None = None,
+        recovery_reports: dict[int, dict] | None = None,
     ) -> None:
         super().__init__(message)
         self.failed_ranks = tuple(failed)
@@ -175,6 +191,7 @@ class RankFailureError(RuntimeError):
         self.aborted_ranks = tuple(aborted)
         self.exitcodes = dict(exitcodes or {})
         self.profiles = dict(profiles or {})
+        self.recovery_reports = dict(recovery_reports or {})
 
 
 @dataclass(frozen=True)
@@ -225,6 +242,29 @@ class CommConfig:
         and to each later reconnect attempt.  Distinct from
         ``collective_timeout`` because setup crosses process-spawn
         latency, not collective skew.
+    recovery:
+        What happens when a rank dies mid-run.  ``"restart"`` (the
+        default) keeps the PR-3 behavior: the world tears down and
+        :class:`RankFailureError` is raised.  ``"respawn"`` and
+        ``"shrink"`` arm elastic recovery
+        (:mod:`repro.distributed.recovery`): every rank replicates its
+        sweep state to a buddy over the transport, survivors of a
+        failure run a revoke-and-agree round and self-extract with
+        their replicas, and the orchestrator continues the run —
+        respawn relaunches a full-size world, shrink re-meshes the
+        survivors with the dead ranks' logical endpoints *hosted* as
+        extra threads on their buddies (the logical world size and
+        hence every collective schedule is preserved, which is what
+        makes the continuation bit-identical).
+    buddy_offset:
+        Elastic recovery: rank ``r`` replicates to rank
+        ``(r + buddy_offset) % size`` (a ring, so any offset coprime
+        with nothing in particular still covers everyone).
+    agree_timeout:
+        Elastic recovery: per-peer wait of each agreement round.
+        Bounded best-effort — the launcher's liveness view is the
+        authoritative arbiter; the in-run round exists so survivors
+        converge without it in the common case.
     verify:
         Run the tier-2 SPMD correctness verifier
         (:mod:`repro.analysis.verify.runtime`): every collective is
@@ -289,6 +329,9 @@ class CommConfig:
     transient_retries: int = 0
     retry_backoff: float = 2.0
     tcp_connect_timeout: float = 20.0
+    recovery: str = "restart"
+    buddy_offset: int = 1
+    agree_timeout: float = 2.0
     verify: bool = False
     profile: bool = False
     profile_max_spans: int = 1 << 16
@@ -390,6 +433,14 @@ class ProcessComm:
                 rank, capacity=self.config.profile_max_spans
             )
             channel.profiler = self.profiler
+        #: elastic recovery manager (repro.distributed.recovery),
+        #: imported lazily like the verifier/profiler; None unless
+        #: CommConfig.recovery asks for respawn/shrink on a >1 world.
+        self.recovery_mgr = None
+        if self.config.recovery in ELASTIC_POLICIES and size > 1:
+            from repro.distributed.recovery import RecoveryManager
+
+            self.recovery_mgr = RecoveryManager(self)
 
     # -- plumbing -----------------------------------------------------------
 
@@ -1489,7 +1540,7 @@ def _star_worker(
         to_coord.put(_SENTINEL)
 
 
-def _p2p_worker(
+def _rank_body(
     fn_bytes: bytes,
     rank: int,
     size: int,
@@ -1503,6 +1554,7 @@ def _p2p_worker(
     backend: str = "p2p",
     rendezvous: tuple[str, int] | None = None,
 ) -> None:
+    """One logical rank's lifetime: transport, comm, program, report."""
     channel: Transport
     if backend == "tcp":
         try:
@@ -1544,6 +1596,23 @@ def _p2p_worker(
             # reclaim them.
             time.sleep(0.2)
             os._exit(EXIT_INJECTED_CRASH)
+    except (WorldRevokedError, TransportClosedError) as exc:
+        # A peer died.  With elastic recovery armed, this survivor
+        # revokes the world, runs the agreement round, and
+        # self-extracts with its buddy replica instead of erroring —
+        # the orchestrator (recovery.run_elastic) continues the run
+        # from these reports.
+        mgr = comm.recovery_mgr
+        if mgr is None:
+            result_queue.put((rank, "error", _failure_report(exc, comm)))
+        else:
+            try:
+                report = mgr.on_failure(exc)
+                result_queue.put((rank, "recovery", report))
+            except Exception as exc2:  # pragma: no cover - agree broke
+                result_queue.put(
+                    (rank, "error", _failure_report(exc2, comm))
+                )
     except Exception as exc:
         result_queue.put((rank, "error", _failure_report(exc, comm)))
     finally:
@@ -1552,6 +1621,54 @@ def _p2p_worker(
             channel.close()
         except Exception:  # pragma: no cover - cleanup best-effort
             pass
+
+
+def _p2p_worker(
+    fn_bytes: bytes,
+    ranks: Sequence[int],
+    size: int,
+    inboxes: list["mp.Queue"] | None,
+    result_queue: "mp.Queue",
+    run_token: str,
+    config: CommConfig,
+    args: tuple,
+    board: object | None = None,
+    ctrl_conns: dict[int, object] | None = None,
+    backend: str = "p2p",
+    rendezvous: tuple[str, int] | None = None,
+) -> None:
+    """One OS process hosting one or more logical ranks.
+
+    The common case is one rank per process.  The shrink recovery
+    policy re-launches a smaller process world whose surviving
+    processes *host* the failed logical ranks as extra threads — each
+    hosted rank gets its own transport endpoint (its own inbox queue /
+    its own socket mesh) and its own :class:`ProcessComm`, so the
+    logical world size, and with it every collective schedule and
+    reduction order, is exactly that of the original run.
+    """
+    ranks = list(ranks)
+    if len(ranks) == 1:
+        _rank_body(
+            fn_bytes, ranks[0], size, inboxes, result_queue, run_token,
+            config, args, board, ctrl_conns, backend, rendezvous,
+        )
+        return
+    threads = [
+        threading.Thread(
+            target=_rank_body,
+            args=(
+                fn_bytes, r, size, inboxes, result_queue, run_token,
+                config, args, board, ctrl_conns, backend, rendezvous,
+            ),
+            name=f"hosted-rank-{r}",
+        )
+        for r in ranks
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
 
 
 def _serve_rendezvous_quietly(
@@ -1588,6 +1705,7 @@ def run_spmd(
     config: CommConfig | None = None,
     collective_timeout: float | None = None,
     profile_out: dict[int, object] | None = None,
+    host_map: Sequence[Sequence[int]] | None = None,
 ) -> list[object]:
     """Run ``fn(comm, *args)`` on ``size`` real processes.
 
@@ -1626,6 +1744,13 @@ def run_spmd(
         :class:`~repro.observability.spans.RankProfile` — on success
         all ranks, on failure whatever profiles reached the launcher
         (also attached to the :class:`RankFailureError`).
+    host_map:
+        Optional partition of ``range(size)`` into per-process groups:
+        entry ``p`` lists the logical ranks process ``p`` hosts (extra
+        ranks run as threads with their own transport endpoints).  The
+        shrink recovery policy uses this to continue a run at full
+        *logical* world size on fewer OS processes.  ``None`` (the
+        default) is one rank per process.
     """
     if size < 1:
         raise ValueError("size must be positive")
@@ -1643,6 +1768,28 @@ def run_spmd(
         raise ValueError(
             "profile mode requires a peer-to-peer transport (p2p/shm or tcp)"
         )
+    if cfg.recovery not in ("restart",) + ELASTIC_POLICIES:
+        raise ValueError(
+            f"unknown recovery policy {cfg.recovery!r} "
+            f"(expected 'restart', 'respawn', or 'shrink')"
+        )
+    if host_map is not None:
+        if transport == "star":
+            raise ValueError(
+                "host_map requires a peer-to-peer transport (p2p/shm or tcp)"
+            )
+        if cfg.verify:
+            raise ValueError(
+                "host_map is incompatible with verify mode (the ctrl-pipe "
+                "mesh and wait-for board assume one rank per process)"
+            )
+        hosted_ranks = sorted(r for entry in host_map for r in entry)
+        if hosted_ranks != list(range(size)):
+            raise ValueError(
+                f"host_map must partition ranks 0..{size - 1}, "
+                f"got {[list(e) for e in host_map]!r}"
+            )
+        host_map = [list(entry) for entry in host_map]
     ctx = mp.get_context("spawn" if mp.get_start_method() == "spawn" else "fork")
     result_queue: mp.Queue = ctx.Queue()
     run_token = uuid.uuid4().hex[:8]
@@ -1674,6 +1821,7 @@ def run_spmd(
             )
             for rank in range(size)
         ]
+        proc_map = {rank: rank for rank in range(size)}
     else:
         inboxes = (
             [ctx.Queue() for _ in range(size)]
@@ -1717,12 +1865,14 @@ def run_spmd(
                 daemon=True,
             )
             rdv_thread.start()
+        if host_map is None:
+            host_map = [[rank] for rank in range(size)]
         workers = [
             ctx.Process(
                 target=_p2p_worker,
                 args=(
                     fn_bytes,
-                    rank,
+                    tuple(hosted),
                     size,
                     inboxes,
                     result_queue,
@@ -1730,13 +1880,16 @@ def run_spmd(
                     cfg,
                     args,
                     board,
-                    ctrl_mesh[rank] if ctrl_mesh is not None else None,
+                    ctrl_mesh[hosted[0]] if ctrl_mesh is not None else None,
                     transport,
                     rendezvous,
                 ),
             )
-            for rank in range(size)
+            for hosted in host_map
         ]
+        proc_map = {
+            r: pi for pi, hosted in enumerate(host_map) for r in hosted
+        }
     for w in workers:
         w.start()
     if ctrl_mesh is not None:
@@ -1748,13 +1901,23 @@ def run_spmd(
 
     results: dict[int, object] = {}
     errors: dict[int, dict] = {}
+    recoveries: dict[int, dict] = {}  # rank -> recovery report
     profiles: dict[int, object] = {}  # rank -> RankProfile
     dead: dict[int, int] = {}  # rank -> exitcode, no result posted
     timed_out = False
     abort_deadline: float | None = None
+    elastic = cfg.recovery in ELASTIC_POLICIES
+    # Elastic survivors must finish the revoke-and-agree round and
+    # serialize their replica reports before the abort: extend the
+    # drain window by the worst-case agreement cost (two rounds, up to
+    # agree_timeout per unreachable peer).
+    abort_grace = _ABORT_GRACE + (
+        2.0 * cfg.agree_timeout * size if elastic else 0.0
+    )
+    revoke_sent = False
     try:
         deadline = time.monotonic() + timeout
-        while len(results) + len(errors) < size:
+        while len(results) + len(errors) + len(recoveries) < size:
             now = time.monotonic()
             if now >= deadline:
                 timed_out = True
@@ -1769,20 +1932,44 @@ def run_spmd(
                 # Liveness check: a rank that died without posting a
                 # result will never answer — don't wait out `timeout`.
                 dead = {
-                    r: workers[r].exitcode
+                    r: workers[proc_map[r]].exitcode
                     for r in range(size)
                     if r not in results
                     and r not in errors
-                    and workers[r].exitcode is not None
+                    and r not in recoveries
+                    and workers[proc_map[r]].exitcode is not None
                 }
                 if (dead or errors) and abort_deadline is None:
                     # Brief drain window before aborting: in-flight
                     # results (a clean exit racing the poll, peers
                     # blocked on the failed rank posting their own
                     # failures) are still collected.
-                    abort_deadline = time.monotonic() + _ABORT_GRACE
-                elif not dead and not errors:
+                    abort_deadline = time.monotonic() + abort_grace
+                elif not dead and not errors and not recoveries:
                     abort_deadline = None
+                if (
+                    elastic
+                    and not revoke_sent
+                    and transport == "p2p"
+                    and (dead or errors)
+                ):
+                    # The shm wire has no in-band death signal: the
+                    # launcher *is* the failure detector, and it wakes
+                    # blocked survivors by posting a revoke notice
+                    # straight into their inbox queues (src = -1, a
+                    # launcher-origin sentinel).
+                    suspects = sorted(set(dead) | set(errors))
+                    for r in range(size):
+                        if (
+                            r in results or r in errors
+                            or r in recoveries or r in dead
+                        ):
+                            continue
+                        try:
+                            inboxes[r].put((-1, _REVOKE_TAG, suspects))
+                        except Exception:  # pragma: no cover - torn queue
+                            pass
+                    revoke_sent = True
                 continue
             if status == "profile":
                 # Precedes the rank's "ok"; not a completion signal.
@@ -1790,13 +1977,22 @@ def run_spmd(
                 continue
             if status == "ok":
                 results[rank] = payload
+            elif status == "recovery":
+                # A survivor finished its agreement round and
+                # self-extracted with its replica: terminal for the
+                # rank, but the run as a whole has failed.
+                recoveries[rank] = payload
+                if abort_deadline is None:
+                    abort_deadline = time.monotonic() + abort_grace
             else:  # "error" or "crashed"
                 errors[rank] = payload
                 if abort_deadline is None:
-                    abort_deadline = time.monotonic() + _ABORT_GRACE
+                    abort_deadline = time.monotonic() + abort_grace
             dead.pop(rank, None)
     finally:
-        failure = bool(errors) or bool(dead) or timed_out
+        failure = (
+            bool(errors) or bool(dead) or bool(recoveries) or timed_out
+        )
         if failure:
             for w in workers:
                 if w.is_alive():
@@ -1831,7 +2027,7 @@ def run_spmd(
                 pass
         if transport == "p2p":
             _sweep_shm(run_token)
-    if errors or dead or timed_out:
+    if errors or dead or recoveries or timed_out:
         # tcp detects a vanished peer in-band (TransportClosedError),
         # so the victim's neighbours self-report before the launcher's
         # liveness poll fires.  On the shm wire those ranks block and
@@ -1842,7 +2038,7 @@ def run_spmd(
         secondary = [
             r for r, rep in errors.items() if rep.get("secondary")
         ]
-        if (set(errors) - set(secondary)) | set(dead):
+        if (set(errors) - set(secondary)) | set(dead) | set(recoveries):
             for r in secondary:
                 rep = errors.pop(r)
                 if rep.get("profile") is not None:
@@ -1852,12 +2048,18 @@ def run_spmd(
         aborted = sorted(
             r
             for r in range(size)
-            if r not in results and r not in errors and r not in dead
+            if r not in results
+            and r not in errors
+            and r not in dead
+            and r not in recoveries
         )
         # Failed ranks embed their partial profile in the failure
         # report; fold them into the gathered set so the error carries
         # every profile that reached the launcher.
         for r, rep in errors.items():
+            if rep.get("profile") is not None:
+                profiles[r] = rep["profile"]
+        for r, rep in recoveries.items():
             if rep.get("profile") is not None:
                 profiles[r] = rep["profile"]
         if profile_out is not None:
@@ -1900,6 +2102,13 @@ def run_spmd(
                     f"rank {r} died without posting a result "
                     f"(exitcode {dead[r]})"
                 )
+        for r in sorted(recoveries):
+            rep = recoveries[r]
+            lines.append(
+                f"rank {r} survived and entered recovery "
+                f"(agreed failed set {sorted(rep.get('failed', ()))}, "
+                f"replica at iteration {rep.get('iteration')})"
+            )
         if timed_out and not failed:
             head = (
                 f"SPMD run timed out after {timeout:.0f}s waiting for "
@@ -1910,6 +2119,11 @@ def run_spmd(
                 f"SPMD run failed: ranks {failed} failed, "
                 f"{succeeded} succeeded"
                 + (f", {aborted} aborted" if aborted else "")
+                + (
+                    f", {sorted(recoveries)} recovered state"
+                    if recoveries
+                    else ""
+                )
             )
         raise RankFailureError(
             "\n".join([head] + lines),
@@ -1918,6 +2132,7 @@ def run_spmd(
             aborted=aborted,
             exitcodes=dead,
             profiles=profiles,
+            recovery_reports=recoveries,
         )
     if profile_out is not None:
         profile_out.update(profiles)

@@ -46,6 +46,7 @@ from __future__ import annotations
 import os
 import pickle
 import queue as queue_mod
+import random
 import selectors
 import socket
 import struct
@@ -67,6 +68,7 @@ __all__ = [
     "TcpSocketTransport",
     "Transport",
     "TransportClosedError",
+    "WorldRevokedError",
     "open_rendezvous_listener",
     "serve_rendezvous",
 ]
@@ -89,6 +91,25 @@ class TransportClosedError(CollectiveTimeoutError):
     vanished peer exactly like a diverged one — just without waiting
     out the full collective timeout.
     """
+
+
+class WorldRevokedError(RuntimeError):
+    """The communicator was revoked after a peer failure.
+
+    ULFM-style: once any party (a surviving rank that saw a
+    :class:`TransportClosedError`, or the launcher's liveness poll)
+    decides a rank is dead, it posts a revoke notice on
+    :data:`_REVOKE_TAG`; every blocked ``recv`` on the receiving
+    transport then raises this instead of waiting out its timeout.
+    Deliberately *not* a :class:`CollectiveTimeoutError` subclass: the
+    retry-with-backoff path must not swallow a revoke (the world is
+    not coming back), it must surface to the recovery handler.
+    """
+
+    def __init__(self, message: str, failed: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        #: best-effort hint of the dead ranks carried by the notice.
+        self.failed_hint = tuple(failed)
 
 
 # ---------------------------------------------------------------------------
@@ -166,6 +187,14 @@ def _segment_class(nbytes: int) -> int:
 # against (like the rendezvous control messages of a real MPI).
 _FREE_TAG = ("shmfree",)
 
+# Revoke notices (elastic recovery).  Counter-neutral like the free
+# credits: a revoked run must leave the CollectiveRecord traces of the
+# work done so far identical to an unfailed run's prefix.  The body is
+# a sequence of suspected-dead ranks; the source may be a surviving
+# rank (tcp in-band) or the launcher itself (shm, posted with src=-1
+# straight into the inbox queues).
+_REVOKE_TAG = ("revoke",)
+
 
 # ---------------------------------------------------------------------------
 # the Transport contract
@@ -227,6 +256,13 @@ class Transport(ABC):
         #: pipes for the control rounds; ``None`` falls back to the
         #: generic tagged-message control channel.
         self.ctrl_conns: dict[int, object] | None = None
+        #: elastic recovery: set when a revoke notice arrives on
+        #: :data:`_REVOKE_TAG`; every blocked wait then raises
+        #: :class:`WorldRevokedError` unless ``_in_recovery`` is set
+        #: (the agreement rounds themselves must keep receiving).
+        self.revoked = False
+        self.revoked_hint: set[int] = set()
+        self._in_recovery = False
         self._pending: dict[tuple, deque] = {}
         self.sent_messages = 0
         self.sent_words = 0
@@ -270,7 +306,42 @@ class Transport(ABC):
     # -- shared plumbing ----------------------------------------------------
 
     def _note(self, src: int, tag: tuple, body: object) -> None:
+        if tag == _REVOKE_TAG:
+            self.revoked = True
+            try:
+                self.revoked_hint.update(int(r) for r in body)
+            except TypeError:  # pragma: no cover - malformed notice
+                pass
+            return
         self._pending.setdefault((src, tag), deque()).append(body)
+
+    def post_revoke(self, failed: set[int] | frozenset[int]) -> None:
+        """Broadcast a revoke notice to every peer believed alive.
+
+        Best effort: posts to ranks not in ``failed`` and swallows
+        wire errors (a peer that died between detection and broadcast
+        is exactly who the notice is about).  Also revokes *this*
+        transport so the local rank cannot re-enter a collective.
+        """
+        self.revoked = True
+        self.revoked_hint.update(failed)
+        notice = sorted(self.revoked_hint)
+        for peer in range(self.size):
+            if peer == self.rank or peer in failed:
+                continue
+            try:
+                self._post(peer, _REVOKE_TAG, notice)
+            except (OSError, CollectiveTimeoutError):
+                self.revoked_hint.add(peer)
+
+    def _check_revoked(self) -> None:
+        if self.revoked and not self._in_recovery:
+            raise WorldRevokedError(
+                f"rank {self.rank}: communicator revoked — peer "
+                f"failure reported (suspected dead: "
+                f"{sorted(self.revoked_hint) or 'unknown'})",
+                failed=tuple(sorted(self.revoked_hint)),
+            )
 
     def _decode(self, src: int, body: tuple) -> object:
         """Decode a received body and account the payload arrays."""
@@ -373,6 +444,7 @@ class Transport(ABC):
                 waiting = self._pending.get(key)
                 if waiting:
                     return waiting.popleft()
+                self._check_revoked()
                 self._check_peer(src)
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -704,6 +776,10 @@ class ShmPoolTransport(Transport):
         conn = conns[src]
         deadline = time.monotonic() + timeout
         while True:
+            # The pipe wait must still observe revoke notices, which
+            # arrive on the inbox queue, not the ctrl pipes.
+            self._drain_inbox()
+            self._check_revoked()
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise CollectiveTimeoutError(
@@ -881,19 +957,35 @@ class TcpSocketTransport(Transport):
     def _connect_retry(
         self, addr: tuple[str, int], deadline: float
     ) -> socket.socket:
-        """Connect with retries until ``deadline`` — the peer's
-        listener (or the rendezvous server) may not be up yet."""
+        """Connect with jittered exponential backoff until ``deadline``
+        — the peer's listener (or the rendezvous server) may not be up
+        yet.
+
+        The backoff doubles from 50 ms toward 1 s with ±50% jitter, so
+        a wide world starting up does not hammer one listener in
+        lockstep.  Exhaustion raises :class:`TransportClosedError`
+        *from* the last socket error, so callers (and tracebacks) see
+        the real cause (``ConnectionRefusedError``, ``EHOSTUNREACH``,
+        ...) chained under the timeout instead of a bare refusal.
+        """
         last: Exception | None = None
+        delay = 0.05
         while time.monotonic() < deadline:
             try:
                 return socket.create_connection(addr, timeout=1.0)
             except OSError as exc:
                 last = exc
-                time.sleep(0.05)
-        raise CollectiveTimeoutError(
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                sleep = delay * (0.5 + random.random())
+                time.sleep(min(sleep, max(remaining, 0.0)))
+                delay = min(delay * 2.0, 1.0)
+        raise TransportClosedError(
             f"rank {self.rank}: could not connect to {addr[0]}:{addr[1]} "
-            f"within {self._connect_timeout:.1f}s ({last})"
-        )
+            f"within {self._connect_timeout:.1f}s "
+            f"(last error: {last!r})"
+        ) from last
 
     def _establish_mesh(
         self,

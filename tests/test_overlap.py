@@ -6,14 +6,29 @@ algorithms, message/word counters), on both transport wires.  The only
 observable difference is where receive waits land — overlapped waits
 move to the ``collective_wait_hidden_seconds`` histogram, which the
 attribution report surfaces as hidden wait.
+
+Failure behavior under overlap is load-bearing too: a peer that
+hard-crashes mid-pipeline must surface as a prompt
+:class:`~repro.vmpi.mp_comm.RankFailureError` — the prefetch helper
+must neither deadlock on its one-in-flight slot nor leak it across
+the abort.
 """
+
+import glob
+import time
 
 import numpy as np
 import pytest
 
 from repro.analysis.attribution import format_attribution_report
 from repro.observability.profile import RunProfile
-from repro.vmpi.mp_comm import CommConfig, ProcessComm, run_spmd
+from repro.vmpi.faults import FaultPlan
+from repro.vmpi.mp_comm import (
+    CommConfig,
+    ProcessComm,
+    RankFailureError,
+    run_spmd,
+)
 
 # Payload sizes chosen so the deterministic allreduce takes the long
 # pairwise-rs+ring-ag path (the overlapped one) with eager_max_words
@@ -78,6 +93,57 @@ class TestOverlapIdentity:
     def test_single_rank_group_unaffected(self):
         out = run_spmd(_prog_mixed, 1, config=_cfg(True))
         assert out[0][0].shape == (_N,)
+
+
+class TestOverlapFailure:
+    """Hard peer death during pipelined collectives (satellite of the
+    elastic-recovery PR): the prefetch helper's one-in-flight slot must
+    neither deadlock the surviving ranks nor leak shm segments."""
+
+    def test_hard_crash_fails_fast(self, backend):
+        cfg = CommConfig(
+            deterministic=True,
+            overlap=True,
+            eager_max_words=1024,
+            collective_timeout=8.0,
+            fault_plan=FaultPlan.kill(1, op_index=2),
+        )
+        t0 = time.monotonic()
+        with pytest.raises(RankFailureError) as err:
+            run_spmd(_prog_mixed, 3, config=cfg, transport=backend)
+        # Well under the 8 s per-recv deadline x pipeline depth: the
+        # abort must come from death detection, not timeout stacking.
+        assert time.monotonic() - t0 < 30.0
+        assert 1 in err.value.failed_ranks
+
+    def test_soft_crash_mid_pipeline(self, backend):
+        # Soft crash: the dying rank raises through the pipelined
+        # collective while its prefetch slot is armed; its own
+        # shutdown path must not hang on the in-flight receive.
+        cfg = CommConfig(
+            deterministic=True,
+            overlap=True,
+            eager_max_words=1024,
+            collective_timeout=8.0,
+            fault_plan=FaultPlan.kill(2, op_index=1, hard=False),
+        )
+        t0 = time.monotonic()
+        with pytest.raises(RankFailureError) as err:
+            run_spmd(_prog_mixed, 3, config=cfg, transport=backend)
+        assert time.monotonic() - t0 < 30.0
+        assert 2 in err.value.failed_ranks
+
+    def test_hard_crash_leaves_no_shm_residue(self):
+        cfg = CommConfig(
+            deterministic=True,
+            overlap=True,
+            eager_max_words=1024,
+            collective_timeout=8.0,
+            fault_plan=FaultPlan.kill(0, op_index=3),
+        )
+        with pytest.raises(RankFailureError):
+            run_spmd(_prog_mixed, 3, config=cfg, transport="shm")
+        assert glob.glob("/dev/shm/mpx*") == []
 
 
 class TestOverlapAttribution:
