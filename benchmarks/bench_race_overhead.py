@@ -1,0 +1,149 @@
+"""Race-sanitizer overhead on ``mp_hooi_dt``.
+
+Times the dimension-tree HOOI sweep loop on real processes with
+``CommConfig(race_detect=False)`` against ``race_detect=True`` — the
+tier-2 happens-before race sanitizer armed: vector clocks ticked per
+message, clock snapshots riding every ``_post``, shm segment
+reads/writes checked, transport occupancy (SPMD223) guarded — on the
+same worker set.  Per mode: a warm-up iteration, a barrier, then
+``REPS`` timed iterations; the reported figure is the slowest rank's
+per-iteration time, best of ``TRIALS`` launches.
+
+Acceptance (non-smoke): race-detect overhead stays **below 10%** on
+the guard shape.  The sanitizer's cost is a dict update and a small
+clock copy per message — fixed per-message latency, invisible where
+bandwidth and FLOPs dominate.  Plain/detect launches are *interleaved*
+and each mode takes its best-of-trials, so slow scheduler phases on a
+shared host cannot bias one mode.  Smoke mode (``MP_BENCH_SMOKE=1``,
+the CI path) runs a tiny shape where that fixed latency IS the
+runtime, so it only checks completion + bit-identity, not the ratio.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _util import save_result
+from repro.analysis.reporting import format_table
+from repro.core.dimension_tree import hooi_iteration_dt
+from repro.distributed.layout import BlockLayout
+from repro.distributed.mp_hooi import MPTreeEngine
+from repro.tensor.random import random_orthonormal, tucker_plus_noise
+from repro.vmpi.grid import ProcessorGrid
+from repro.vmpi.mp_comm import CommConfig, ProcessComm, run_spmd
+
+#: CI smoke mode: tiny tensor, one trial, no overhead-ratio assertion.
+SMOKE = os.environ.get("MP_BENCH_SMOKE", "") == "1"
+
+SHAPE, RANKS, GRID = (224, 224, 224), (56, 56, 56), (2, 2, 1)
+REPS = 3
+TRIALS = 5
+MAX_OVERHEAD = 0.10
+if SMOKE:
+    SHAPE, RANKS = (10, 10, 10), (3, 3, 3)
+    REPS = 1
+    TRIALS = 1
+
+
+def _sweep_program(
+    comm: ProcessComm,
+    blocks: list[np.ndarray],
+    grid_dims: tuple[int, ...],
+    shape: tuple[int, ...],
+    ranks: tuple[int, ...],
+    reps: int,
+) -> tuple[float, np.ndarray]:
+    """Per-iteration seconds for the memoized HOOI sweep, plus the
+    first factor after the timed reps (for the bit-identity check)."""
+    grid = ProcessorGrid(grid_dims)
+    coords = grid.coords(comm.rank)
+    layout = BlockLayout(shape, grid)
+    rng = np.random.default_rng(0)
+    factors = [
+        random_orthonormal(n, r, seed=rng) for n, r in zip(shape, ranks)
+    ]
+    engine = MPTreeEngine(comm, coords, factors, ranks, memoize=True)
+    state = (blocks[comm.rank], layout, ())
+
+    hooi_iteration_dt(state, engine)  # warm-up
+    comm.barrier()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        hooi_iteration_dt(state, engine)
+    dt = time.perf_counter() - t0
+    return dt / reps, factors[0]
+
+
+def _launch(
+    blocks: list[np.ndarray], race_detect: bool
+) -> tuple[float, np.ndarray]:
+    """One ``run_spmd`` launch; slowest rank's per-iteration time."""
+    outs = run_spmd(
+        _sweep_program,
+        len(blocks),
+        blocks,
+        tuple(GRID),
+        tuple(SHAPE),
+        tuple(RANKS),
+        REPS,
+        timeout=600.0,
+        config=CommConfig(race_detect=race_detect),
+    )
+    return max(o[0] for o in outs), outs[0][1]
+
+
+def test_race_overhead(benchmark):
+    def run():
+        grid = ProcessorGrid(GRID)
+        layout = BlockLayout(SHAPE, grid)
+        x = tucker_plus_noise(SHAPE, RANKS, noise=1e-3, seed=7)
+        blocks = [
+            np.ascontiguousarray(x[layout.local_slices(coords)])
+            for _, coords in grid.iter_ranks()
+        ]
+        # Interleave modes so a slow phase of the host machine hits
+        # both equally; best-of-trials per mode rejects the spikes.
+        t_plain, t_detect = float("inf"), float("inf")
+        f_plain = f_detect = None
+        for _ in range(TRIALS):
+            t, f_plain = _launch(blocks, race_detect=False)
+            t_plain = min(t_plain, t)
+            t, f_detect = _launch(blocks, race_detect=True)
+            t_detect = min(t_detect, t)
+        overhead = t_detect / t_plain - 1.0
+        # Detection must never perturb the numbers, at any size.
+        assert f_plain is not None and f_detect is not None
+        assert np.array_equal(f_plain, f_detect)
+        return t_plain, t_detect, overhead
+
+    t_plain, t_detect, overhead = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    save_result(
+        "race_overhead",
+        format_table(
+            ["shape", "grid", "plain ms", "detect ms", "overhead"],
+            [
+                [
+                    "x".join(map(str, SHAPE)),
+                    "x".join(map(str, GRID)),
+                    t_plain * 1e3,
+                    t_detect * 1e3,
+                    f"{overhead * 100:.1f}%",
+                ]
+            ],
+            title="mp_hooi_dt sweep: race_detect=True overhead "
+            "(per iteration, slowest rank)",
+        ),
+    )
+    if SMOKE:
+        # Latency-bound toy shape: completing with bit-identical
+        # factors is the acceptance; the ratio is meaningless here.
+        return
+    assert overhead < MAX_OVERHEAD, (
+        f"race-detect overhead {overhead * 100:.1f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}%"
+    )

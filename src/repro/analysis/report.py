@@ -46,6 +46,7 @@ SECTIONS: tuple[tuple[str, str], ...] = (
     ("mp_transport", "Infrastructure — mp transport shoot-out"),
     ("mp_dimension_tree", "Infrastructure — memoized vs direct mp HOOI"),
     ("verify_overhead", "Infrastructure — SPMD verifier overhead"),
+    ("race_overhead", "Infrastructure — race-sanitizer overhead"),
     ("profiler_overhead", "Infrastructure — span-profiler overhead"),
     ("kernels_speedup", "Infrastructure — native kernels vs tensordot"),
     ("overlap", "Infrastructure — comm/compute overlap"),

@@ -1,10 +1,13 @@
 """Two-tier SPMD correctness analyzer for the mini-MPI stack.
 
 Tier 1 (:mod:`.spmdlint`) is a static AST lint over SPMD driver code;
-tier 2 (:mod:`.runtime`) is the runtime collective-matching verifier,
+tier 1b (:mod:`.protocol`) is the whole-program collective-protocol
+model checker behind ``repro lint --protocol``; tier 2
+(:mod:`.runtime`) is the runtime collective-matching verifier,
 deadlock detector, and shm-lifecycle sanitizer activated by
-``CommConfig(verify=True)``.  Both tiers share the rule registry in
-:mod:`.rules`.
+``CommConfig(verify=True)``, joined by the happens-before race
+sanitizer (:mod:`.races`) behind ``CommConfig(race_detect=True)``.
+All tiers share the rule registry in :mod:`.rules`.
 
 This package is imported lazily by :mod:`repro.vmpi.mp_comm` (only
 when verify mode is on) and must therefore never import from
@@ -12,6 +15,14 @@ when verify mode is on) and must therefore never import from
 scope.
 """
 
+from repro.analysis.verify.protocol import check_paths, check_source
+from repro.analysis.verify.races import (
+    RaceDetector,
+    RaceError,
+    VectorClock,
+    get_detector,
+    reset_detector,
+)
 from repro.analysis.verify.rules import RULES, Baseline, Finding, Rule, rule
 from repro.analysis.verify.runtime import (
     CollectiveMismatchError,
@@ -32,13 +43,20 @@ __all__ = [
     "DeadlockError",
     "Finding",
     "RULES",
+    "RaceDetector",
+    "RaceError",
     "Rule",
     "ShmLifecycleError",
     "ShmSanitizer",
+    "VectorClock",
     "VerifyError",
     "WaitMonitor",
+    "check_paths",
+    "check_source",
+    "get_detector",
     "lint_paths",
     "lint_source",
     "match_signatures",
+    "reset_detector",
     "rule",
 ]

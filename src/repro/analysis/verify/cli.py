@@ -22,7 +22,9 @@ def _build_parser() -> argparse.ArgumentParser:
         description=(
             "Static SPMD correctness lint: flags collective calls under "
             "rank-dependent control flow, root/op drift, unmatched p2p "
-            "pairs, unseeded RNG, and escaping shm handles."
+            "pairs, unseeded RNG, and escaping shm handles.  With "
+            "--protocol, also model-checks per-rank collective-schedule "
+            "projections of the whole program (SPMD121-126)."
         ),
     )
     p.add_argument(
@@ -50,6 +52,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         metavar="FILE",
         help="write current findings as the new baseline and exit 0",
+    )
+    p.add_argument(
+        "--protocol",
+        action="store_true",
+        help=(
+            "additionally run the whole-program protocol model checker "
+            "(SPMD121-126): project every SPMD function per rank and "
+            "cross-check the collective schedules for equivalence"
+        ),
+    )
+    p.add_argument(
+        "--world",
+        type=int,
+        default=None,
+        metavar="P",
+        help="world size for --protocol rank projections (default: 4)",
     )
     p.add_argument(
         "--strict",
@@ -109,6 +127,17 @@ def lint_main(argv: list[str] | None = None) -> int:
     findings = lint_paths(
         args.paths, select=select, ignore=ignore, baseline=baseline
     )
+    if args.protocol:
+        from repro.analysis.verify.protocol import DEFAULT_WORLD, check_paths
+
+        findings = findings + check_paths(
+            args.paths,
+            world=args.world or DEFAULT_WORLD,
+            select=select,
+            ignore=ignore,
+            baseline=baseline,
+        )
+        findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
 
     if args.write_baseline:
         Baseline.from_findings(findings).save(args.write_baseline)

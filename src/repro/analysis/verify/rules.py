@@ -87,6 +87,43 @@ _RULE_TABLE: tuple[Rule, ...] = (
         "warning",
         "phase tag literal outside the shared PHASES vocabulary",
     ),
+    # -- tier 1b: whole-program protocol model checker ----------------------
+    Rule(
+        "SPMD121",
+        STATIC,
+        "error",
+        "loop trip count around collectives diverges across ranks",
+    ),
+    Rule(
+        "SPMD122",
+        STATIC,
+        "error",
+        "rank-dependent conditional collective without a matching arm",
+    ),
+    Rule(
+        "SPMD123",
+        STATIC,
+        "error",
+        "phase tag differs across ranks at a matched protocol position",
+    ),
+    Rule(
+        "SPMD124",
+        STATIC,
+        "error",
+        "p2p tag collides with a reserved control-plane namespace",
+    ),
+    Rule(
+        "SPMD125",
+        STATIC,
+        "error",
+        "unmatched send/recv in the whole-program protocol",
+    ),
+    Rule(
+        "SPMD126",
+        STATIC,
+        "error",
+        "protocol event issued after the rank's shutdown point",
+    ),
     # -- tier 2: runtime verifier ------------------------------------------
     Rule(
         "SPMD201",
@@ -123,6 +160,25 @@ _RULE_TABLE: tuple[Rule, ...] = (
         DYNAMIC,
         "error",
         "shm segment still in flight at rank exit (leak)",
+    ),
+    # -- tier 2: happens-before race sanitizer ------------------------------
+    Rule(
+        "SPMD221",
+        DYNAMIC,
+        "error",
+        "write-write race on a shared buffer (no happens-before order)",
+    ),
+    Rule(
+        "SPMD222",
+        DYNAMIC,
+        "error",
+        "read-write race on a shared buffer (no happens-before order)",
+    ),
+    Rule(
+        "SPMD223",
+        DYNAMIC,
+        "error",
+        "two threads concurrently inside one transport endpoint",
     ),
 )
 

@@ -684,7 +684,8 @@ def run_main(argv: Sequence[str] | None = None) -> int:
 
 
 def lint_main(argv: Sequence[str] | None = None) -> int:
-    """``repro lint``: static SPMD correctness lint (spmdlint).
+    """``repro lint``: static SPMD correctness lint (spmdlint), plus
+    the whole-program protocol model checker under ``--protocol``.
 
     Imported lazily — the analyzer package pulls in the full analysis
     stack, which the numeric subcommands never need.
@@ -725,7 +726,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             "  hooi     run HOOI/HOSI (optionally rank-adaptive)\n"
             "  resume   continue an interrupted checkpointed run\n"
             "  run      run on the mp layer (--backend shm|tcp)\n"
-            "  lint     static SPMD correctness lint (spmdlint)\n"
+            "  lint     static SPMD lint (spmdlint; --protocol adds the\n"
+            "           whole-program schedule model checker)\n"
             "  prof     profile an mp run (trace, metrics, attribution)",
             file=sys.stderr,
         )

@@ -152,7 +152,7 @@ class RecoveryManager:
         tag = (_BUDDY_TAG, self._seq)
         prof = comm.profiler
         if prof is not None:
-            prof.begin("buddy-replicate", "kernel", "recovery")
+            prof.begin("buddy_replicate", "kernel", phase="buddy_replicate")
         t0 = time.perf_counter()
         try:
             payload = ck.to_bytes()
@@ -185,7 +185,7 @@ class RecoveryManager:
         t0 = time.perf_counter()
         prof = comm.profiler
         if prof is not None:
-            prof.begin("recovery", "phase", "recovery")
+            prof.begin("recovery", "phase", phase="recovery")
         suspects: set[int] = set(getattr(exc, "failed_hint", ()) or ())
         suspects |= set(getattr(t, "_gone", ()))
         suspects |= set(t.revoked_hint)
@@ -200,7 +200,13 @@ class RecoveryManager:
         suspects |= set(t.revoked_hint)
         suspects.discard(comm.rank)
         t_agree = time.perf_counter()
-        agreed = self._agree(suspects)
+        if prof is not None:
+            prof.begin("agree", "phase", phase="agree")
+        try:
+            agreed = self._agree(suspects)
+        finally:
+            if prof is not None:
+                prof.end()
         agree_seconds = time.perf_counter() - t_agree
         report = {
             "rank": comm.rank,

@@ -297,6 +297,24 @@ class CommConfig:
         Span-buffer capacity per rank; once full, further spans are
         counted in ``RankProfile.dropped`` instead of recorded
         (metrics keep accumulating), bounding profiler memory.
+    race_detect:
+        Arm the tier-2 happens-before race sanitizer
+        (:mod:`repro.analysis.verify.races`): every thread that
+        touches the rank runtime (main rank thread, overlap prefetch
+        worker, hosted-rank shrink threads) carries a vector clock;
+        shm-pool segment accesses, transport-endpoint occupancy, and
+        ``annotate_read``/``annotate_write`` user annotations are
+        checked for conflicting accesses with no happens-before
+        order, which raise ``RaceError`` (SPMD221–223) carrying both
+        conflicting stacks.  HB edges are derived from the message
+        channels (send→recv), shm free credits, lock
+        acquire/release, and fork/join of the overlap worker, so
+        detection depends only on the logical schedule — a seeded
+        race fires deterministically, not just on unlucky
+        interleavings.  Nothing on the payload path changes, so
+        clean detect-on runs stay bit- and trace-identical with
+        bounded overhead (``bench_race_overhead.py`` gates <10 % in
+        CI).  Requires the ``"p2p"`` transport.
     overlap:
         Pipeline (double-buffer) the deterministic reduction
         collectives: each receive is prefetched on a per-rank overlap
@@ -335,6 +353,7 @@ class CommConfig:
     verify: bool = False
     profile: bool = False
     profile_max_spans: int = 1 << 16
+    race_detect: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -433,6 +452,19 @@ class ProcessComm:
                 rank, capacity=self.config.profile_max_spans
             )
             channel.profiler = self.profiler
+        #: tier-2 happens-before race detector
+        #: (repro.analysis.verify.races), imported lazily like the
+        #: verifier; process-global so hosted ranks sharing one
+        #: address space share one clock space.  None unless
+        #: config.race_detect, so every instrumented boundary pays a
+        #: single `is None` test.
+        self._race = None
+        if self.config.race_detect:
+            from repro.analysis.verify import races as _races
+
+            self._race = _races.get_detector()
+            self._race.register_thread(f"rank-{rank}")
+            channel.race_detector = self._race
         #: elastic recovery manager (repro.distributed.recovery),
         #: imported lazily like the verifier/profiler; None unless
         #: CommConfig.recovery asks for respawn/shrink on a >1 world.
@@ -580,9 +612,11 @@ class ProcessComm:
         verdict_tag = ("vok", group, vseq)
         timeout = self.config.collective_timeout
         if self.rank != head:
-            self._t.ctrl_send(head, sig_tag, (self.rank, sig))
+            # Sanctioned escapes below: the verifier *owns* the
+            # vfy/vok control namespace SPMD124 protects.
+            self._t.ctrl_send(head, sig_tag, (self.rank, sig))  # spmdlint: ignore[SPMD124]
             try:
-                verdict = self._t.ctrl_recv(
+                verdict = self._t.ctrl_recv(  # spmdlint: ignore[SPMD124]
                     head, verdict_tag, timeout=timeout
                 )
             except CollectiveTimeoutError:
@@ -595,7 +629,7 @@ class ProcessComm:
             missing: list[int] = []
             for r in group[1:]:
                 try:
-                    peer_rank, peer_sig = self._t.ctrl_recv(
+                    peer_rank, peer_sig = self._t.ctrl_recv(  # spmdlint: ignore[SPMD124]
                         r, sig_tag, timeout=timeout
                     )
                     sigs[peer_rank] = peer_sig
@@ -610,7 +644,7 @@ class ProcessComm:
                 verdict = vrt.match_signatures(sigs)
             for r in group[1:]:
                 if r not in missing:
-                    self._t.ctrl_send(r, verdict_tag, verdict)
+                    self._t.ctrl_send(r, verdict_tag, verdict)  # spmdlint: ignore[SPMD124]
         if verdict is not None:
             rule_id, message = verdict
             # Peers are not coming back for in-flight segments.
@@ -645,6 +679,26 @@ class ProcessComm:
         except CollectiveTimeoutError:
             self._t.purge()
             raise
+
+    # -- race-sanitizer annotations -----------------------------------------
+
+    def annotate_write(self, label: str) -> None:
+        """Declare a write to the shared location ``label`` to the
+        happens-before race sanitizer (no-op unless
+        ``race_detect=True``).  Hosted ranks run as threads in one
+        process and may share Python objects the detector cannot see
+        into; annotating accesses (TSan-annotation style) extends race
+        coverage to that state.  Raises ``RaceError`` (SPMD221/222)
+        when the write is unordered against a prior access by another
+        thread."""
+        if self._race is not None:
+            self._race.on_access(("user", label), "w")
+
+    def annotate_read(self, label: str) -> None:
+        """Declare a read of the shared location ``label`` to the race
+        sanitizer (see :meth:`annotate_write`)."""
+        if self._race is not None:
+            self._race.on_access(("user", label), "r")
 
     # -- collectives --------------------------------------------------------
 
@@ -861,6 +915,37 @@ class ProcessComm:
             except BaseException:
                 pass
 
+    def _submit_prefetch(self, group, src_v, tag):
+        """Submit a receive prefetch to the overlap worker, carrying
+        fork/join happens-before edges when the race detector is on:
+        the worker joins the submitter's clock on entry and hands its
+        own clock back with the result, so accesses on either side of
+        the hand-off are ordered and the one-in-flight contract shows
+        up clean (only genuinely concurrent access would race)."""
+        pool = self._overlap_pool()
+        det = self._race
+        if det is None:
+            return pool.submit(self._vrecv_prefetch, group, src_v, tag)
+        start = det.fork_point()
+
+        def _task():
+            det.register_thread(f"overlap-worker-rank-{self.rank}")
+            det.join_point(start)
+            out = self._vrecv_prefetch(group, src_v, tag)
+            return (det.fork_point(), out)
+
+        return pool.submit(_task)
+
+    def _join_prefetch(self, fut):
+        """Blockingly take a prefetch result, merging the worker's
+        clock into the calling thread when the race detector is on."""
+        out = fut.result()
+        det = self._race
+        if det is not None:
+            token, out = out
+            det.join_point(token)
+        return out
+
     def _pairwise_reduce_parts(
         self,
         group: tuple[int, ...],
@@ -908,9 +993,8 @@ class ProcessComm:
         result is bit-identical to the serial loop."""
         g = len(group)
         tag = f"{phase}/pw"
-        pool = self._overlap_pool()
         sources = [j for j in range(g) if j != me]
-        fut = pool.submit(self._vrecv_prefetch, group, sources[0], tag)
+        fut = self._submit_prefetch(group, sources[0], tag)
         nxt = 1
         acc: np.ndarray | None = None
         try:
@@ -918,11 +1002,9 @@ class ProcessComm:
                 if j == me:
                     contrib = np.asarray(parts[me])
                 else:
-                    payload = fut.result()
+                    payload = self._join_prefetch(fut)
                     fut = (
-                        pool.submit(
-                            self._vrecv_prefetch, group, sources[nxt], tag
-                        )
+                        self._submit_prefetch(group, sources[nxt], tag)
                         if nxt < len(sources)
                         else None
                     )
@@ -958,7 +1040,6 @@ class ProcessComm:
         the ``np.concatenate`` it replaces — just scheduled under the
         wire wait."""
         g = len(group)
-        pool = self._overlap_pool()
         right = (me + 1) % g
         left = (me - 1) % g
         prev_idx, prev = me, np.asarray(part)
@@ -968,11 +1049,9 @@ class ProcessComm:
                 self._vsend(
                     group, right, f"{phase}/rg{s}", {prev_idx: prev}
                 )
-                fut = pool.submit(
-                    self._vrecv_prefetch, group, left, f"{phase}/rg{s}"
-                )
+                fut = self._submit_prefetch(group, left, f"{phase}/rg{s}")
                 out[slices[prev_idx]] = prev
-                got = fut.result()
+                got = self._join_prefetch(fut)
                 fut = None
                 ((prev_idx, prev),) = got.items()
         except BaseException:
@@ -1767,6 +1846,10 @@ def run_spmd(
     if cfg.profile and transport == "star":
         raise ValueError(
             "profile mode requires a peer-to-peer transport (p2p/shm or tcp)"
+        )
+    if cfg.race_detect and transport == "star":
+        raise ValueError(
+            "race_detect requires a peer-to-peer transport (p2p/shm or tcp)"
         )
     if cfg.recovery not in ("restart",) + ELASTIC_POLICIES:
         raise ValueError(

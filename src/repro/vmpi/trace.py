@@ -47,6 +47,11 @@ PHASES = frozenset({
     "evd", "subspace", "qrcp", "core_analysis",
     "ttm_comm", "gram_comm", "subspace_comm",
     "redistribute_comm", "core_comm",
+    # elastic-recovery phases (repro.distributed.recovery): the buddy
+    # replication of sweep state, the revoke-and-agree rounds, and the
+    # recovery continuation itself — one namespace shared by profiler
+    # spans, trace records, and the lint rules (SPMD106/SPMD123).
+    "buddy_replicate", "agree", "recovery",
 })
 
 

@@ -195,6 +195,20 @@ _FREE_TAG = ("shmfree",)
 # straight into the inbox queues).
 _REVOKE_TAG = ("revoke",)
 
+#: Lazily resolved races._TracedBody (the analysis package imports the
+#: distributed drivers, which import this module — a module-scope
+#: import here would be circular, exactly like the verifier hooks).
+_TRACED_BODY = None
+
+
+def _traced_body_cls():
+    global _TRACED_BODY
+    if _TRACED_BODY is None:
+        from repro.analysis.verify.races import _TracedBody
+
+        _TRACED_BODY = _TracedBody
+    return _TRACED_BODY
+
 
 # ---------------------------------------------------------------------------
 # the Transport contract
@@ -252,6 +266,14 @@ class Transport(ABC):
         #: ProcessComm) — recv() splits its time into blocked-wait vs
         #: copy-out histograms.  None keeps the hot path at one test.
         self.profiler = None
+        #: race_detect mode only: the process-global happens-before
+        #: detector (repro.analysis.verify.races, installed lazily by
+        #: ProcessComm).  Sends snapshot the sender's vector clock
+        #: onto a per-(src, dst) channel, arrivals carry it to the
+        #: consuming thread, and shm segment accesses plus endpoint
+        #: occupancy are checked.  None keeps every boundary at one
+        #: `is None` test, like the other hooks.
+        self.race_detector = None
         #: verify mode only (shm backend): dedicated per-pair duplex
         #: pipes for the control rounds; ``None`` falls back to the
         #: generic tagged-message control channel.
@@ -306,6 +328,16 @@ class Transport(ABC):
     # -- shared plumbing ----------------------------------------------------
 
     def _note(self, src: int, tag: tuple, body: object) -> None:
+        det = self.race_detector
+        # Every _post appends exactly one clock snapshot to the
+        # (src, dst) channel, so every noted arrival pops exactly one
+        # (revoke notices included — a skipped pop would shift the
+        # FIFO and merge stale, weaker clocks into later consumers).
+        # The snapshot is present only when the sender shares this
+        # process (hosted ranks); cross-process channels stay empty.
+        clock = (
+            det.channel_pop((src, self.rank)) if det is not None else None
+        )
         if tag == _REVOKE_TAG:
             self.revoked = True
             try:
@@ -313,6 +345,13 @@ class Transport(ABC):
             except TypeError:  # pragma: no cover - malformed notice
                 pass
             return
+        if clock is not None:
+            # Carry the sender's clock with the body so the
+            # happens-before edge is merged by the thread that
+            # *consumes* the message in _recv_body — under overlap the
+            # pumping thread may be the prefetch worker, and crediting
+            # it with the edge would invent order that does not exist.
+            body = _traced_body_cls()(clock, body)
         self._pending.setdefault((src, tag), deque()).append(body)
 
     def post_revoke(self, failed: set[int] | frozenset[int]) -> None:
@@ -366,18 +405,25 @@ class Transport(ABC):
         """
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range for size {self.size}")
-        if self.injector is not None:
-            payload, dropped = self.injector.on_send(payload)
-            if dropped:
-                # Lost on the wire: the sender did its part (counters
-                # advance) but nothing reaches the peer.
-                arrays = _payload_arrays(payload)
-                if arrays is not None:
-                    self.sent_words += sum(a.size for _, a in arrays)
-                    self.sent_bytes += sum(a.nbytes for _, a in arrays)
-                self.sent_messages += 1
-                return
-        self._send_payload(dest, tag, payload)
+        det = self.race_detector
+        if det is not None:
+            det.enter_transport(id(self))
+        try:
+            if self.injector is not None:
+                payload, dropped = self.injector.on_send(payload)
+                if dropped:
+                    # Lost on the wire: the sender did its part
+                    # (counters advance) but nothing reaches the peer.
+                    arrays = _payload_arrays(payload)
+                    if arrays is not None:
+                        self.sent_words += sum(a.size for _, a in arrays)
+                        self.sent_bytes += sum(a.nbytes for _, a in arrays)
+                    self.sent_messages += 1
+                    return
+            self._send_payload(dest, tag, payload)
+        finally:
+            if det is not None:
+                det.exit_transport(id(self))
 
     # -- recv ---------------------------------------------------------------
 
@@ -438,12 +484,21 @@ class Transport(ABC):
         start = time.monotonic()
         deadline = start + timeout
         mon = self.monitor
+        det = self.race_detector
+        if det is not None:
+            det.enter_transport(id(self))
         registered = False
         try:
             while True:
                 waiting = self._pending.get(key)
                 if waiting:
-                    return waiting.popleft()
+                    body = waiting.popleft()
+                    if det is not None and isinstance(
+                        body, _traced_body_cls()
+                    ):
+                        det.merge_clock(body.clock)
+                        body = body.body
+                    return body
                 self._check_revoked()
                 self._check_peer(src)
                 remaining = deadline - time.monotonic()
@@ -465,6 +520,8 @@ class Transport(ABC):
                     poll = min(poll, self._PROBE_SLICE)
                 self._pump(poll)
         finally:
+            if det is not None:
+                det.exit_transport(id(self))
             if registered:
                 mon.end_wait()
 
@@ -605,6 +662,14 @@ class ShmPoolTransport(Transport):
 
     def _note(self, src: int, tag: tuple, body: object) -> None:
         if tag == _FREE_TAG:
+            det = self.race_detector
+            if det is not None:
+                # Consumer -> owner edge: the peer finished reading
+                # the segment before crediting it back, so the owner's
+                # next write to this segment is ordered after that
+                # read.  Credits ride a direct inbox put (not _post),
+                # hence their own channel key.
+                det.channel_recv(("free", src, self.rank))
             self._release_segment(body)
             return
         super()._note(src, tag, body)
@@ -668,6 +733,9 @@ class ShmPoolTransport(Transport):
     # -- wire ---------------------------------------------------------------
 
     def _post(self, dest: int, tag: tuple, body: object) -> None:
+        det = self.race_detector
+        if det is not None:
+            det.channel_send((self.rank, dest))
         self._inboxes[dest].put((self.rank, tag, body))
 
     def _send_payload(self, dest: int, tag: tuple, payload: object) -> None:
@@ -686,6 +754,8 @@ class ShmPoolTransport(Transport):
             if use_shm:
                 total = sum(_align8(a.nbytes) for _, a in contig)
                 shm, name = self._obtain_segment(total)
+                if self.race_detector is not None:
+                    self.race_detector.on_access(("shm", name), "w")
                 metas: list[tuple[object, tuple, str, int]] = []
                 offset = 0
                 for key, a in contig:
@@ -723,6 +793,9 @@ class ShmPoolTransport(Transport):
             # Sanctioned escape: the receive cache keeps peer
             # mappings warm across messages; close() unmaps them.
             self._rx_cache[name] = shm  # spmdlint: ignore[SPMD105]
+        det = self.race_detector
+        if det is not None:
+            det.on_access(("shm", name), "r")
         items: list[tuple[object, np.ndarray]] = []
         for key, shape, dtype_str, offset in metas:
             view = np.ndarray(
@@ -732,6 +805,10 @@ class ShmPoolTransport(Transport):
             items.append((key, view.copy()))
             del view
         # Hand the drained segment back to its owner for reuse.
+        if det is not None:
+            # Ordering edge for the credit (rides a direct inbox put,
+            # not _post — see the _FREE_TAG branch of _note).
+            det.channel_send(("free", self.rank, src))
         self._inboxes[src].put((self.rank, _FREE_TAG, name))
         self.recv_words += sum(a.size for _, a in items)
         self.recv_bytes += sum(a.nbytes for _, a in items)
@@ -1042,6 +1119,9 @@ class TcpSocketTransport(Transport):
     # -- wire ---------------------------------------------------------------
 
     def _post(self, dest: int, tag: tuple, body: object) -> None:
+        det = self.race_detector
+        if det is not None:
+            det.channel_send((self.rank, dest))
         if dest == self.rank:
             # Self-sends never touch the wire (the shm backend routes
             # them through the own-inbox queue; here the pending map

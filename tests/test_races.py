@@ -1,0 +1,349 @@
+"""Tier-2 happens-before race sanitizer (``race_detect=True``).
+
+Detector-logic unit tests (vector clocks, the edge sources, the
+SPMD221–223 verdicts) plus the end-to-end contract: a seeded
+hosted-rank race fires deterministically on both transports and goes
+silent once the accesses are ordered through the message layer, and a
+clean run with detection on is bit-identical to detection off.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify.races import (
+    RaceDetector,
+    RaceError,
+    VectorClock,
+    get_detector,
+    reset_detector,
+)
+from repro.vmpi.mp_comm import CommConfig, RankFailureError, run_spmd
+
+
+def in_thread(fn):
+    """Run ``fn`` on a fresh thread (its own tid/clock); re-raise any
+    exception in the caller, return ``fn``'s result otherwise."""
+    box: list[object] = []
+    err: list[BaseException] = []
+
+    def runner():
+        try:
+            box.append(fn())
+        except BaseException as exc:  # noqa: BLE001 - test harness
+            err.append(exc)
+
+    t = threading.Thread(target=runner)
+    t.start()
+    t.join()
+    if err:
+        raise err[0]
+    return box[0] if box else None
+
+
+# ---------------------------------------------------------------------------
+# vector clocks
+# ---------------------------------------------------------------------------
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        c = VectorClock()
+        assert c.get(1) == 0
+        assert c.tick(1) == 1
+        assert c.tick(1) == 2
+        assert c.get(1) == 2
+
+    def test_merge_is_pointwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({2: 5, 3: 2})
+        a.merge(b)
+        assert a.clocks == {1: 3, 2: 5, 3: 2}
+
+    def test_copy_is_independent(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        b.tick(1)
+        assert a.get(1) == 1
+        assert b.get(1) == 2
+
+
+# ---------------------------------------------------------------------------
+# detector verdicts and edge sources
+# ---------------------------------------------------------------------------
+
+
+class TestDetectorVerdicts:
+    def test_unordered_write_write_is_spmd221(self):
+        det = RaceDetector()
+        det.on_access("loc", "w")
+        with pytest.raises(RaceError) as ei:
+            in_thread(lambda: det.on_access("loc", "w"))
+        assert ei.value.rule_id == "SPMD221"
+        assert "SPMD221" in str(ei.value)
+        # both conflicting stacks are in the message.
+        assert str(ei.value).count("[") >= 2
+        assert det.races
+
+    def test_unordered_read_after_write_is_spmd222(self):
+        det = RaceDetector()
+        det.on_access("loc", "w")
+        with pytest.raises(RaceError) as ei:
+            in_thread(lambda: det.on_access("loc", "r"))
+        assert ei.value.rule_id == "SPMD222"
+
+    def test_unordered_write_after_read_is_spmd222(self):
+        det = RaceDetector()
+        det.on_access("loc", "r")
+        with pytest.raises(RaceError) as ei:
+            in_thread(lambda: det.on_access("loc", "w"))
+        assert ei.value.rule_id == "SPMD222"
+
+    def test_same_thread_accesses_never_race(self):
+        det = RaceDetector()
+        det.on_access("loc", "w")
+        det.on_access("loc", "r")
+        det.on_access("loc", "w")
+        assert det.races == []
+
+    def test_reads_do_not_race_with_reads(self):
+        det = RaceDetector()
+        det.on_access("loc", "r")
+        in_thread(lambda: det.on_access("loc", "r"))
+        assert det.races == []
+
+    def test_channel_edge_orders_accesses(self):
+        det = RaceDetector()
+        det.on_access("loc", "w")
+        det.channel_send((0, 1))
+
+        def consumer():
+            det.channel_recv((0, 1))
+            det.on_access("loc", "w")
+
+        in_thread(consumer)
+        assert det.races == []
+
+    def test_traced_body_edge_via_pop_and_merge(self):
+        """The arrival-funnel pattern: a pump thread pops the snapshot
+        without merging; the consuming thread merges it later."""
+        det = RaceDetector()
+        det.on_access("loc", "w")
+        det.channel_send((0, 1))
+        snap = in_thread(lambda: det.channel_pop((0, 1)))  # pump thread
+        assert snap is not None
+
+        def consumer():
+            det.merge_clock(snap)
+            det.on_access("loc", "w")
+
+        in_thread(consumer)
+        assert det.races == []
+
+    def test_pump_thread_pop_does_not_order_pump_itself(self):
+        """channel_pop deliberately does NOT merge — the pump thread
+        stays unordered against the sender."""
+        det = RaceDetector()
+        det.on_access("loc", "w")
+        det.channel_send((0, 1))
+
+        def pump():
+            det.channel_pop((0, 1))
+            det.on_access("loc", "w")
+
+        with pytest.raises(RaceError):
+            in_thread(pump)
+
+    def test_lock_edge_orders_accesses(self):
+        det = RaceDetector()
+        det.on_access("loc", "w")
+        det.lock_release("L")
+
+        def other():
+            det.lock_acquire("L")
+            det.on_access("loc", "w")
+
+        in_thread(other)
+        assert det.races == []
+
+    def test_fork_join_orders_accesses(self):
+        det = RaceDetector()
+        det.on_access("loc", "w")
+        fp = det.fork_point()
+
+        def worker():
+            det.merge_clock(fp)  # join on task entry
+            det.on_access("loc", "w")
+            return det.fork_point()  # completion token
+
+        token = in_thread(worker)
+        det.join_point(token)
+        det.on_access("loc", "w")
+        assert det.races == []
+
+    def test_transport_occupancy_spmd223(self):
+        det = RaceDetector()
+        det.enter_transport(42)
+        with pytest.raises(RaceError) as ei:
+            in_thread(lambda: det.enter_transport(42))
+        assert ei.value.rule_id == "SPMD223"
+        det.exit_transport(42)
+
+    def test_transport_reentrancy_same_thread_ok(self):
+        det = RaceDetector()
+        det.enter_transport(42)
+        det.enter_transport(42)  # collectives nest sends
+        det.exit_transport(42)
+        # still occupied by this thread at depth 1; a second thread
+        # must still trip the guard.
+        with pytest.raises(RaceError):
+            in_thread(lambda: det.enter_transport(42))
+        det.exit_transport(42)
+        # fully exited: another thread may now enter.
+        in_thread(lambda: det.enter_transport(42))
+
+    def test_global_detector_reset_isolation(self):
+        a = get_detector()
+        assert get_detector() is a
+        b = reset_detector()
+        assert b is not a
+        assert get_detector() is b
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: seeded hosted-rank race, both transports
+# ---------------------------------------------------------------------------
+
+
+def _prog_hosted_shared(comm, fixed):
+    """Two logical ranks hosted as threads in one process touch the
+    same (annotated) shared object between two barriers.
+
+    ``fixed=False`` seeds the race: the writes are concurrent — no
+    message orders them — so the vector-clock detector must flag
+    SPMD221 *deterministically*, whichever thread the scheduler runs
+    first.  ``fixed=True`` orders them through the message layer
+    (rank 0 writes, sends; rank 1 receives, writes) and the same
+    program must run silently.
+    """
+    comm.barrier()
+    if fixed:
+        if comm.rank == 0:
+            comm.annotate_write("shared-buf")
+            comm.send(1, np.zeros(1), tag=7)
+        else:
+            comm.recv(0, tag=7)
+            comm.annotate_write("shared-buf")
+    else:
+        comm.annotate_write("shared-buf")
+    comm.barrier()
+    return comm.rank
+
+
+class TestHostedRankRace:
+    def test_seeded_race_fires_deterministically(self, backend):
+        with pytest.raises(RankFailureError) as ei:
+            run_spmd(
+                _prog_hosted_shared,
+                2,
+                False,
+                host_map=[[0, 1]],
+                config=CommConfig(race_detect=True, collective_timeout=15.0),
+                transport=backend,
+                timeout=60.0,
+            )
+        msg = str(ei.value)
+        assert "SPMD221" in msg
+        assert "shared-buf" in msg
+        assert "no happens-before order" in msg
+        # both conflicting sites survive the process boundary.
+        assert "rank-0" in msg and "rank-1" in msg
+
+    def test_ordered_accesses_are_silent(self, backend):
+        outs = run_spmd(
+            _prog_hosted_shared,
+            2,
+            True,
+            host_map=[[0, 1]],
+            config=CommConfig(race_detect=True, collective_timeout=15.0),
+            transport=backend,
+            timeout=60.0,
+        )
+        assert outs == [0, 1]
+
+    def test_annotations_off_detector_is_free(self, backend):
+        # same racy program without race_detect: annotations are
+        # no-ops, the run completes.
+        outs = run_spmd(
+            _prog_hosted_shared,
+            2,
+            False,
+            host_map=[[0, 1]],
+            config=CommConfig(collective_timeout=15.0),
+            transport=backend,
+            timeout=60.0,
+        )
+        assert outs == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: clean runs are bit-identical with detection on
+# ---------------------------------------------------------------------------
+
+
+def _prog_numeric(comm, n):
+    """A clean mixed collective/p2p workload whose result must not
+    depend on whether the sanitizer is watching."""
+    rng = np.random.default_rng(1000 + comm.rank)
+    x = rng.standard_normal(n)
+    total = comm.allreduce(x)
+    rows = comm.allgather(x.reshape(1, -1))
+    top = comm.bcast(total if comm.rank == 0 else None, root=0)
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.send(right, x, tag=3)
+    nbr = comm.recv(left, tag=3)
+    comm.barrier()
+    return total, rows, top, nbr
+
+
+class TestBitIdentity:
+    def test_overlap_worker_is_clean_under_detection(self, backend):
+        """The overlap prefetch thread pumps the transport while the
+        main thread computes — the fork/join edges and the
+        same-thread-reentrancy rule must keep the one-in-flight
+        contract (SPMD223) and the shm accesses race-free, and the
+        result bit-identical to the non-overlapped detect-on run."""
+        plain = run_spmd(
+            _prog_numeric, 2, 256,
+            config=CommConfig(race_detect=True, collective_timeout=15.0),
+            transport=backend, timeout=60.0,
+        )
+        overlapped = run_spmd(
+            _prog_numeric, 2, 256,
+            config=CommConfig(
+                race_detect=True, overlap=True, collective_timeout=15.0
+            ),
+            transport=backend, timeout=60.0,
+        )
+        for b, t in zip(plain, overlapped):
+            for bb, tt in zip(b, t):
+                np.testing.assert_array_equal(bb, tt)
+
+    def test_detect_on_matches_detect_off(self, backend):
+        base = run_spmd(
+            _prog_numeric, 2, 64,
+            config=CommConfig(collective_timeout=15.0),
+            transport=backend, timeout=60.0,
+        )
+        traced = run_spmd(
+            _prog_numeric, 2, 64,
+            config=CommConfig(race_detect=True, collective_timeout=15.0),
+            transport=backend, timeout=60.0,
+        )
+        for b, t in zip(base, traced):
+            for bb, tt in zip(b, t):
+                np.testing.assert_array_equal(bb, tt)

@@ -18,7 +18,7 @@ def ids(findings):
 
 class TestRuleRegistry:
     def test_ids_unique_and_well_formed(self):
-        assert len(RULES) == 12
+        assert len(RULES) == 21
         for rid, r in RULES.items():
             assert rid == r.id
             assert rid.startswith("SPMD")
@@ -27,7 +27,9 @@ class TestRuleRegistry:
 
     def test_static_dynamic_split(self):
         static = {r.id for r in RULES.values() if r.tier == "static"}
-        assert static == {f"SPMD10{i}" for i in range(1, 7)}
+        assert static == {f"SPMD10{i}" for i in range(1, 7)} | {
+            f"SPMD12{i}" for i in range(1, 7)
+        }
 
 
 class TestSPMD101:
