@@ -1,10 +1,18 @@
-"""Result persistence helper for the benchmark harness."""
+"""Result persistence helpers for the benchmark harness."""
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Schema tag of the normalized machine-readable bench output.  Bump
+#: on breaking changes; CI uploads ``results/BENCH_*.json`` so the
+#: perf trajectory is comparable run-over-run.
+BENCH_SCHEMA = "repro-bench/v1"
 
 
 def save_result(name: str, text: str) -> None:
@@ -12,3 +20,36 @@ def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}\n")
+
+
+def save_json(
+    name: str,
+    metrics: dict[str, object],
+    *,
+    params: dict[str, object] | None = None,
+) -> Path:
+    """Persist normalized machine-readable bench output.
+
+    Writes ``results/BENCH_<name>.json`` with a fixed envelope::
+
+        {"schema": "repro-bench/v1", "bench": <name>,
+         "smoke": <bool>, "params": {...}, "metrics": {...}}
+
+    ``metrics`` holds the numbers a trend dashboard charts (seconds,
+    ratios, counts); ``params`` the shape/grid/rep knobs that make two
+    runs comparable.  ``smoke`` is read from ``MP_BENCH_SMOKE`` so
+    downstream tooling can keep CI toy shapes out of the trend lines.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "smoke": os.environ.get("MP_BENCH_SMOKE", "") == "1",
+        "platform": platform.platform(),
+        "params": dict(params or {}),
+        "metrics": dict(metrics),
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"Wrote {path}")
+    return path

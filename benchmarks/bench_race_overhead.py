@@ -26,7 +26,7 @@ import time
 
 import numpy as np
 
-from _util import save_result
+from _util import save_json, save_result
 from repro.analysis.reporting import format_table
 from repro.core.dimension_tree import hooi_iteration_dt
 from repro.distributed.layout import BlockLayout
@@ -138,6 +138,21 @@ def test_race_overhead(benchmark):
             title="mp_hooi_dt sweep: race_detect=True overhead "
             "(per iteration, slowest rank)",
         ),
+    )
+    save_json(
+        "race_overhead",
+        {
+            "plain_seconds": t_plain,
+            "detect_seconds": t_detect,
+            "overhead_ratio": overhead,
+        },
+        params={
+            "shape": list(SHAPE),
+            "ranks": list(RANKS),
+            "grid": list(GRID),
+            "reps": REPS,
+            "trials": TRIALS,
+        },
     )
     if SMOKE:
         # Latency-bound toy shape: completing with bit-identical

@@ -1,22 +1,22 @@
-"""Span-profiler overhead on ``mp_hooi_dt``.
+"""Flight-recorder overhead on ``mp_hooi_dt``.
 
 Times the dimension-tree HOOI sweep loop on real processes with
-``CommConfig(profile=False)`` against ``profile=True`` — phase,
-kernel, and per-collective spans plus the metrics registry all armed —
-on the same worker set.  Per mode: a warm-up iteration, a barrier,
-then ``REPS`` timed iterations; the reported figure is the slowest
-rank's per-iteration time, best of ``TRIALS`` launches.
+``CommConfig(flight=False)`` against the default always-on flight
+recorder — collective begin/end events, transport post events, and
+phase transitions all ringing — on the same worker set.  Per mode: a
+warm-up iteration, a barrier, then ``REPS`` timed iterations; the
+reported figure is the slowest rank's per-iteration time, best of
+``TRIALS`` launches.
 
-Acceptance (non-smoke): profiling overhead stays **below 10%** on the
-guard shape.  A span is two ``perf_counter`` reads and one tuple
-append, so its cost is a fixed per-boundary latency — on shapes where
-GEMMs and payload transfer dominate, it vanishes; the guard shape is
-sized so compute dominates the same way.  Plain/profiled launches are
-*interleaved* and each mode takes its best-of-trials, so slow
-scheduler phases on a shared host cannot bias one mode.  Smoke mode
-(``MP_BENCH_SMOKE=1``, the CI path) runs a tiny shape where that
-fixed latency IS the runtime, so it only checks completion +
-bit-identity, not the ratio.
+Acceptance (non-smoke): recorder overhead stays **below 10%** on the
+guard shape.  A flight event is one ``perf_counter`` read and one
+bounded-deque append at an existing boundary — nothing on the payload
+path is touched, so recorder-on runs must also stay bit-identical.
+Plain/recorded launches are *interleaved* and each mode takes its
+best-of-trials, so slow scheduler phases on a shared host cannot bias
+one mode.  Smoke mode (``MP_BENCH_SMOKE=1``, the CI path) runs a tiny
+shape where the fixed per-boundary latency IS the runtime, so it only
+checks completion + bit-identity, not the ratio.
 """
 
 from __future__ import annotations
@@ -78,7 +78,7 @@ def _sweep_program(
 
 
 def _launch(
-    blocks: list[np.ndarray], profile: bool
+    blocks: list[np.ndarray], flight: bool
 ) -> tuple[float, np.ndarray]:
     """One ``run_spmd`` launch; slowest rank's per-iteration time."""
     outs = run_spmd(
@@ -90,12 +90,12 @@ def _launch(
         tuple(RANKS),
         REPS,
         timeout=600.0,
-        config=CommConfig(profile=profile),
+        config=CommConfig(flight=flight),
     )
     return max(o[0] for o in outs), outs[0][1]
 
 
-def test_profiler_overhead(benchmark):
+def test_telemetry_overhead(benchmark):
     def run():
         grid = ProcessorGrid(GRID)
         layout = BlockLayout(SHAPE, grid)
@@ -106,44 +106,44 @@ def test_profiler_overhead(benchmark):
         ]
         # Interleave modes so a slow phase of the host machine hits
         # both equally; best-of-trials per mode rejects the spikes.
-        t_plain, t_prof = float("inf"), float("inf")
-        f_plain = f_prof = None
+        t_plain, t_flight = float("inf"), float("inf")
+        f_plain = f_flight = None
         for _ in range(TRIALS):
-            t, f_plain = _launch(blocks, profile=False)
+            t, f_plain = _launch(blocks, flight=False)
             t_plain = min(t_plain, t)
-            t, f_prof = _launch(blocks, profile=True)
-            t_prof = min(t_prof, t)
-        overhead = t_prof / t_plain - 1.0
-        # The profiler must never perturb the numbers, at any size.
-        assert f_plain is not None and f_prof is not None
-        assert np.array_equal(f_plain, f_prof)
-        return t_plain, t_prof, overhead
+            t, f_flight = _launch(blocks, flight=True)
+            t_flight = min(t_flight, t)
+        overhead = t_flight / t_plain - 1.0
+        # The recorder must never perturb the numbers, at any size.
+        assert f_plain is not None and f_flight is not None
+        assert np.array_equal(f_plain, f_flight)
+        return t_plain, t_flight, overhead
 
-    t_plain, t_prof, overhead = benchmark.pedantic(
+    t_plain, t_flight, overhead = benchmark.pedantic(
         run, rounds=1, iterations=1
     )
     save_result(
-        "profiler_overhead",
+        "telemetry_overhead",
         format_table(
-            ["shape", "grid", "plain ms", "profiled ms", "overhead"],
+            ["shape", "grid", "plain ms", "recorded ms", "overhead"],
             [
                 [
                     "x".join(map(str, SHAPE)),
                     "x".join(map(str, GRID)),
                     t_plain * 1e3,
-                    t_prof * 1e3,
+                    t_flight * 1e3,
                     f"{overhead * 100:.1f}%",
                 ]
             ],
-            title="mp_hooi_dt sweep: profile=True overhead "
+            title="mp_hooi_dt sweep: flight-recorder overhead "
             "(per iteration, slowest rank)",
         ),
     )
     save_json(
-        "profiler_overhead",
+        "telemetry_overhead",
         {
             "plain_seconds": t_plain,
-            "profiled_seconds": t_prof,
+            "flight_seconds": t_flight,
             "overhead_ratio": overhead,
         },
         params={
@@ -159,6 +159,6 @@ def test_profiler_overhead(benchmark):
         # factors is the acceptance; the ratio is meaningless here.
         return
     assert overhead < MAX_OVERHEAD, (
-        f"profiler overhead {overhead * 100:.1f}% exceeds "
+        f"flight-recorder overhead {overhead * 100:.1f}% exceeds "
         f"{MAX_OVERHEAD * 100:.0f}%"
     )

@@ -27,7 +27,7 @@ import time
 
 import numpy as np
 
-from _util import save_result
+from _util import save_json, save_result
 from repro.analysis.reporting import format_table
 from repro.core.dimension_tree import hooi_iteration_dt
 from repro.distributed.layout import BlockLayout
@@ -139,6 +139,21 @@ def test_verify_overhead(benchmark):
             title="mp_hooi_dt sweep: verify=True overhead "
             "(per iteration, slowest rank)",
         ),
+    )
+    save_json(
+        "verify_overhead",
+        {
+            "plain_seconds": t_plain,
+            "verify_seconds": t_verify,
+            "overhead_ratio": overhead,
+        },
+        params={
+            "shape": list(SHAPE),
+            "ranks": list(RANKS),
+            "grid": list(GRID),
+            "reps": REPS,
+            "trials": TRIALS,
+        },
     )
     if SMOKE:
         # Latency-bound toy shape: completing with bit-identical

@@ -130,6 +130,13 @@ def attribution_rows(
     ``model`` is a ledger phase->seconds breakdown
     (:meth:`~repro.vmpi.cost.CostLedger.breakdown`); ``None`` yields
     measured-only rows.
+
+    The join is total on both sides: measured phases with no modeled
+    counterpart print ``-`` in the model columns, and ledger phases
+    that no measured phase maps to (a partial profile from a crashed
+    run, or a model charging work the executed layer never tagged)
+    are appended as zero-measured rows flagged ``MODEL-ONLY`` rather
+    than silently dropped.
     """
     per_phase = _per_rank_phase_seconds(profile)
     measured_total = sum(
@@ -174,6 +181,33 @@ def attribution_rows(
             )
         )
     rows.sort(key=lambda r: r.mean_s, reverse=True)
+    if model:
+        # Ledger phases no measured phase maps to: a crashed rank's
+        # partial profile may be missing whole phases, and the model
+        # may charge phases the executed layer never tags.  Surface
+        # them instead of letting the join silently drop model time.
+        covered: set[str] = set()
+        for phase in per_phase:
+            covered.update(MODEL_PHASES.get(phase, ()))
+        for p in sorted(model):
+            if p in covered or model[p] <= 0:
+                continue
+            model_share = (
+                model[p] / model_total if model_total > 0 else None
+            )
+            rows.append(
+                PhaseRow(
+                    phase=p,
+                    mean_s=0.0,
+                    max_s=0.0,
+                    imbalance=1.0,
+                    critical_path_s=0.0,
+                    measured_share=0.0,
+                    model_s=model[p],
+                    model_share=model_share,
+                    flag="MODEL-ONLY",
+                )
+            )
     return rows
 
 
@@ -388,7 +422,19 @@ def parse_attribution_report(text: str) -> list[dict[str, str]]:
     if not rows:
         raise ValueError("phase table has no rows")
     for row in rows:
-        float(row["measured mean s"])  # must be numeric
-        float(row["imbalance"])
-        float(row["critical path s"])
+        # Every cell must be numeric or the explicit "-" placeholder
+        # (model columns of measured-only rows, and vice versa for
+        # MODEL-ONLY rows) — anything else means the table drifted.
+        for key in ("measured mean s", "imbalance", "critical path s",
+                    "modeled s"):
+            value = row.get(key, "-")
+            if value != "-":
+                try:
+                    float(value)
+                except ValueError:
+                    raise ValueError(
+                        f"phase {row.get('phase', '?')!r}: column "
+                        f"{key!r} is neither numeric nor '-': "
+                        f"{value!r}"
+                    ) from None
     return rows

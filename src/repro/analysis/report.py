@@ -48,6 +48,7 @@ SECTIONS: tuple[tuple[str, str], ...] = (
     ("verify_overhead", "Infrastructure — SPMD verifier overhead"),
     ("race_overhead", "Infrastructure — race-sanitizer overhead"),
     ("profiler_overhead", "Infrastructure — span-profiler overhead"),
+    ("telemetry_overhead", "Infrastructure — flight-recorder overhead"),
     ("kernels_speedup", "Infrastructure — native kernels vs tensordot"),
     ("overlap", "Infrastructure — comm/compute overlap"),
     ("recovery", "Infrastructure — elastic recovery vs full restart"),

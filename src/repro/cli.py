@@ -706,6 +706,16 @@ def prof_main(argv: Sequence[str] | None = None) -> int:
     return _prof_main(list(argv) if argv is not None else None)
 
 
+def top_main(argv: Sequence[str] | None = None) -> int:
+    """``repro top``: live telemetry view of an mp driver run.
+
+    Imported lazily, like ``prof``.
+    """
+    from repro.observability.cli import top_main as _top_main
+
+    return _top_main(list(argv) if argv is not None else None)
+
+
 _SUBCOMMANDS = {
     "sthosvd": sthosvd_main,
     "hooi": hooi_main,
@@ -713,22 +723,25 @@ _SUBCOMMANDS = {
     "run": run_main,
     "lint": lint_main,
     "prof": prof_main,
+    "top": top_main,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Umbrella entry point: ``repro sthosvd|hooi|resume|run|lint|prof ...``."""
+    """Umbrella entry point:
+    ``repro sthosvd|hooi|resume|run|lint|prof|top ...``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(
-            "usage: repro {sthosvd,hooi,resume,run,lint,prof} ...\n"
+            "usage: repro {sthosvd,hooi,resume,run,lint,prof,top} ...\n"
             "  sthosvd  run STHOSVD from a parameter file\n"
             "  hooi     run HOOI/HOSI (optionally rank-adaptive)\n"
             "  resume   continue an interrupted checkpointed run\n"
             "  run      run on the mp layer (--backend shm|tcp)\n"
             "  lint     static SPMD lint (spmdlint; --protocol adds the\n"
             "           whole-program schedule model checker)\n"
-            "  prof     profile an mp run (trace, metrics, attribution)",
+            "  prof     profile an mp run (trace, metrics, attribution)\n"
+            "  top      live telemetry view of an mp run (repro top)",
             file=sys.stderr,
         )
         return 0 if argv else 2

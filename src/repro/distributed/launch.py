@@ -50,11 +50,14 @@ import time
 import traceback as traceback_mod
 from collections.abc import Callable, Sequence
 
+from dataclasses import replace
+
 from repro.vmpi.mp_comm import (
     CommConfig,
     ProcessComm,
     RankFailureError,
     TcpSocketTransport,
+    _flight_snapshot,
 )
 from repro.vmpi.transport import (
     CollectiveTimeoutError,
@@ -148,6 +151,7 @@ def launch_spmd(
     runner: str = "loopback",
     timeout: float = 120.0,
     host: str = "127.0.0.1",
+    monitor: object | None = None,
 ) -> list[object]:
     """Run ``fn(comm, *args)`` on ``size`` socket-connected processes.
 
@@ -158,6 +162,12 @@ def launch_spmd(
     rendezvous listener, and post results back over the same listener.
     Returns each rank's return value in rank order; raises
     :class:`~repro.vmpi.mp_comm.RankFailureError` if any rank failed.
+
+    ``monitor`` mirrors ``run_spmd``'s parameter: ranks push periodic
+    telemetry heartbeats over fresh rendezvous connections (out of
+    band — never on the collective wire), routed to the monitor from
+    the launcher's drain loop, and flight rings collected on failure
+    are merged into a causal postmortem attached to the error.
     """
     if size < 1:
         raise ValueError("size must be positive")
@@ -174,6 +184,10 @@ def launch_spmd(
             f"them)"
         )
     cfg = config or CommConfig()
+    if monitor is not None and cfg.telemetry_interval <= 0:
+        cfg = replace(cfg, telemetry_interval=0.5)
+    if monitor is not None:
+        monitor.on_start(size, "tcp")
     listener = open_rendezvous_listener(host)
     rendezvous = listener.getsockname()[:2]
     procs: list[subprocess.Popen] = []
@@ -181,6 +195,7 @@ def launch_spmd(
     results: dict[int, object] = {}
     errors: dict[int, dict] = {}
     recoveries: dict[int, dict] = {}
+    flights: dict[int, object] = {}
     try:
         fd, program_path = tempfile.mkstemp(
             prefix="repro-job-", suffix=".pkl"
@@ -221,10 +236,16 @@ def launch_spmd(
                     for r, p in enumerate(procs)
                 ):
                     time.sleep(0.5)  # drain stragglers' reports
-                    _collect_pending(listener, results, errors, recoveries)
+                    _collect_pending(
+                        listener, results, errors, recoveries,
+                        monitor=monitor, flights=flights,
+                    )
                     break
                 continue
-            _read_report(conn, results, errors, recoveries)
+            _read_report(
+                conn, results, errors, recoveries,
+                monitor=monitor, flights=flights,
+            )
     finally:
         listener.close()
         for p in procs:
@@ -244,6 +265,30 @@ def launch_spmd(
         failed = sorted(
             r for r in range(size) if r not in results
         )
+        # Failure reports embed the rank's ring; fold them in with any
+        # rings shipped out of band so the postmortem sees every rank
+        # that managed to report at all.
+        for src in (errors, recoveries):
+            for r, rep in src.items():
+                if rep.get("flight") is not None:
+                    flights[r] = rep["flight"]
+        postmortem = None
+        if flights:
+            from repro.observability.telemetry import build_postmortem
+
+            # Ranks that died without posting any report (process
+            # exit, SIGKILL) are the launched-mode "crashed" set.
+            crashed = {
+                r for r in failed
+                if r not in errors and r not in recoveries
+            }
+            postmortem = build_postmortem(
+                flights, completed=set(results), crashed=crashed,
+            )
+            if monitor is not None:
+                monitor.on_postmortem(
+                    postmortem.verdict, postmortem.diverging
+                )
         lines = [
             f"launched SPMD run failed: ranks {failed} did not succeed, "
             f"{sorted(results)} succeeded"
@@ -259,6 +304,14 @@ def launch_spmd(
             elif r in errors:
                 rep = errors[r]
                 lines.append(f"rank {r} failed: {rep.get('error')}")
+                ring = flights.get(r)
+                if ring is not None and getattr(ring, "events", None):
+                    ftail = ring.tail()
+                    lines.append(
+                        f"rank {r} flight recorder "
+                        f"(last {len(ftail)} of {ring.seq} events):"
+                    )
+                    lines.extend(f"  {t}" for t in ftail)
                 tb = rep.get("traceback", "")
                 if tb:
                     lines.append(f"rank {r} remote traceback:")
@@ -270,6 +323,8 @@ def launch_spmd(
                 lines.append(
                     f"rank {r} posted no result (exitcode {code})"
                 )
+        if postmortem is not None:
+            lines.extend(postmortem.lines())
         raise RankFailureError(
             "\n".join(lines),
             failed=sorted(set(failed) - set(recoveries)),
@@ -280,18 +335,34 @@ def launch_spmd(
                 if r < len(procs) and procs[r].poll() is not None
             },
             recovery_reports=recoveries,
+            flight_records=flights,
+            postmortem=postmortem,
         )
     return [results[r] for r in range(size)]
 
 
 def _read_report(
-    conn, results: dict, errors: dict, recoveries: dict | None = None
+    conn, results: dict, errors: dict, recoveries: dict | None = None,
+    monitor: object | None = None, flights: dict | None = None,
 ) -> None:
     try:
         with conn:
             conn.settimeout(5.0)
             msg = _sock_recv_obj(conn)
     except (OSError, CollectiveTimeoutError, pickle.PickleError):
+        return
+    if isinstance(msg, tuple) and len(msg) == 3:
+        # Out-of-band frames: telemetry heartbeats and pre-result
+        # flight rings, one fresh connection each.  Neither counts
+        # toward run completion.
+        kind, rank, payload = msg
+        if kind == "telemetry" and monitor is not None:
+            try:
+                monitor.on_sample(int(rank), payload)
+            except Exception:  # pragma: no cover - monitor is advisory
+                pass
+        elif kind == "flight" and flights is not None:
+            flights[int(rank)] = payload
         return
     if not (isinstance(msg, tuple) and len(msg) == 4
             and msg[0] == "result"):
@@ -303,10 +374,16 @@ def _read_report(
         recoveries[int(rank)] = payload
     else:
         errors[int(rank)] = payload
+    if monitor is not None:
+        try:
+            monitor.on_done(int(rank), status)
+        except Exception:  # pragma: no cover - monitor is advisory
+            pass
 
 
 def _collect_pending(
-    listener, results: dict, errors: dict, recoveries: dict | None = None
+    listener, results: dict, errors: dict, recoveries: dict | None = None,
+    monitor: object | None = None, flights: dict | None = None,
 ) -> None:
     """Drain result connections already queued on the listener."""
     while True:
@@ -314,7 +391,8 @@ def _collect_pending(
             conn, _ = listener.accept()
         except (socket.timeout, OSError):
             return
-        _read_report(conn, results, errors, recoveries)
+        _read_report(conn, results, errors, recoveries,
+                     monitor=monitor, flights=flights)
 
 
 # ---------------------------------------------------------------------------
@@ -333,16 +411,24 @@ def _smoke_program(comm: ProcessComm) -> float:
     return float(total[0])
 
 
-def _report(rendezvous: tuple[str, int], rank: int, status: str,
-            payload: object) -> None:
+def _post_frame(rendezvous: tuple[str, int], frame: tuple) -> None:
+    """Ship one frame to the rendezvous listener over a fresh
+    connection (the same connect-send-close discipline as result
+    reports, so telemetry never holds a socket the launcher must
+    babysit)."""
     try:
         conn = socket.create_connection(rendezvous, timeout=10.0)
     except OSError:  # pragma: no cover - launcher already gone
         return
     try:
-        _sock_send_obj(conn, ("result", rank, status, payload))
+        _sock_send_obj(conn, frame)
     finally:
         conn.close()
+
+
+def _report(rendezvous: tuple[str, int], rank: int, status: str,
+            payload: object) -> None:
+    _post_frame(rendezvous, ("result", rank, status, payload))
 
 
 def _worker_main() -> int:
@@ -371,9 +457,26 @@ def _worker_main() -> int:
         })
         return 1
     comm = ProcessComm(rank, size, channel, cfg)
+    pusher = None
+    if cfg.telemetry_interval > 0:
+        from repro.observability.telemetry import TelemetryPusher
+
+        pusher = TelemetryPusher(
+            comm.telemetry_sample,
+            lambda sample: _post_frame(
+                rendezvous, ("telemetry", rank, sample)
+            ),
+            cfg.telemetry_interval,
+        )
+        pusher.start()
     try:
         out = fn(comm, *args)
         comm.verify_shutdown()
+        # Ship the ring before the result so this rank's view is
+        # available for a postmortem even when peers later hang.
+        ring = _flight_snapshot(comm)
+        if ring is not None:
+            _post_frame(rendezvous, ("flight", rank, ring))
         _report(rendezvous, rank, "ok", out)
         return 0
     except (WorldRevokedError, TransportClosedError) as exc:
@@ -388,6 +491,7 @@ def _worker_main() -> int:
             "error": repr(exc),
             "traceback": traceback_mod.format_exc(),
             "trace_tail": comm.trace.tail(),
+            "flight": _flight_snapshot(comm),
         })
         return 1
     except Exception as exc:
@@ -395,9 +499,12 @@ def _worker_main() -> int:
             "error": repr(exc),
             "traceback": traceback_mod.format_exc(),
             "trace_tail": comm.trace.tail(),
+            "flight": _flight_snapshot(comm),
         })
         return 1
     finally:
+        if pusher is not None:
+            pusher.stop()
         try:
             channel.close()
         except Exception:  # pragma: no cover - cleanup best-effort

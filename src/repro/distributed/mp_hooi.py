@@ -439,6 +439,7 @@ def _hooi_rank_program(
     state: MPState = (x_block, x_layout, ())
     prof = comm.profiler
     for it in range(start_it, max_iters):
+        comm.note_progress(iteration=it + 1, total=max_iters)
         if prof is not None:
             prof.begin(f"sweep {it + 1}", "sweep")
         # The core feeds nothing until the run ends, so the trailing
@@ -460,6 +461,7 @@ def _hooi_rank_program(
             if prof is not None:
                 prof.begin("checkpoint", "kernel")
             _boundary_ck(it + 1).save(checkpoint_path)
+            comm.note_event("checkpoint", {"iteration": it + 1})
             if prof is not None:
                 prof.metrics.observe(
                     "checkpoint_write_seconds", prof.end()
@@ -559,6 +561,7 @@ def mp_hooi_dt(
     resume_from: str | SweepCheckpoint | None = None,
     orthogonality_tol: float | None = None,
     profile_out: dict[int, object] | None = None,
+    monitor: object | None = None,
 ) -> tuple[TuckerTensor, MPHooiStats]:
     """Rank-specified HOOI on real processes (one per grid cell).
 
@@ -629,6 +632,7 @@ def mp_hooi_dt(
         collective_timeout=collective_timeout,
         profile_out=prof_sink,
         events_out=events,
+        monitor=monitor,
     )
     if profile_out is not None:
         profile_out.update(prof_sink)
@@ -756,6 +760,7 @@ def _rahosi_rank_program(
     state: MPState = (x_block, x_layout, ())
     prof = comm.profiler
     for it in range(start_it + 1, opts.max_iters + 1):
+        comm.note_progress(iteration=it, total=opts.max_iters, ranks=ranks)
         if prof is not None:
             prof.begin(f"sweep {it}", "sweep")
         t0 = time.perf_counter()
@@ -813,6 +818,16 @@ def _rahosi_rank_program(
         payload = comm.bcast(payload, root=0)
         satisfied = bool(payload[0])
         new_ranks = tuple(int(r) for r in payload[1:])
+        # Residual/rank trajectory for the live telemetry channel
+        # (the residual is only computed on rank 0 — peers publish
+        # the replicated rank decision).
+        if record is not None:
+            comm.note_progress(
+                ranks=new_ranks, satisfied=satisfied,
+                residual=record.error,
+            )
+        else:
+            comm.note_progress(ranks=new_ranks, satisfied=satisfied)
 
         if satisfied:
             if comm.rank == 0:
@@ -871,6 +886,7 @@ def _rahosi_rank_program(
                     if prof is not None:
                         prof.begin("checkpoint", "kernel")
                     _boundary_ck(it).save(checkpoint_path)
+                    comm.note_event("checkpoint", {"iteration": it})
                     if prof is not None:
                         prof.metrics.observe(
                             "checkpoint_write_seconds", prof.end()
@@ -923,6 +939,7 @@ def mp_rahosi_dt(
     resume_from: str | SweepCheckpoint | None = None,
     orthogonality_tol: float | None = None,
     profile_out: dict[int, object] | None = None,
+    monitor: object | None = None,
 ) -> tuple[TuckerTensor, MPRankAdaptiveStats]:
     """Error-specified rank-adaptive HOSI on real processes (Alg. 3).
 
@@ -983,6 +1000,7 @@ def mp_rahosi_dt(
         collective_timeout=collective_timeout,
         profile_out=prof_sink,
         events_out=events,
+        monitor=monitor,
     )
     if profile_out is not None:
         profile_out.update(prof_sink)

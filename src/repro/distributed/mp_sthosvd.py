@@ -89,6 +89,11 @@ def _rank_program(
         mgr.replicate(_boundary_ck(start_mode))
     prof = comm.profiler
     for mode in range(start_mode, len(shape)):
+        comm.note_progress(
+            mode=mode,
+            total=len(shape),
+            ranks=tuple(f.shape[1] for f in factors),
+        )
         if prof is not None:
             # STHOSVD's outer loop is its "sweep": one pass per mode.
             prof.begin(f"mode {mode}", "sweep")
@@ -131,6 +136,7 @@ def _rank_program(
             if prof is not None:
                 prof.begin("checkpoint", "kernel")
             _boundary_ck(mode + 1).save(checkpoint_path)
+            comm.note_event("checkpoint", {"mode": mode + 1})
             if prof is not None:
                 prof.metrics.observe(
                     "checkpoint_write_seconds", prof.end()
@@ -159,6 +165,7 @@ def mp_sthosvd(
     resume_from: str | SweepCheckpoint | None = None,
     orthogonality_tol: float | None = None,
     profile_out: dict[int, object] | None = None,
+    monitor: object | None = None,
 ) -> TuckerTensor:
     """Run STHOSVD on real processes (one per grid cell).
 
@@ -178,7 +185,10 @@ def mp_sthosvd(
     to an uninterrupted run.  ``orthogonality_tol`` enables the
     per-mode factor drift guard.  With ``comm_config.profile``,
     ``profile_out`` receives each rank's
-    :class:`~repro.observability.spans.RankProfile`.
+    :class:`~repro.observability.spans.RankProfile`.  ``monitor``
+    attaches a live telemetry monitor
+    (:class:`~repro.observability.telemetry.TelemetryMonitor`): ranks
+    publish per-mode progress out of band while the sweep runs.
     """
     if ranks is None and eps is None:
         raise ValueError("mp_sthosvd needs ranks or eps")
@@ -242,6 +252,7 @@ def mp_sthosvd(
         config=comm_config,
         collective_timeout=collective_timeout,
         profile_out=profile_out,
+        monitor=monitor,
     )
     core, factors = outs[0]
     assert core is not None and factors is not None

@@ -70,6 +70,7 @@ from repro.vmpi.mp_comm import (
     ELASTIC_POLICIES,
     CommConfig,
     RankFailureError,
+    _flight_snapshot,
     run_spmd,
 )
 from repro.vmpi.transport import (
@@ -106,6 +107,13 @@ class RecoveryEvent:
     #: wall seconds of the continuation run (relaunch + remaining
     #: sweeps); filled in once that attempt returns.
     relaunch_seconds: float = -1.0
+    #: rank -> FlightRing collected from the failed attempt — the
+    #: flight-recorder events of the episode survive the respawn/
+    #: shrink relaunch here (hosted ranks included: each gets its own
+    #: comm and therefore its own ring).
+    flight_records: dict | None = None
+    #: the failed attempt's causal postmortem (or None).
+    postmortem: object | None = None
 
 
 class RecoveryManager:
@@ -163,6 +171,10 @@ class RecoveryManager:
             self.own_bytes = payload
             self.replica_bytes = blob
             self.iteration = int(ck.iteration)
+            comm.note_event(
+                "replicate",
+                {"iteration": self.iteration, "buddy": self.buddy},
+            )
         finally:
             if prof is not None:
                 prof.end()
@@ -183,6 +195,7 @@ class RecoveryManager:
         comm = self.comm
         t = comm._t
         t0 = time.perf_counter()
+        comm.note_event("recovery", repr(exc)[:120])
         prof = comm.profiler
         if prof is not None:
             prof.begin("recovery", "phase", phase="recovery")
@@ -226,6 +239,7 @@ class RecoveryManager:
             )
             prof.finalize_transport(t)
             report["profile"] = prof.rank_profile()
+        report["flight"] = _flight_snapshot(comm)
         report["recovery_seconds"] = time.perf_counter() - t0
         return report
 
@@ -357,6 +371,7 @@ def run_elastic(
     collective_timeout: float | None = None,
     profile_out: dict[int, object] | None = None,
     events_out: list[RecoveryEvent] | None = None,
+    monitor: object | None = None,
     max_attempts: int | None = None,
 ) -> list[object]:
     """:func:`~repro.vmpi.mp_comm.run_spmd` with in-run recovery.
@@ -379,7 +394,7 @@ def run_elastic(
         return run_spmd(
             fn, size, *args, timeout=timeout, transport=transport,
             config=cfg, collective_timeout=collective_timeout,
-            profile_out=profile_out,
+            profile_out=profile_out, monitor=monitor,
         )
     attempts = max_attempts if max_attempts is not None else size
     run_args = list(args)
@@ -391,7 +406,8 @@ def run_elastic(
             out = run_spmd(
                 fn, size, *run_args, timeout=timeout, transport=transport,
                 config=cfg, collective_timeout=collective_timeout,
-                profile_out=profile_out, host_map=host_map,
+                profile_out=profile_out, monitor=monitor,
+                host_map=host_map,
             )
             if event is not None:
                 event.relaunch_seconds = time.monotonic() - t0
@@ -428,6 +444,8 @@ def run_elastic(
                     ),
                     default=0.0,
                 ),
+                flight_records=dict(exc.flight_records),
+                postmortem=exc.postmortem,
             )
             if events_out is not None:
                 events_out.append(event)

@@ -6,6 +6,12 @@ per-rank snapshots into a :class:`RunProfile` with Chrome-trace,
 metrics-JSON, and ASCII renderers.  Armed via
 ``CommConfig(profile=True)``; zero cost when off.  The
 model-vs-measured join lives in :mod:`repro.analysis.attribution`.
+
+:mod:`.telemetry` covers the runs that never reach clean shutdown:
+the always-on :class:`FlightRecorder` ring (on even when profiling is
+off), the live out-of-band telemetry channel
+(:class:`TelemetryMonitor` + ``repro top``), and the causal
+:class:`Postmortem` timelines merged from all rank rings on failure.
 """
 
 from repro.observability.profile import RunProfile, validate_chrome_trace
@@ -17,14 +23,31 @@ from repro.observability.spans import (
     Span,
     SpanProfiler,
 )
+from repro.observability.telemetry import (
+    FlightRecorder,
+    FlightRing,
+    Postmortem,
+    TelemetryMonitor,
+    TelemetryPusher,
+    build_postmortem,
+    merge_flight_rings,
+    validate_telemetry_jsonl,
+)
 
 __all__ = [
     "SPAN_CATEGORIES",
+    "FlightRecorder",
+    "FlightRing",
     "Histogram",
     "MetricsRegistry",
+    "Postmortem",
     "RankProfile",
     "RunProfile",
     "Span",
     "SpanProfiler",
-    "validate_chrome_trace",
+    "TelemetryMonitor",
+    "TelemetryPusher",
+    "build_postmortem",
+    "merge_flight_rings",
+    "validate_telemetry_jsonl",
 ]

@@ -19,6 +19,14 @@ the gathered :class:`~repro.observability.profile.RunProfile`:
 
 Profiled runs are bit-identical to unprofiled ones — the profiler
 only reads clocks around existing boundaries.
+
+``repro top`` (:func:`top_main`) shares the same parameter files and
+drivers but attaches a live
+:class:`~repro.observability.telemetry.TelemetryMonitor` instead: the
+driver runs in a background thread while the foreground redraws the
+monitor's rank table (state, phase, sweep progress, stall flags) at
+the telemetry cadence, writes the JSONL event log on request, and
+prints the causal postmortem timeline when the run dies.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -38,7 +47,7 @@ from repro.observability.profile import RunProfile, validate_chrome_trace
 from repro.tensor.random import tucker_plus_noise
 from repro.vmpi.mp_comm import CommConfig
 
-__all__ = ["prof_main"]
+__all__ = ["prof_main", "top_main"]
 
 
 def _svd_method(code: int) -> LLSVMethod:
@@ -52,7 +61,12 @@ def _svd_method(code: int) -> LLSVMethod:
 
 
 def _run_hooi(
-    params: ParameterFile, *, want_model: bool
+    params: ParameterFile,
+    *,
+    want_model: bool,
+    cfg: CommConfig | None = None,
+    transport: str = "p2p",
+    monitor: object | None = None,
 ) -> tuple[RunProfile, dict[str, float] | None, str]:
     dims = params.get_ints("global dims")
     noise = params.get_float("noise", 1e-4)
@@ -68,7 +82,7 @@ def _run_hooi(
     print(f"Generating synthetic tensor {dims} with ranks {construction}")
     x = tucker_plus_noise(dims, construction, noise=noise, seed=seed)
     sink: dict[int, object] = {}
-    cfg = CommConfig(profile=True)
+    cfg = cfg or CommConfig(profile=True)
     model: dict[str, float] | None = None
 
     if adapt > 0:
@@ -91,8 +105,10 @@ def _run_hooi(
             decomposition,
             grid,
             ra_options,
+            transport=transport,
             comm_config=cfg,
             profile_out=sink,
+            monitor=monitor,
         )
         if want_model:
             from repro.distributed.rank_adaptive import (
@@ -121,8 +137,10 @@ def _run_hooi(
             decomposition,
             grid,
             h_options,
+            transport=transport,
             comm_config=cfg,
             profile_out=sink,
+            monitor=monitor,
         )
         if want_model:
             from repro.distributed.hooi import dist_hooi
@@ -136,7 +154,12 @@ def _run_hooi(
 
 
 def _run_sthosvd(
-    params: ParameterFile, *, want_model: bool
+    params: ParameterFile,
+    *,
+    want_model: bool,
+    cfg: CommConfig | None = None,
+    transport: str = "p2p",
+    monitor: object | None = None,
 ) -> tuple[RunProfile, dict[str, float] | None, str]:
     dims = params.get_ints("global dims")
     noise = params.get_float("noise", 1e-4)
@@ -156,8 +179,10 @@ def _run_sthosvd(
         grid,
         eps=eps if eps > 0 else None,
         ranks=None if eps > 0 else ranks,
-        comm_config=CommConfig(profile=True),
+        transport=transport,
+        comm_config=cfg or CommConfig(profile=True),
         profile_out=sink,
+        monitor=monitor,
     )
     model: dict[str, float] | None = None
     if want_model:
@@ -254,6 +279,101 @@ def prof_main(argv: Sequence[str] | None = None) -> int:
             )
         )
     return 0
+
+
+def top_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro top``: live telemetry view of an mp run."""
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description=(
+            "run an mp driver with the live telemetry monitor attached "
+            "and render per-rank progress while it runs"
+        ),
+    )
+    parser.add_argument(
+        "driver",
+        choices=("hooi", "sthosvd"),
+        help="which mp algorithm to run under the monitor",
+    )
+    parser.add_argument(
+        "--parameter-file",
+        required=True,
+        help="TuckerMPI-style 'Key = value' parameter file",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("shm", "tcp"),
+        default="shm",
+        help="collective wire (shm = shared-memory pool, tcp = sockets)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="telemetry heartbeat / redraw cadence in seconds",
+    )
+    parser.add_argument(
+        "--jsonl",
+        default=None,
+        help="write the telemetry event log (JSON Lines, schema v1)",
+    )
+    parser.add_argument(
+        "--no-ui",
+        action="store_true",
+        help="no live redraw (CI): run, then print the final table once",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.observability.telemetry import TelemetryMonitor
+
+    params = ParameterFile.from_path(args.parameter_file)
+    transport = "p2p" if args.backend == "shm" else "tcp"
+    monitor = TelemetryMonitor()
+    # profile=True keeps the runner helpers' RunProfile assembly valid;
+    # telemetry rides out of band either way.
+    cfg = CommConfig(profile=True, telemetry_interval=args.interval)
+    runner = _run_hooi if args.driver == "hooi" else _run_sthosvd
+    outcome: dict[str, BaseException] = {}
+
+    def _drive() -> None:
+        try:
+            runner(
+                params,
+                want_model=False,
+                cfg=cfg,
+                transport=transport,
+                monitor=monitor,
+            )
+        except BaseException as exc:  # surfaced after the UI loop
+            outcome["exc"] = exc
+
+    worker = threading.Thread(target=_drive, daemon=True)
+    worker.start()
+    live = not args.no_ui and sys.stdout.isatty()
+    try:
+        while worker.is_alive():
+            worker.join(max(args.interval, 0.1))
+            if live and worker.is_alive():
+                sys.stdout.write("\x1b[2J\x1b[H" + monitor.render() + "\n")
+                sys.stdout.flush()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    print()
+    print(monitor.render())
+    if args.jsonl is not None:
+        monitor.write_jsonl(args.jsonl)
+        print(f"Wrote telemetry log to {args.jsonl}")
+    exc = outcome.get("exc")
+    if exc is None:
+        return 0
+    from repro.vmpi.mp_comm import RankFailureError
+
+    if isinstance(exc, RankFailureError) and exc.postmortem is not None:
+        print()
+        print(exc.postmortem.render())
+    else:
+        print(f"run failed: {exc!r}", file=sys.stderr)
+    return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

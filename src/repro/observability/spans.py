@@ -151,11 +151,37 @@ class MetricsRegistry:
         hist.observe(value)
 
     def snapshot(self) -> dict[str, Any]:
+        """Plain-dict copy of all three namespaces.
+
+        Tolerant of concurrent writers: hosted-rank threads and the
+        telemetry pusher snapshot a registry the rank is still
+        updating, so a histogram inserted mid-iteration (RuntimeError
+        from the comprehension) just retries — values read during a
+        retry window are each internally consistent, which is all a
+        heartbeat needs.
+        """
+        for _ in range(8):
+            try:
+                return {
+                    "counters": dict(self.counters),
+                    "gauges": dict(self.gauges),
+                    "histograms": {
+                        k: h.snapshot()
+                        for k, h in self.histograms.items()
+                    },
+                }
+            except RuntimeError:  # dict resized mid-iteration
+                continue
+        # Writer is inserting faster than we can iterate (pathological
+        # — metric *names* are created once, then updated in place).
+        # Fall back to whatever names are stable right now.
         return {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "histograms": {
-                k: h.snapshot() for k, h in self.histograms.items()
+                k: self.histograms[k].snapshot()
+                for k in tuple(self.histograms)
+                if k in self.histograms
             },
         }
 

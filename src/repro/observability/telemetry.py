@@ -1,0 +1,649 @@
+"""Always-on flight recorder, live telemetry streaming, and causal postmortems.
+
+Three cooperating pieces, NCCL-flight-recorder style:
+
+``FlightRecorder``
+    A bounded, near-zero-overhead ring buffer of structured events kept by
+    every rank *even when profiling is off*.  Each event is a plain tuple
+    ``(seq, t, kind, op_id, phase, detail)`` where ``seq`` is a monotonically
+    increasing per-rank counter (so dropped events are visible after the ring
+    wraps), ``t`` is a ``perf_counter`` offset from the recorder's origin and
+    ``op_id`` is the rank's collective sequence number.  Recording an event
+    is one clock read plus one deque append; nothing on the payload path is
+    touched, so armed runs stay bit-identical.
+
+``TelemetryPusher`` / ``TelemetryMonitor``
+    Out-of-band live telemetry: a daemon thread per rank periodically emits
+    heartbeat samples (sweep progress, residual/rank trajectory, current
+    phase, blocked-collective info, light metrics) over the existing control
+    plane — the launcher result queue on the shm wire, the rendezvous report
+    socket on the tcp wire.  The monitor aggregates latest-state per rank,
+    flags stalls *before* ``CollectiveTimeoutError`` fires, renders the
+    ``repro top`` console view and exports a JSONL event log.
+
+``build_postmortem``
+    On failure, all rank rings are merged into one causally-ordered global
+    timeline using collective sequence numbers (with PR-9 vector clocks as a
+    refinement when the race sanitizer is armed) and a per-rank
+    last-known-state report that names the diverging rank and collective.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = [
+    "FlightRecorder",
+    "FlightRing",
+    "Postmortem",
+    "TelemetryMonitor",
+    "TelemetryPusher",
+    "build_postmortem",
+    "format_event",
+    "merge_flight_rings",
+    "validate_telemetry_jsonl",
+]
+
+# Known flight-recorder event kinds.  Unknown kinds are tolerated on read
+# (forward compatibility) but everything the substrate emits is listed here.
+EVENT_KINDS = frozenset(
+    {
+        "collective_begin",
+        "collective_end",
+        "post",
+        "p2p_recv",
+        "phase",
+        "sweep",
+        "checkpoint",
+        "replicate",
+        "recovery",
+        "guard",
+        "timeout",
+        "error",
+    }
+)
+
+# Merge order inside one collective sequence number: every rank's begin
+# happens before any in-flight post, which happens before any rank's end,
+# which happens before whatever the rank does next at the same op_id.
+_STAGE = {"collective_begin": 0, "post": 1, "collective_end": 2}
+
+TELEMETRY_SCHEMA_VERSION = 1
+
+_RECORD_KINDS = frozenset({"run", "heartbeat", "stall", "final", "postmortem"})
+_REQUIRED_FIELDS = {
+    "run": ("size", "backend"),
+    "heartbeat": ("rank", "op_id", "phase"),
+    "stall": ("rank", "op", "op_id", "seconds"),
+    "final": ("rank", "status"),
+    "postmortem": ("verdict",),
+}
+
+
+def _fmt_detail(detail: Any) -> str:
+    if detail == "" or detail is None:
+        return ""
+    if isinstance(detail, tuple) and len(detail) == 2 and isinstance(detail[0], str):
+        return f"{detail[0]} p={detail[1]}"
+    if isinstance(detail, dict):
+        return " ".join(f"{k}={v}" for k, v in detail.items())
+    return str(detail)[:80]
+
+
+def format_event(event: tuple) -> str:
+    """Render one ring event as a single human-readable line."""
+
+    seq, t, kind, op_id, phase, detail = event
+    parts = [f"#{seq}", f"+{t:.3f}s", f"op#{op_id}", kind]
+    if phase:
+        parts.append(f"phase={phase}")
+    txt = _fmt_detail(detail)
+    if txt:
+        parts.append(txt)
+    return " ".join(parts)
+
+
+class FlightRecorder:
+    """Bounded per-rank ring buffer of structured runtime events.
+
+    Always on by default (``CommConfig.flight``); the only cost per event is
+    one ``perf_counter`` read and one bounded-deque append.  The recorder is
+    written from the rank's main thread and read (racily but safely) from
+    the telemetry pusher thread; readers retry on concurrent mutation.
+    """
+
+    __slots__ = ("rank", "capacity", "wall_origin", "_origin", "_events", "seq")
+
+    def __init__(self, rank: int, capacity: int = 256) -> None:
+        self.rank = int(rank)
+        self.capacity = max(8, int(capacity))
+        self.wall_origin = time.time()
+        self._origin = time.perf_counter()
+        self._events: deque[tuple] = deque(maxlen=self.capacity)
+        self.seq = 0
+
+    def record(self, kind: str, op_id: int, phase: str, detail: Any = "") -> None:
+        self.seq += 1
+        self._events.append(
+            (self.seq, time.perf_counter() - self._origin, kind, op_id, phase, detail)
+        )
+
+    def now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    def last(self) -> tuple | None:
+        try:
+            return self._events[-1]
+        except IndexError:
+            return None
+
+    def open_collective(self) -> tuple | None:
+        """Return the begin event of an unmatched collective, if any.
+
+        Safe to call from the pusher thread: a concurrent append can raise
+        ``RuntimeError`` mid-iteration, in which case we retry once and give
+        up (a missed sample is fine; the next heartbeat sees fresh state).
+        """
+
+        for _ in range(2):
+            try:
+                for ev in reversed(self._events):
+                    if ev[2] == "collective_end":
+                        return None
+                    if ev[2] == "collective_begin":
+                        return ev
+                return None
+            except RuntimeError:
+                continue
+        return None
+
+    def snapshot(self, clock: Mapping[int, int] | None = None) -> "FlightRing":
+        return FlightRing(
+            rank=self.rank,
+            wall_origin=self.wall_origin,
+            capacity=self.capacity,
+            seq=self.seq,
+            events=list(self._events),
+            clock=dict(clock) if clock else None,
+        )
+
+
+@dataclass
+class FlightRing:
+    """Picklable snapshot of one rank's flight recorder."""
+
+    rank: int
+    wall_origin: float
+    capacity: int
+    seq: int
+    events: list
+    clock: dict | None = None
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self.seq - len(self.events))
+
+    def tail(self, n: int = 8) -> list[str]:
+        return [format_event(ev) for ev in self.events[-n:]]
+
+    def last_state(self) -> dict:
+        """Summarize the rank's last known state from its ring."""
+
+        state = {
+            "rank": self.rank,
+            "op_id": 0,
+            "phase": "",
+            "open_op": None,
+            "last_kind": None,
+            "t": 0.0,
+        }
+        if self.events:
+            seq, t, kind, op_id, phase, detail = self.events[-1]
+            state.update(op_id=op_id, phase=phase, last_kind=kind, t=t)
+        for ev in reversed(self.events):
+            if ev[2] == "collective_end":
+                break
+            if ev[2] == "collective_begin":
+                detail = ev[5]
+                state["open_op"] = detail[0] if isinstance(detail, tuple) else str(detail)
+                state["op_id"] = ev[3]
+                break
+        return state
+
+
+def merge_flight_rings(rings: Mapping[int, FlightRing]) -> list[dict]:
+    """Merge per-rank rings into one causally-ordered global timeline.
+
+    The collective sequence number is the causal backbone: every rank's
+    ``collective_begin`` for op *k* precedes any transport post inside *k*,
+    which precedes any ``collective_end`` for *k*, which precedes everything
+    a rank does before entering *k+1*.  Wall time only breaks ties inside a
+    causal stage, so clock skew between ranks cannot reorder the causally
+    meaningful structure.
+    """
+
+    rows: list[dict] = []
+    for rank in sorted(rings):
+        ring = rings[rank]
+        for seq, t, kind, op_id, phase, detail in ring.events:
+            rows.append(
+                {
+                    "rank": ring.rank,
+                    "seq": seq,
+                    "t": t,
+                    "wall": ring.wall_origin + t,
+                    "kind": kind,
+                    "op_id": op_id,
+                    "phase": phase,
+                    "detail": detail,
+                }
+            )
+    rows.sort(
+        key=lambda r: (r["op_id"], _STAGE.get(r["kind"], 3), r["wall"], r["rank"], r["seq"])
+    )
+    return rows
+
+
+def _clock_dominated(a: Mapping[int, int], b: Mapping[int, int]) -> bool:
+    """True when clock ``a`` happened strictly before clock ``b``."""
+
+    keys = set(a) | set(b)
+    le = all(a.get(k, 0) <= b.get(k, 0) for k in keys)
+    lt = any(a.get(k, 0) < b.get(k, 0) for k in keys)
+    return le and lt
+
+
+def _causally_earliest(rings: Mapping[int, FlightRing]) -> int | None:
+    """Rank whose final vector clock precedes every other rank's, if known."""
+
+    clocked = {r: ring.clock for r, ring in rings.items() if ring.clock}
+    if len(clocked) < 2:
+        return None
+    for r, clk in sorted(clocked.items()):
+        if all(_clock_dominated(clk, other) for q, other in clocked.items() if q != r):
+            return r
+    return None
+
+
+@dataclass
+class Postmortem:
+    """Merged causal timeline plus a diagnosis naming the diverging rank."""
+
+    timeline: list[dict]
+    last_states: dict[int, dict]
+    verdict: str
+    diverging: list[int]
+    collective: str | None
+    op_id: int | None
+    completed: list[int] = field(default_factory=list)
+    crashed: list[int] = field(default_factory=list)
+
+    def lines(self) -> list[str]:
+        """Short block suitable for embedding in a RankFailureError message."""
+
+        out = [f"postmortem: {self.verdict}"]
+        for rank in sorted(self.last_states):
+            s = self.last_states[rank]
+            if rank in self.completed:
+                where = "completed"
+            elif s["open_op"]:
+                where = f"blocked in {s['open_op']} (op #{s['op_id']})"
+            else:
+                where = f"last event {s['last_kind'] or 'none'} (op #{s['op_id']})"
+            phase = f" phase={s['phase']}" if s["phase"] else ""
+            out.append(f"  rank {rank}: {where}{phase}")
+        return out
+
+    def render(self, max_events: int = 48) -> str:
+        out = list(self.lines())
+        shown = self.timeline[-max_events:]
+        if len(self.timeline) > len(shown):
+            out.append(
+                f"global timeline (last {len(shown)} of {len(self.timeline)} events):"
+            )
+        else:
+            out.append(f"global timeline ({len(shown)} events):")
+        for row in shown:
+            phase = f" phase={row['phase']}" if row["phase"] else ""
+            txt = _fmt_detail(row["detail"])
+            detail = f" {txt}" if txt else ""
+            out.append(
+                f"  op#{row['op_id']:<4d} r{row['rank']} {row['kind']}{phase}{detail}"
+                f" (+{row['t']:.3f}s)"
+            )
+        return "\n".join(out)
+
+
+def build_postmortem(
+    rings: Mapping[int, FlightRing],
+    completed: Iterable[int] = (),
+    crashed: Iterable[int] = (),
+) -> Postmortem:
+    """Merge rank rings and diagnose which rank diverged at which collective.
+
+    ``completed`` are ranks that returned normally; ``crashed`` are ranks
+    whose *process* died (hard crash / injected crash), as opposed to ranks
+    that merely reported an error.  The diagnosis prefers, in order: a
+    crashed rank, ranks lagging behind the blocked frontier, mismatched
+    collectives at the frontier, and ranks that exited while peers still
+    wait.  Vector clocks (attached when ``race_detect`` is armed) refine
+    the verdict with the causally-earliest stop.
+    """
+
+    completed = sorted(set(completed) & set(rings))
+    crashed = sorted(set(crashed) & set(rings))
+    timeline = merge_flight_rings(rings)
+    states = {r: rings[r].last_state() for r in rings}
+
+    verdict = "no flight-recorder events collected"
+    diverging: list[int] = []
+    collective: str | None = None
+    op_id: int | None = None
+
+    blocked = {
+        r: s for r, s in states.items() if s["open_op"] is not None and r not in completed
+    }
+    if crashed:
+        diverging = list(crashed)
+        head = states[crashed[0]]
+        collective = head["open_op"]
+        op_id = head["op_id"]
+        if collective:
+            verdict = (
+                f"rank {crashed[0]} crashed inside {collective} (op #{op_id})"
+            )
+        else:
+            where = f" after {head['last_kind']}" if head["last_kind"] else ""
+            verdict = f"rank {crashed[0]} crashed between collectives (op #{op_id}){where}"
+        others = sorted(set(blocked) - set(crashed))
+        if others:
+            verdict += f"; ranks {others} still blocked"
+    elif blocked:
+        frontier = max(s["op_id"] for s in blocked.values())
+        waiters = {r: s for r, s in blocked.items() if s["op_id"] == frontier}
+        ops = sorted({s["open_op"] for s in waiters.values()})
+        laggards = sorted(
+            r
+            for r, s in states.items()
+            if s["op_id"] < frontier and r not in completed
+        )
+        op_id = frontier
+        if laggards:
+            diverging = laggards
+            collective = ops[0]
+            verdict = (
+                f"rank(s) {laggards} never reached {collective} (op #{frontier}); "
+                f"ranks {sorted(waiters)} blocked waiting"
+            )
+        elif len(ops) > 1:
+            by_op: dict[str, list[int]] = {}
+            for r, s in sorted(waiters.items()):
+                by_op.setdefault(s["open_op"], []).append(r)
+            minority_op = min(by_op, key=lambda o: (len(by_op[o]), o))
+            diverging = by_op[minority_op]
+            collective = minority_op
+            verdict = (
+                f"mismatched collectives at op #{frontier}: "
+                + ", ".join(f"{o} on ranks {rs}" for o, rs in sorted(by_op.items()))
+            )
+        elif completed:
+            diverging = list(completed)
+            collective = ops[0]
+            verdict = (
+                f"rank(s) {completed} completed while ranks {sorted(waiters)} "
+                f"still blocked in {collective} (op #{frontier})"
+            )
+        else:
+            collective = ops[0]
+            verdict = (
+                f"all ranks blocked in {collective} (op #{frontier}); "
+                "no diverging rank in recorded window"
+            )
+    elif states:
+        verdict = "no blocked collectives recorded"
+
+    earliest = _causally_earliest(rings)
+    if earliest is not None:
+        verdict += f"; causally earliest stop: rank {earliest} (vector clocks)"
+
+    return Postmortem(
+        timeline=timeline,
+        last_states=states,
+        verdict=verdict,
+        diverging=diverging,
+        collective=collective,
+        op_id=op_id,
+        completed=completed,
+        crashed=crashed,
+    )
+
+
+class TelemetryPusher(threading.Thread):
+    """Daemon thread that periodically emits a rank's telemetry sample.
+
+    ``sample`` is a zero-argument callable returning a picklable dict (the
+    comm's ``telemetry_sample``); ``emit`` ships it over whatever control
+    plane the launcher provided.  Emit failures stop the pusher silently —
+    telemetry must never take a rank down.
+    """
+
+    def __init__(
+        self,
+        sample: Callable[[], dict],
+        emit: Callable[[dict], None],
+        interval: float,
+    ) -> None:
+        super().__init__(name="telemetry-pusher", daemon=True)
+        self._sample = sample
+        self._emit = emit
+        self._interval = max(0.05, float(interval))
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while True:
+            try:
+                self._emit(self._sample())
+            except Exception:
+                return
+            if self._halt.wait(self._interval):
+                return
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._halt.set()
+        self.join(timeout=timeout)
+
+
+class TelemetryMonitor:
+    """Launcher-side aggregator behind ``repro top`` and the JSONL log.
+
+    Thread-safe: samples arrive from the launcher's drain loop while the
+    console renderer reads.  Stalls are flagged when a heartbeat shows a
+    collective open longer than ``stall_after`` seconds — deliberately far
+    below ``CommConfig.collective_timeout`` so operators see the hang while
+    it is still live.
+    """
+
+    def __init__(self, *, stall_after: float = 5.0, max_events: int = 20000) -> None:
+        self.stall_after = float(stall_after)
+        self._lock = threading.Lock()
+        self.latest: dict[int, dict] = {}
+        self.done: dict[int, str] = {}
+        self.events: deque[dict] = deque(maxlen=max_events)
+        self.size: int | None = None
+        self.backend: str | None = None
+        self.started = time.time()
+        self._flagged: dict[int, int] = {}
+
+    def _log(self, kind: str, **fields: Any) -> None:
+        rec = {"v": TELEMETRY_SCHEMA_VERSION, "ts": time.time(), "kind": kind}
+        rec.update(fields)
+        self.events.append(rec)
+
+    def on_start(self, size: int, backend: str) -> None:
+        with self._lock:
+            self.size = size
+            self.backend = backend
+            self.started = time.time()
+            self._log("run", size=size, backend=backend)
+
+    def on_sample(self, rank: int, sample: dict) -> None:
+        with self._lock:
+            self.latest[rank] = sample
+            self._log(
+                "heartbeat",
+                rank=rank,
+                op_id=sample.get("op_id", 0),
+                phase=sample.get("phase", ""),
+                progress=sample.get("progress", {}),
+                blocked=sample.get("blocked"),
+                flight_seq=sample.get("flight_seq"),
+                metrics=sample.get("metrics"),
+            )
+            blocked = sample.get("blocked")
+            if blocked and blocked.get("seconds", 0.0) >= self.stall_after:
+                if self._flagged.get(rank) != blocked.get("op_id"):
+                    self._flagged[rank] = blocked.get("op_id")
+                    self._log(
+                        "stall",
+                        rank=rank,
+                        op=blocked.get("op", "?"),
+                        op_id=blocked.get("op_id", 0),
+                        seconds=round(float(blocked.get("seconds", 0.0)), 3),
+                    )
+            else:
+                self._flagged.pop(rank, None)
+
+    def on_done(self, rank: int, status: str) -> None:
+        with self._lock:
+            self.done[rank] = status
+            self._flagged.pop(rank, None)
+            self._log("final", rank=rank, status=status)
+
+    def on_postmortem(self, verdict: str, diverging: Iterable[int] = ()) -> None:
+        with self._lock:
+            self._log("postmortem", verdict=verdict, diverging=sorted(diverging))
+
+    def stalls(self) -> list[dict]:
+        with self._lock:
+            return [e for e in self.events if e["kind"] == "stall"]
+
+    def _progress_text(self, sample: dict) -> str:
+        prog = sample.get("progress") or {}
+        bits = []
+        it, total = prog.get("iteration"), prog.get("total")
+        if it is not None:
+            bits.append(f"sweep {it}/{total}" if total else f"sweep {it}")
+        if prog.get("mode") is not None:
+            bits.append(f"mode {prog['mode']}")
+        if prog.get("residual") is not None:
+            bits.append(f"res={prog['residual']:.3e}")
+        if prog.get("ranks") is not None:
+            bits.append(f"ranks={prog['ranks']}")
+        for k, v in prog.items():
+            if k not in ("iteration", "total", "mode", "residual", "ranks"):
+                bits.append(f"{k}={v}")
+        return " ".join(bits) or "-"
+
+    def render(self) -> str:
+        """ASCII console view for ``repro top``."""
+
+        with self._lock:
+            now = time.time()
+            size = self.size if self.size is not None else len(self.latest)
+            head = (
+                f"repro top — {size} ranks, backend={self.backend or '?'}, "
+                f"elapsed {now - self.started:.1f}s"
+            )
+            rows = [head, f"{'rank':<5} {'state':<12} {'phase':<12} {'op#':>6}  "
+                          f"{'progress':<32} last beat"]
+            ranks = sorted(set(self.latest) | set(self.done) | set(range(size or 0)))
+            for rank in ranks:
+                sample = self.latest.get(rank)
+                if rank in self.done:
+                    state = f"done({self.done[rank]})"
+                elif sample is None:
+                    state = "starting"
+                else:
+                    blocked = sample.get("blocked")
+                    if blocked and blocked.get("seconds", 0.0) >= self.stall_after:
+                        state = "STALLED"
+                    elif blocked:
+                        state = "blocked"
+                    else:
+                        state = "running"
+                phase = (sample or {}).get("phase") or "-"
+                op = (sample or {}).get("op_id", 0)
+                prog = self._progress_text(sample or {})
+                beat = f"{now - sample['ts']:.1f}s ago" if sample and "ts" in sample else "-"
+                extra = ""
+                sample_blocked = (sample or {}).get("blocked")
+                if sample_blocked and rank not in self.done:
+                    extra = (
+                        f"  ({sample_blocked.get('seconds', 0.0):.1f}s in "
+                        f"{sample_blocked.get('op', '?')})"
+                    )
+                rows.append(
+                    f"{rank:<5} {state:<12} {phase:<12} {op:>6}  {prog:<32} {beat}{extra}"
+                )
+            stalls = [e for e in self.events if e["kind"] == "stall"]
+            if stalls:
+                rows.append("recent stalls:")
+                for e in stalls[-4:]:
+                    rows.append(
+                        f"  rank {e['rank']} stalled {e['seconds']:.1f}s in "
+                        f"{e['op']} (op #{e['op_id']})"
+                    )
+            return "\n".join(rows)
+
+    def jsonl(self) -> list[str]:
+        with self._lock:
+            return [json.dumps(e, sort_keys=True, default=str) for e in self.events]
+
+    def write_jsonl(self, path: str) -> None:
+        lines = self.jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+
+
+def validate_telemetry_jsonl(lines: Iterable[str]) -> dict[str, int]:
+    """Validate a telemetry JSONL export; return a per-kind record count.
+
+    Raises ``ValueError`` naming the first offending line on malformed JSON,
+    wrong schema version, unknown record kind, or missing required fields.
+    Used by the CI telemetry smoke job and the test suite.
+    """
+
+    counts: dict[str, int] = {}
+    n = 0
+    for n, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {n}: invalid JSON: {exc}") from exc
+        if not isinstance(rec, dict):
+            raise ValueError(f"line {n}: expected object, got {type(rec).__name__}")
+        if rec.get("v") != TELEMETRY_SCHEMA_VERSION:
+            raise ValueError(
+                f"line {n}: schema version {rec.get('v')!r} != {TELEMETRY_SCHEMA_VERSION}"
+            )
+        kind = rec.get("kind")
+        if kind not in _RECORD_KINDS:
+            raise ValueError(f"line {n}: unknown record kind {kind!r}")
+        if "ts" not in rec:
+            raise ValueError(f"line {n}: missing ts")
+        for fld in _REQUIRED_FIELDS[kind]:
+            if fld not in rec:
+                raise ValueError(f"line {n}: {kind} record missing {fld!r}")
+        counts[kind] = counts.get(kind, 0) + 1
+    if n == 0:
+        raise ValueError("empty telemetry log")
+    return counts

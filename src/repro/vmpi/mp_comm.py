@@ -172,6 +172,17 @@ class RankFailureError(RuntimeError):
         the serialized buddy replica — everything
         :func:`repro.distributed.recovery.run_elastic` needs to
         continue the run.
+    ``flight_records``
+        ``rank -> FlightRing`` — every always-on flight-recorder ring
+        that reached the launcher (failed ranks embed theirs in the
+        failure report; finished ranks ship theirs before their
+        result; woken survivors post theirs on the way out).  Empty
+        only when ``CommConfig.flight`` was off.
+    ``postmortem``
+        :class:`repro.observability.telemetry.Postmortem` merging the
+        collected rings into one causally-ordered global timeline with
+        a verdict naming the diverging rank and collective, or
+        ``None`` when no rings were collected.
     """
 
     def __init__(
@@ -184,6 +195,8 @@ class RankFailureError(RuntimeError):
         exitcodes: dict[int, int] | None = None,
         profiles: dict[int, object] | None = None,
         recovery_reports: dict[int, dict] | None = None,
+        flight_records: dict[int, object] | None = None,
+        postmortem: object | None = None,
     ) -> None:
         super().__init__(message)
         self.failed_ranks = tuple(failed)
@@ -192,6 +205,8 @@ class RankFailureError(RuntimeError):
         self.exitcodes = dict(exitcodes or {})
         self.profiles = dict(profiles or {})
         self.recovery_reports = dict(recovery_reports or {})
+        self.flight_records = dict(flight_records or {})
+        self.postmortem = postmortem
 
 
 @dataclass(frozen=True)
@@ -335,6 +350,31 @@ class CommConfig:
         allgather is unaffected: its steps are serially dependent and
         it has no local payload math to hide; overlap pays off where
         the α-β model charges per-step payload work.)
+    flight:
+        Always-on flight recorder
+        (:class:`repro.observability.telemetry.FlightRecorder`): every
+        rank keeps a bounded ring buffer of structured events --
+        collective begin/end with group and sequence number, transport
+        posts, sweep/phase transitions, checkpoint/replication/
+        recovery events, guard-rail trips -- recorded *even when*
+        ``profile`` is off.  Each event costs one clock read and one
+        deque append and nothing on the payload path is touched, so
+        recorder-on runs stay bit-identical
+        (``bench_telemetry_overhead.py`` gates <10 % in CI).  On
+        failure all rings are collected and merged into a causal
+        postmortem timeline attached to :class:`RankFailureError`.
+        On by default; turn off only for overhead baselines.
+    flight_capacity:
+        Ring capacity (events per rank) of the flight recorder.  Once
+        full, the oldest events are dropped (the monotone ``seq``
+        makes the drop count visible in the snapshot).
+    telemetry_interval:
+        Seconds between out-of-band telemetry heartbeats pushed from
+        every rank to the launcher over the control plane (sweep
+        progress, residual/rank trajectory, current phase,
+        blocked-collective info).  ``0`` (default) pushes nothing;
+        passing a monitor to :func:`run_spmd` arms it at 0.5 s when
+        unset.
     """
 
     collective_timeout: float = 60.0
@@ -354,6 +394,9 @@ class CommConfig:
     profile: bool = False
     profile_max_spans: int = 1 << 16
     race_detect: bool = False
+    flight: bool = True
+    flight_capacity: int = 256
+    telemetry_interval: float = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -408,9 +451,25 @@ class ProcessComm:
         self.config = config or CommConfig()
         self.trace = CommTrace()
         #: caller-set phase label stamped on every CollectiveRecord
-        #: (same vocabulary as the simulator's ledger phases).
-        self.phase = ""
+        #: (same vocabulary as the simulator's ledger phases); exposed
+        #: as the ``phase`` property so transitions land in the flight
+        #: recorder.
+        self._phase = ""
         self._op_id = 0
+        #: live sweep-progress dict published via note_progress() and
+        #: shipped in telemetry heartbeats.
+        self._progress: dict[str, object] = {}
+        #: always-on flight recorder (repro.observability.telemetry):
+        #: a bounded ring of structured events kept even when
+        #: profiling is off, collected into causal postmortems on
+        #: failure.  None only when CommConfig.flight is off, in which
+        #: case every recording boundary pays one `is None` test.
+        self.flight = None
+        if self.config.flight:
+            from repro.observability.telemetry import FlightRecorder
+
+            self.flight = FlightRecorder(rank, self.config.flight_capacity)
+            channel.flight = self.flight
         #: lazily created single-thread executor for CommConfig.overlap
         #: receive prefetching (None until the first overlapped
         #: collective, so non-overlap runs never spawn a thread).
@@ -476,9 +535,26 @@ class ProcessComm:
 
     # -- plumbing -----------------------------------------------------------
 
-    def _begin_collective(self) -> None:
-        """Advance the operation counter; fire boundary faults."""
+    @property
+    def phase(self) -> str:
+        return self._phase
+
+    @phase.setter
+    def phase(self, value: str) -> None:
+        if value != self._phase:
+            fr = self.flight
+            if fr is not None:
+                fr.record("phase", self._op_id, value)
+        self._phase = value
+
+    def _begin_collective(self, op: str = "", gsize: int = 0) -> None:
+        """Advance the operation counter; log the begin; fire faults."""
         self._op_id += 1
+        fr = self.flight
+        if fr is not None:
+            fr.record(
+                "collective_begin", self._op_id, self._phase, (op, gsize)
+            )
         if self._inj is not None:
             self._inj.at_collective(self._op_id, self.phase)
 
@@ -495,6 +571,12 @@ class ProcessComm:
             return
         for a in arrays:
             if a.dtype.kind in "fc" and not np.all(np.isfinite(a)):
+                fr = getattr(self, "flight", None)
+                if fr is not None:
+                    fr.record(
+                        "guard", self._op_id, self.phase,
+                        f"non-finite in {op}",
+                    )
                 raise NumericalFaultError(
                     f"rank {self.rank}: non-finite values in {op} result "
                     f"(collective #{self._op_id}, phase {self.phase!r})",
@@ -663,6 +745,11 @@ class ProcessComm:
         self.trace.add(
             CollectiveRecord(op, algorithm, group_size, *delta, self.phase)
         )
+        fr = self.flight
+        if fr is not None:
+            fr.record(
+                "collective_end", self._op_id, self._phase, (op, group_size)
+            )
 
     # -- point-to-point -----------------------------------------------------
 
@@ -675,10 +762,14 @@ class ProcessComm:
     ) -> object:
         """Receive the next ``tag``-ged message from global rank ``src``."""
         try:
-            return self._t.recv(src, ("p2p", tag), timeout=timeout)
+            out = self._t.recv(src, ("p2p", tag), timeout=timeout)
         except CollectiveTimeoutError:
             self._t.purge()
             raise
+        fr = self.flight
+        if fr is not None:
+            fr.record("p2p_recv", self._op_id, self._phase, src)
+        return out
 
     # -- race-sanitizer annotations -----------------------------------------
 
@@ -700,6 +791,68 @@ class ProcessComm:
         if self._race is not None:
             self._race.on_access(("user", label), "r")
 
+    # -- telemetry ----------------------------------------------------------
+
+    def note_progress(self, **info: object) -> None:
+        """Publish sweep progress (``iteration=``, ``total=``,
+        ``residual=``, ``ranks=``, ...) to the flight recorder and the
+        live telemetry channel.  Drivers call this at sweep/mode
+        boundaries; it costs one dict update (plus one ring append
+        when the recorder is armed) and touches nothing on the payload
+        path."""
+        self._progress.update(info)
+        fr = self.flight
+        if fr is not None:
+            fr.record("sweep", self._op_id, self._phase, dict(info))
+
+    def note_event(self, kind: str, detail: object = "") -> None:
+        """Record a structured runtime event (``checkpoint``,
+        ``replicate``, ``recovery``, ...) in the flight recorder.
+        No-op when the recorder is disarmed; ``detail`` must be
+        picklable."""
+        fr = self.flight
+        if fr is not None:
+            fr.record(kind, self._op_id, self._phase, detail)
+
+    def telemetry_sample(self) -> dict:
+        """One heartbeat for the out-of-band telemetry channel.
+
+        Called from the pusher thread, so every read of main-thread
+        state is tolerant of concurrent mutation (a torn sample is
+        dropped; the next beat sees fresh state)."""
+        try:
+            progress = dict(self._progress)
+        except RuntimeError:  # raced a note_progress update
+            progress = {}
+        sample = {
+            "kind": "heartbeat",
+            "rank": self.rank,
+            "ts": time.time(),
+            "op_id": self._op_id,
+            "phase": self._phase,
+            "progress": progress,
+        }
+        fr = self.flight
+        if fr is not None:
+            sample["flight_seq"] = fr.seq
+            open_ev = fr.open_collective()
+            if open_ev is not None:
+                detail = open_ev[5]
+                sample["blocked"] = {
+                    "op": detail[0]
+                    if isinstance(detail, tuple)
+                    else str(detail),
+                    "op_id": open_ev[3],
+                    "seconds": round(fr.now() - open_ev[1], 3),
+                }
+        prof = self.profiler
+        if prof is not None:
+            try:
+                sample["metrics"] = prof.metrics.snapshot()
+            except RuntimeError:  # pragma: no cover - raced an update
+                pass
+        return sample
+
     # -- collectives --------------------------------------------------------
 
     def allreduce(
@@ -707,7 +860,7 @@ class ProcessComm:
     ) -> np.ndarray:
         """Sum over the group; every member receives the total."""
         group_t = self._group(group)
-        self._begin_collective()
+        self._begin_collective("allreduce", len(group_t))
         block = np.asarray(block)
         self._verify_collective("allreduce", group_t, op="sum", block=block)
         before = self._t.counters()
@@ -732,7 +885,7 @@ class ProcessComm:
         """Sum over the group, then scatter slabs along ``axis`` (the
         ``i``-th group member receives the ``i``-th slab)."""
         group_t = self._group(group)
-        self._begin_collective()
+        self._begin_collective("reduce_scatter", len(group_t))
         block = np.asarray(block)
         self._verify_collective(
             "reduce_scatter", group_t, op="sum", axis=axis, block=block
@@ -758,7 +911,7 @@ class ProcessComm:
     ) -> np.ndarray:
         """Concatenate group members' blocks along ``axis``."""
         group_t = self._group(group)
-        self._begin_collective()
+        self._begin_collective("allgather", len(group_t))
         block = np.asarray(block)
         self._verify_collective("allgather", group_t, axis=axis, block=block)
         before = self._t.counters()
@@ -782,7 +935,7 @@ class ProcessComm:
     ) -> np.ndarray:
         """Broadcast ``root``'s block to the group (binomial tree)."""
         group_t = self._group(group)
-        self._begin_collective()
+        self._begin_collective("bcast", len(group_t))
         self._verify_collective("bcast", group_t, root=root, block=block)
         before = self._t.counters()
         prof = self.profiler
@@ -805,7 +958,7 @@ class ProcessComm:
     ) -> list[np.ndarray] | None:
         """Collect blocks at ``root`` (group order); others get None."""
         group_t = self._group(group)
-        self._begin_collective()
+        self._begin_collective("gather", len(group_t))
         block = np.asarray(block)
         self._verify_collective("gather", group_t, root=root, block=block)
         before = self._t.counters()
@@ -825,7 +978,7 @@ class ProcessComm:
         """Block until every group member reaches the barrier
         (dissemination algorithm, ``ceil(log2 p)`` rounds)."""
         group_t = self._group(group)
-        self._begin_collective()
+        self._begin_collective("barrier", len(group_t))
         self._verify_collective("barrier", group_t)
         before = self._t.counters()
         prof = self.profiler
@@ -1381,8 +1534,10 @@ class StarComm:
         self.trace = CommTrace()
         #: caller-set phase label (interface parity with ProcessComm).
         self.phase = ""
-        #: interface parity with ProcessComm (always None here).
+        #: interface parity with ProcessComm (always None here: the
+        #: flight recorder and telemetry ride the p2p transports).
         self.profiler = None
+        self.flight = None
         self._op_id = 0
         plan = self.config.fault_plan
         self._inj: FaultInjector | None = (
@@ -1570,19 +1725,44 @@ def _coordinator(
 # ---------------------------------------------------------------------------
 
 
+def _flight_snapshot(comm) -> object | None:
+    """Snapshot a comm's flight ring (None when disarmed), stamped
+    with the rank's final vector clock when the race sanitizer is on
+    so postmortem merging can order last-known states causally."""
+    fr = getattr(comm, "flight", None)
+    if fr is None:
+        return None
+    clock = None
+    det = getattr(comm, "_race", None)
+    if det is not None:
+        try:
+            clock = det.fork_point().clocks
+        except Exception:  # pragma: no cover - clock extraction is
+            clock = None   # best-effort refinement only
+    return fr.snapshot(clock)
+
+
 def _failure_report(exc: BaseException, comm) -> dict:
-    """What a dying rank ships home: error, traceback, trace tail —
-    and, when profiling, the partial profile whose ``open_span`` names
-    what the rank was doing (phase + wall-clock start) when it died."""
+    """What a dying rank ships home: error, traceback, trace tail,
+    flight-recorder ring — and, when profiling, the partial profile
+    whose ``open_span`` names what the rank was doing (phase +
+    wall-clock start) when it died."""
     report = {
         "error": repr(exc),
         "traceback": traceback_mod.format_exc(),
         "trace_tail": comm.trace.tail(),
-        # A closed-peer abort is a casualty of some other rank's
-        # death, not a primary failure: the launcher demotes it to
-        # the aborted set when a primary failure explains it.
-        "secondary": isinstance(exc, TransportClosedError),
+        # A closed-peer abort (or a launcher-revoked world) is a
+        # casualty of some other rank's death, not a primary failure:
+        # the launcher demotes it to the aborted set when a primary
+        # failure explains it.
+        "secondary": isinstance(
+            exc, (TransportClosedError, WorldRevokedError)
+        ),
     }
+    fr = getattr(comm, "flight", None)
+    if fr is not None:
+        fr.record("error", comm._op_id, comm.phase, repr(exc)[:200])
+        report["flight"] = _flight_snapshot(comm)
     prof = comm.profiler
     if prof is not None:
         prof.finalize_transport(comm._t)
@@ -1655,6 +1835,18 @@ def _rank_body(
         channel = ShmPoolTransport(rank, size, inboxes, run_token, config)
         channel.ctrl_conns = ctrl_conns
     comm = ProcessComm(rank, size, channel, config, board=board)
+    pusher = None
+    if config.telemetry_interval > 0:
+        from repro.observability.telemetry import TelemetryPusher
+
+        pusher = TelemetryPusher(
+            comm.telemetry_sample,
+            lambda sample, _r=rank: result_queue.put(
+                (_r, "telemetry", sample)
+            ),
+            config.telemetry_interval,
+        )
+        pusher.start()
     try:
         fn = pickle.loads(fn_bytes)
         out = fn(comm, *args)
@@ -1666,6 +1858,12 @@ def _rank_body(
             result_queue.put(
                 (rank, "profile", comm.profiler.rank_profile())
             )
+        # Ship the flight ring before the completion signal so an
+        # early finisher's ring is available for a postmortem even
+        # when *other* ranks later hang or die.
+        ring = _flight_snapshot(comm)
+        if ring is not None:
+            result_queue.put((rank, "flight", ring))
         result_queue.put((rank, "ok", out))
     except InjectedRankCrash as exc:
         result_queue.put((rank, "crashed", _failure_report(exc, comm)))
@@ -1695,6 +1893,8 @@ def _rank_body(
     except Exception as exc:
         result_queue.put((rank, "error", _failure_report(exc, comm)))
     finally:
+        if pusher is not None:
+            pusher.stop()
         comm.shutdown_overlap()
         try:
             channel.close()
@@ -1784,6 +1984,7 @@ def run_spmd(
     config: CommConfig | None = None,
     collective_timeout: float | None = None,
     profile_out: dict[int, object] | None = None,
+    monitor: object | None = None,
     host_map: Sequence[Sequence[int]] | None = None,
 ) -> list[object]:
     """Run ``fn(comm, *args)`` on ``size`` real processes.
@@ -1823,6 +2024,14 @@ def run_spmd(
         :class:`~repro.observability.spans.RankProfile` — on success
         all ranks, on failure whatever profiles reached the launcher
         (also attached to the :class:`RankFailureError`).
+    monitor:
+        A :class:`repro.observability.telemetry.TelemetryMonitor` (or
+        anything with its ``on_start``/``on_sample``/``on_done``/
+        ``on_postmortem`` surface).  Arms per-rank telemetry pushers
+        (``CommConfig.telemetry_interval``, defaulted to 0.5 s when
+        unset) whose heartbeats are routed to the monitor from the
+        launcher's drain loop — the live feed behind ``repro top``.
+        Requires a peer-to-peer transport.
     host_map:
         Optional partition of ``range(size)`` into per-process groups:
         entry ``p`` lists the logical ranks process ``p`` hosts (extra
@@ -1851,6 +2060,15 @@ def run_spmd(
         raise ValueError(
             "race_detect requires a peer-to-peer transport (p2p/shm or tcp)"
         )
+    if monitor is not None and transport == "star":
+        raise ValueError(
+            "telemetry monitoring requires a peer-to-peer transport "
+            "(p2p/shm or tcp)"
+        )
+    if monitor is not None and cfg.telemetry_interval <= 0:
+        cfg = replace(cfg, telemetry_interval=0.5)
+    if monitor is not None:
+        monitor.on_start(size, transport)
     if cfg.recovery not in ("restart",) + ELASTIC_POLICIES:
         raise ValueError(
             f"unknown recovery policy {cfg.recovery!r} "
@@ -1986,6 +2204,8 @@ def run_spmd(
     errors: dict[int, dict] = {}
     recoveries: dict[int, dict] = {}  # rank -> recovery report
     profiles: dict[int, object] = {}  # rank -> RankProfile
+    flights: dict[int, object] = {}  # rank -> FlightRing
+    hard_crashed: set[int] = set()  # ranks whose process is dying
     dead: dict[int, int] = {}  # rank -> exitcode, no result posted
     timed_out = False
     abort_deadline: float | None = None
@@ -2031,16 +2251,21 @@ def run_spmd(
                 elif not dead and not errors and not recoveries:
                     abort_deadline = None
                 if (
-                    elastic
-                    and not revoke_sent
+                    not revoke_sent
                     and transport == "p2p"
-                    and (dead or errors)
+                    and (dead or hard_crashed or (elastic and errors))
                 ):
                     # The shm wire has no in-band death signal: the
                     # launcher *is* the failure detector, and it wakes
                     # blocked survivors by posting a revoke notice
                     # straight into their inbox queues (src = -1, a
-                    # launcher-origin sentinel).
+                    # launcher-origin sentinel).  Elastic runs revoke
+                    # on any failure (survivors must run the agreement
+                    # round); non-elastic runs revoke on process death
+                    # only, so the woken survivors post their flight
+                    # rings (as demoted-secondary errors) instead of
+                    # being terminated ringless — ordinary raised
+                    # exceptions keep the PR-3 timeout semantics.
                     suspects = sorted(set(dead) | set(errors))
                     for r in range(size):
                         if (
@@ -2058,6 +2283,15 @@ def run_spmd(
                 # Precedes the rank's "ok"; not a completion signal.
                 profiles[rank] = payload
                 continue
+            if status == "flight":
+                # Precedes the rank's "ok"; not a completion signal.
+                flights[rank] = payload
+                continue
+            if status == "telemetry":
+                # Out-of-band heartbeat; never a completion signal.
+                if monitor is not None:
+                    monitor.on_sample(rank, payload)
+                continue
             if status == "ok":
                 results[rank] = payload
             elif status == "recovery":
@@ -2069,8 +2303,15 @@ def run_spmd(
                     abort_deadline = time.monotonic() + abort_grace
             else:  # "error" or "crashed"
                 errors[rank] = payload
+                if status == "crashed":
+                    # The rank's process is about to os._exit (or
+                    # already has): treat like an observed death so
+                    # blocked shm survivors are woken for their rings.
+                    hard_crashed.add(rank)
                 if abort_deadline is None:
                     abort_deadline = time.monotonic() + abort_grace
+            if monitor is not None:
+                monitor.on_done(rank, status)
             dead.pop(rank, None)
     finally:
         failure = (
@@ -2126,6 +2367,8 @@ def run_spmd(
                 rep = errors.pop(r)
                 if rep.get("profile") is not None:
                     profiles[r] = rep["profile"]
+                if rep.get("flight") is not None:
+                    flights[r] = rep["flight"]
         failed = sorted(set(errors) | set(dead))
         succeeded = sorted(results)
         aborted = sorted(
@@ -2147,6 +2390,28 @@ def run_spmd(
                 profiles[r] = rep["profile"]
         if profile_out is not None:
             profile_out.update(profiles)
+        # Same folding for flight rings: failed ranks embed theirs in
+        # the failure/recovery report, finished ranks shipped theirs
+        # ahead of their result.
+        for r, rep in errors.items():
+            if rep.get("flight") is not None:
+                flights[r] = rep["flight"]
+        for r, rep in recoveries.items():
+            if rep.get("flight") is not None:
+                flights[r] = rep["flight"]
+        postmortem = None
+        if flights:
+            from repro.observability.telemetry import build_postmortem
+
+            postmortem = build_postmortem(
+                flights,
+                completed=set(results),
+                crashed=set(hard_crashed) | set(dead),
+            )
+            if monitor is not None:
+                monitor.on_postmortem(
+                    postmortem.verdict, postmortem.diverging
+                )
         lines = []
         for r in failed:
             if r in errors:
@@ -2174,6 +2439,14 @@ def run_spmd(
                 if tail:
                     lines.append(f"rank {r} last collectives:")
                     lines.extend(f"  {t}" for t in tail)
+                ring = flights.get(r)
+                if ring is not None and getattr(ring, "events", None):
+                    ftail = ring.tail()
+                    lines.append(
+                        f"rank {r} flight recorder "
+                        f"(last {len(ftail)} of {ring.seq} events):"
+                    )
+                    lines.extend(f"  {t}" for t in ftail)
                 tb = rep.get("traceback", "")
                 if tb:
                     lines.append(f"rank {r} remote traceback:")
@@ -2192,6 +2465,8 @@ def run_spmd(
                 f"(agreed failed set {sorted(rep.get('failed', ()))}, "
                 f"replica at iteration {rep.get('iteration')})"
             )
+        if postmortem is not None:
+            lines.extend(postmortem.lines())
         if timed_out and not failed:
             head = (
                 f"SPMD run timed out after {timeout:.0f}s waiting for "
@@ -2216,6 +2491,8 @@ def run_spmd(
             exitcodes=dead,
             profiles=profiles,
             recovery_reports=recoveries,
+            flight_records=flights,
+            postmortem=postmortem,
         )
     if profile_out is not None:
         profile_out.update(profiles)

@@ -207,6 +207,8 @@ def render_lanes(
     :func:`render_timeline` (one lane per simulated phase) and the
     span profiler's measured timeline (one lane per rank).
     """
+    if not lanes:
+        return "(no events)"
     intervals = [iv for _, ivs in lanes for iv in ivs]
     if not intervals:
         return "(no events)"
@@ -223,11 +225,16 @@ def render_lanes(
         lane = [" "] * width
         busy = 0.0
         for start, end in ivs:
-            a = int(start / total * width)
+            # Clamp to the axis: partial profiles (a crashed rank's
+            # truncated spans joined against healthy peers) can carry
+            # intervals starting before the shared origin or ending
+            # past the supplied total — render the visible part
+            # instead of wrapping around via negative indices.
+            a = max(int(start / total * width), 0)
             b = max(int(end / total * width), a + 1)
             for i in range(a, min(b, width)):
                 lane[i] = "#"
-            busy += end - start
+            busy += max(end - start, 0.0)
         lines.append(
             f"{label.ljust(label_w)}|{''.join(lane)}| {busy:.4g}s"
         )

@@ -274,6 +274,13 @@ class Transport(ABC):
         #: occupancy are checked.  None keeps every boundary at one
         #: `is None` test, like the other hooks.
         self.race_detector = None
+        #: always-on flight recorder (repro.observability.telemetry,
+        #: installed by ProcessComm unless CommConfig.flight is off) —
+        #: send() logs one "post" event per outbound payload.  A pure
+        #: observer: nothing on the payload path changes, and None
+        #: keeps the boundary at one `is None` test like the other
+        #: hooks.
+        self.flight = None
         #: verify mode only (shm backend): dedicated per-pair duplex
         #: pipes for the control rounds; ``None`` falls back to the
         #: generic tagged-message control channel.
@@ -405,6 +412,13 @@ class Transport(ABC):
         """
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range for size {self.size}")
+        fr = self.flight
+        if fr is not None:
+            # Collective tags lead with the op counter; p2p tags with
+            # "p2p".  Observational only — dropped-injected sends are
+            # logged too (the rank *did* post them).
+            op_id = tag[0] if tag and isinstance(tag[0], int) else 0
+            fr.record("post", op_id, "", dest)
         det = self.race_detector
         if det is not None:
             det.enter_transport(id(self))

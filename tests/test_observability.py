@@ -10,6 +10,7 @@ stays machine-parseable.
 """
 
 import json
+import re
 import time
 
 import numpy as np
@@ -41,7 +42,7 @@ from repro.vmpi.mp_comm import (
     RankFailureError,
     run_spmd,
 )
-from repro.vmpi.trace import PHASES
+from repro.vmpi.trace import PHASES, render_lanes
 
 SHAPE, RANKS, GRID = (12, 10, 8), (4, 3, 3), (2, 2, 1)
 
@@ -456,3 +457,70 @@ class TestChromeTraceValidation:
     def test_empty_run_profile_rejected(self):
         with pytest.raises(ValueError):
             RunProfile([])
+
+
+class TestMismatchHardening:
+    """Model/profile phase mismatches stay visible and parseable.
+
+    Regressions for the attribution hardening: ledger phases no
+    measured phase covers surface as ``MODEL-ONLY`` rows instead of
+    silently dropping model time, the parser names the exact corrupt
+    cell, and the shared timeline renderer tolerates the degenerate
+    lane sets a crashed rank's partial profile produces.
+    """
+
+    def test_model_only_rows_for_uncovered_model_phases(self):
+        profile = TestAttributionSynthetic._profile()
+        # Measured phases are {ttm, llsv}; neither maps to the core
+        # charges, so both must appear as zero-measured rows.
+        model = {"ttm": 1.0, "core": 2.0, "core_comm": 5.0}
+        rows = {r.phase: r for r in attribution_rows(profile, model)}
+        for phase in ("core", "core_comm"):
+            assert rows[phase].flag == "MODEL-ONLY"
+            assert rows[phase].mean_s == 0.0
+            assert rows[phase].measured_share == 0.0
+        assert rows["core"].model_s == pytest.approx(2.0)
+        report = format_attribution_report(profile, model)
+        parsed = parse_attribution_report(report)
+        flags = {r["phase"]: r["flag"] for r in parsed}
+        assert flags["core"] == "MODEL-ONLY"
+        assert flags["core_comm"] == "MODEL-ONLY"
+
+    def test_zero_model_charges_not_surfaced(self):
+        profile = TestAttributionSynthetic._profile()
+        rows = attribution_rows(profile, {"ttm": 1.0, "core": 0.0})
+        assert "core" not in {r.phase for r in rows}
+
+    def test_parse_names_the_corrupt_cell(self):
+        report = format_attribution_report(
+            TestAttributionSynthetic._profile()
+        )
+        lines = report.splitlines()
+        head = next(
+            i for i, l in enumerate(lines) if l.startswith("phase  ")
+        )
+        lines[head + 2] = re.sub(r"\d", "x", lines[head + 2])
+        with pytest.raises(ValueError, match="neither numeric nor"):
+            parse_attribution_report("\n".join(lines))
+
+    def test_render_lanes_degenerate_inputs(self):
+        assert render_lanes([]) == "(no events)"
+        assert render_lanes([("r0", [])]) == "(no events)"
+        assert (
+            render_lanes([("r0", [(0.0, 0.0)])])
+            == "(zero-duration trace)"
+        )
+
+    def test_render_lanes_clamps_negative_start(self):
+        # A truncated partial profile can carry an interval starting
+        # before the shared origin: render the visible part, never
+        # wrap around via negative indices.
+        out = render_lanes(
+            [("r0", [(-0.5, 0.2)]), ("r1", [(0.0, 1.0)])], width=10
+        )
+        lane = next(
+            l for l in out.splitlines() if l.startswith("r0")
+        )
+        bar = lane.split("|")[1]
+        assert bar[0] == "#"
+        assert "#" not in bar[5:]
